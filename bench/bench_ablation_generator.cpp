@@ -1,0 +1,174 @@
+// Ablation (not a paper artifact): the synthetic-corpus knobs that DESIGN.md
+// §3.4 calls out as the dataset's causal levers.
+//
+//  A. Obfuscation sweep — detector accuracy vs the phishing-obfuscation
+//     level, the knob whose month-over-month drift produces the temporal
+//     decay of Fig. 8. Accuracy must fall monotonically-ish as phishing
+//     bodies absorb more benign boilerplate.
+//  B. Representation ablation — the same Random Forest trained on the three
+//     feature spaces (opcode histogram / raw-byte histogram / flattened
+//     R2D2 image), isolating how much of HSC performance comes from the
+//     *disassembly* (BDM) rather than raw bytes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/features.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/random_forest.hpp"
+
+namespace {
+
+using namespace phishinghook;
+
+double rf_accuracy(const ml::Matrix& x, const std::vector<int>& y,
+                   std::uint64_t seed) {
+  common::Rng rng(seed);
+  const ml::Fold fold = ml::stratified_holdout(y, 0.25, rng);
+  ml::RandomForestConfig config;
+  config.n_trees = 60;
+  config.seed = seed;
+  ml::RandomForestClassifier forest(config);
+  forest.fit(x.select_rows(fold.train_indices),
+             ml::select(y, fold.train_indices));
+  return ml::compute_metrics(ml::select(y, fold.test_indices),
+                             forest.predict(x.select_rows(fold.test_indices)))
+      .accuracy;
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  bench::print_banner("Ablation — generator knobs and representations",
+                      "DESIGN.md §3.4 (supporting analysis, not a paper "
+                      "artifact)");
+
+  // --- A: generator knob sweeps -------------------------------------------------
+  auto sweep_accuracy = [&](double obfuscation, double stealth) {
+    synth::DatasetConfig config;
+    config.target_size = 240;
+    config.seed = 77;
+    config.synth.obfuscation_base = obfuscation;
+    config.synth.obfuscation_drift = 0.0;  // hold constant over the window
+    config.synth.stealth_base = stealth;
+    config.synth.stealth_drift = 0.0;
+    const synth::BuiltDataset dataset = synth::DatasetBuilder(config).build();
+    const auto codes = core::codes_of(dataset.samples);
+    const auto labels = core::labels_of(dataset.samples);
+    core::HistogramVocabulary vocab;
+    vocab.fit(codes);
+    return rf_accuracy(vocab.transform_all(codes), labels, 11);
+  };
+
+  core::TextTable sweep(
+      {"Knob", "Level", "RF accuracy (%)"});
+  common::CsvWriter csv(bench::bench_output_dir(argv[0]) /
+                        "ablation_knobs.csv");
+  csv.write_row({"knob", "level", "rf_accuracy"});
+  for (double level : {0.0, 0.3, 0.6, 0.9}) {
+    const double accuracy = sweep_accuracy(level, 0.05);
+    sweep.add_row({"obfuscation", common::format_fixed(level, 1),
+                   core::percent(accuracy)});
+    csv.write_row({"obfuscation", std::to_string(level),
+                   std::to_string(accuracy)});
+  }
+  for (double level : {0.0, 0.2, 0.4, 0.6}) {
+    const double accuracy = sweep_accuracy(0.3, level);
+    sweep.add_row({"stealth share", common::format_fixed(level, 1),
+                   core::percent(accuracy)});
+    csv.write_row({"stealth", std::to_string(level),
+                   std::to_string(accuracy)});
+  }
+  std::printf("%s\n", sweep.render().c_str());
+  std::printf(
+      "reading: in-distribution, the HSC is robust to both knobs — padding\n"
+      "does not hide a drain's histogram, and even benign-shaped stealth\n"
+      "drainers separate once the training set contains them.\n\n");
+
+  // --- A2: the novelty effect (Fig. 8's actual mechanism) ----------------------
+  // Train on a stealth-free corpus, evaluate on corpora with growing
+  // stealth share: accuracy decays with the share of *unseen* patterns.
+  {
+    synth::DatasetConfig train_config;
+    train_config.target_size = 240;
+    train_config.seed = 78;
+    train_config.synth.stealth_base = 0.0;
+    train_config.synth.stealth_drift = 0.0;
+    const synth::BuiltDataset train_set =
+        synth::DatasetBuilder(train_config).build();
+    core::HistogramVocabulary vocab;
+    const auto train_codes = core::codes_of(train_set.samples);
+    vocab.fit(train_codes);
+    ml::RandomForestConfig rf_config;
+    rf_config.n_trees = 60;
+    ml::RandomForestClassifier forest(rf_config);
+    forest.fit(vocab.transform_all(train_codes),
+               core::labels_of(train_set.samples));
+
+    core::TextTable novelty({"Unseen stealth share", "RF accuracy (%)",
+                             "Phishing recall (%)"});
+    common::CsvWriter novelty_csv(bench::bench_output_dir(argv[0]) /
+                                  "ablation_novelty.csv");
+    novelty_csv.write_row({"stealth_share", "accuracy", "recall"});
+    for (double level : {0.0, 0.2, 0.4, 0.6}) {
+      synth::DatasetConfig test_config;
+      test_config.target_size = 240;
+      test_config.seed = 79;  // different campaigns than training
+      test_config.synth.stealth_base = level;
+      test_config.synth.stealth_drift = 0.0;
+      const synth::BuiltDataset test_set =
+          synth::DatasetBuilder(test_config).build();
+      const auto metrics = ml::compute_metrics(
+          core::labels_of(test_set.samples),
+          forest.predict(vocab.transform_all(core::codes_of(test_set.samples))));
+      novelty.add_row({common::format_fixed(level, 1),
+                       core::percent(metrics.accuracy),
+                       core::percent(metrics.recall)});
+      novelty_csv.write_row({std::to_string(level),
+                             std::to_string(metrics.accuracy),
+                             std::to_string(metrics.recall)});
+    }
+    std::printf("%s\n", novelty.render().c_str());
+    std::printf(
+        "reading: what degrades detection is *novelty* — stealth drainers\n"
+        "absent from training masquerade as benign treasury sweeps and are\n"
+        "missed (recall falls). Their month-over-month growth in the corpus\n"
+        "is the mechanism behind Fig. 8's temporal decay.\n\n");
+  }
+
+  // --- B: representation ablation ----------------------------------------------
+  const synth::BuiltDataset dataset = bench::build_bench_dataset();
+  const auto codes = core::codes_of(dataset.samples);
+  const auto labels = core::labels_of(dataset.samples);
+
+  // Opcode histogram (the BDM path).
+  core::HistogramVocabulary vocab;
+  vocab.fit(codes);
+  const double opcode_acc = rf_accuracy(vocab.transform_all(codes), labels, 13);
+
+  // Raw byte histogram (no disassembly: PUSH immediates pollute counts).
+  ml::Matrix byte_hist(codes.size(), 256);
+  for (std::size_t r = 0; r < codes.size(); ++r) {
+    for (std::uint8_t b : codes[r]->bytes()) byte_hist.at(r, b) += 1.0;
+  }
+  const double byte_acc = rf_accuracy(byte_hist, labels, 13);
+
+  // Flattened 8x8 R2D2 image (the vision representation fed to a forest).
+  ml::Matrix image_features(codes.size(), 3 * 8 * 8);
+  for (std::size_t r = 0; r < codes.size(); ++r) {
+    const auto image = core::r2d2_image(*codes[r], 8);
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      image_features.at(r, i) = image[i];
+    }
+  }
+  const double image_acc = rf_accuracy(image_features, labels, 13);
+
+  core::TextTable repr({"Representation", "RF accuracy (%)"});
+  repr.add_row({"opcode histogram (BDM)", core::percent(opcode_acc)});
+  repr.add_row({"raw byte histogram", core::percent(byte_acc)});
+  repr.add_row({"flattened R2D2 image 8x8", core::percent(image_acc)});
+  std::printf("%s\n", repr.render().c_str());
+  std::printf("reading: the disassembly step earns its keep — separating\n"
+              "opcodes from PUSH immediates beats raw byte statistics, and\n"
+              "truncated image encodings lose the long-tail structure.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper. They all
+// consume the same scaled dataset (PHOOK_SCALE) and reuse expensive trial
+// data: the Table II cross-validation trials and the Fig. 5-7 scalability
+// runs are cached as CSV next to the binaries, so bench_table2 /
+// bench_table3 / bench_fig4 (and fig5/6/7) share one computation.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "core/experiment.hpp"
+#include "core/pam.hpp"
+#include "core/report.hpp"
+
+namespace phishinghook::bench {
+
+using core::ModelEvaluation;
+using synth::BuiltDataset;
+
+/// Prints the standard bench banner (what is being reproduced, at which
+/// scale) to stdout.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+/// The bench dataset for the current PHOOK_SCALE (deterministic, seed 42).
+BuiltDataset build_bench_dataset(bool temporal = false);
+
+/// Table II trials for all 16 models: loaded from `table2_trials.csv` in
+/// `cache_dir` when present (and scale-compatible), otherwise computed and
+/// cached. This is the expensive step shared by Table II/III and Fig. 4.
+std::vector<ModelEvaluation> table2_trials(
+    const std::filesystem::path& cache_dir);
+
+/// One scalability run (Fig. 5-7): the three per-category champions
+/// evaluated on 1/3, 2/3 and 3/3 of the corpus.
+struct ScalabilityCell {
+  std::string model;
+  int split = 1;  ///< 1, 2, 3 (thirds of the corpus)
+  ml::Metrics metrics;
+  double train_seconds = 0.0;
+  double inference_seconds = 0.0;
+};
+
+std::vector<ScalabilityCell> scalability_runs(
+    const std::filesystem::path& cache_dir);
+
+/// Directory of the running binary (where caches and CSVs are written).
+std::filesystem::path bench_output_dir(const char* argv0);
+
+/// The 13 models of the post hoc analysis (Table II minus ESCORT and the
+/// beta variants, per §IV-E).
+std::vector<ModelEvaluation> post_hoc_subset(
+    const std::vector<ModelEvaluation>& all);
+
+}  // namespace phishinghook::bench

@@ -1,0 +1,44 @@
+// Fig. 2: number of phishing contracts per month (2023-10 .. 2024-10),
+// plus the dataset-construction statistics of §III (raw vs unique counts,
+// duplicate ratio, final balanced size).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int, char** argv) {
+  using namespace phishinghook;
+  bench::print_banner("Fig. 2 — phishing contracts per month",
+                      "Fig. 2 + §III dataset construction");
+
+  const bench::BuiltDataset dataset = bench::build_bench_dataset();
+
+  std::size_t max_count = 1;
+  for (std::size_t count : dataset.phishing_per_month) {
+    max_count = std::max(max_count, count);
+  }
+
+  core::TextTable table({"Month", "Phishing deployments", "Histogram"});
+  for (int m = 0; m < chain::Month::kCount; ++m) {
+    const std::size_t count = dataset.phishing_per_month[static_cast<std::size_t>(m)];
+    const int bar = static_cast<int>(40.0 * static_cast<double>(count) /
+                                     static_cast<double>(max_count));
+    table.add_row({chain::Month{m}.label(), std::to_string(count),
+                   std::string(static_cast<std::size_t>(bar), '#')});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double ratio = static_cast<double>(dataset.raw_phishing) /
+                       static_cast<double>(dataset.unique_phishing);
+  std::printf("raw phishing deployments:   %zu   (paper: 17,455)\n",
+              dataset.raw_phishing);
+  std::printf("unique phishing bytecodes:  %zu   (paper: 3,458)\n",
+              dataset.unique_phishing);
+  std::printf("duplicate ratio:            %.2fx (paper: ~5.05x — ERC-1167 "
+              "minimal-proxy clones)\n",
+              ratio);
+  std::printf("final balanced dataset:     %zu   (paper: 7,000)\n",
+              dataset.samples.size());
+
+  table.write_csv(bench::bench_output_dir(argv[0]) / "fig2_monthly.csv");
+  return 0;
+}

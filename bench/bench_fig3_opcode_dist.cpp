@@ -1,0 +1,99 @@
+// Fig. 3: distribution, by opcode usage, of contracts for 20 influential
+// opcodes — phishing vs benign usage-share distributions, demonstrating the
+// paper's point that no single opcode's frequency separates the classes.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/features.hpp"
+#include "ml/random_forest.hpp"
+
+int main(int, char** argv) {
+  using namespace phishinghook;
+  bench::print_banner("Fig. 3 — contract distribution by opcode usage",
+                      "Fig. 3, §III (BDM)");
+
+  const bench::BuiltDataset dataset = bench::build_bench_dataset();
+  const auto codes = core::codes_of(dataset.samples);
+  const auto labels = core::labels_of(dataset.samples);
+
+  core::HistogramVocabulary vocab;
+  vocab.fit(codes);
+  const ml::Matrix counts = vocab.transform_all(codes);
+
+  // "Influential" opcodes, as in §IV-H: ranked by Random Forest importance.
+  ml::RandomForestConfig config;
+  config.n_trees = 60;
+  ml::RandomForestClassifier forest(config);
+  forest.fit(counts, labels);
+  const auto importances = forest.feature_importances();
+  std::vector<std::size_t> order(importances.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return importances[a] > importances[b];
+  });
+  const std::size_t top = std::min<std::size_t>(20, order.size());
+
+  // Per-contract usage share of each opcode.
+  std::vector<double> totals(counts.rows(), 0.0);
+  for (std::size_t r = 0; r < counts.rows(); ++r) {
+    for (std::size_t c = 0; c < counts.cols(); ++c) {
+      totals[r] += counts.at(r, c);
+    }
+  }
+
+  core::TextTable table({"Opcode", "Importance", "Phishing mean %",
+                         "Benign mean %", "Overlap coeff."});
+  common::CsvWriter csv(bench::bench_output_dir(argv[0]) / "fig3_usage.csv");
+  csv.write_row({"opcode", "importance", "phishing_mean_share",
+                 "benign_mean_share", "overlap"});
+
+  for (std::size_t k = 0; k < top; ++k) {
+    const std::size_t feature = order[k];
+    std::vector<double> phishing_share, benign_share;
+    for (std::size_t r = 0; r < counts.rows(); ++r) {
+      const double share =
+          totals[r] > 0 ? counts.at(r, feature) / totals[r] : 0.0;
+      (labels[r] != 0 ? phishing_share : benign_share).push_back(share);
+    }
+    auto mean_of = [](const std::vector<double>& v) {
+      double total = 0.0;
+      for (double x : v) total += x;
+      return v.empty() ? 0.0 : total / static_cast<double>(v.size());
+    };
+    // Histogram-overlap coefficient over 20 usage-share bins: ~1 means the
+    // two class distributions coincide (the paper's "unreliable to filter
+    // on a single opcode" observation).
+    double max_share = 1e-9;
+    for (double v : phishing_share) max_share = std::max(max_share, v);
+    for (double v : benign_share) max_share = std::max(max_share, v);
+    constexpr int kBins = 20;
+    std::vector<double> hp(kBins, 0.0), hb(kBins, 0.0);
+    for (double v : phishing_share) {
+      hp[std::min<int>(kBins - 1, static_cast<int>(v / max_share * kBins))] +=
+          1.0 / static_cast<double>(phishing_share.size());
+    }
+    for (double v : benign_share) {
+      hb[std::min<int>(kBins - 1, static_cast<int>(v / max_share * kBins))] +=
+          1.0 / static_cast<double>(benign_share.size());
+    }
+    double overlap = 0.0;
+    for (int b = 0; b < kBins; ++b) overlap += std::min(hp[b], hb[b]);
+
+    const std::string name = vocab.mnemonics()[feature];
+    table.add_row({name, common::format_fixed(importances[feature], 4),
+                   common::format_fixed(100.0 * mean_of(phishing_share), 2),
+                   common::format_fixed(100.0 * mean_of(benign_share), 2),
+                   common::format_fixed(overlap, 3)});
+    csv.write_row({name, std::to_string(importances[feature]),
+                   std::to_string(mean_of(phishing_share)),
+                   std::to_string(mean_of(benign_share)),
+                   std::to_string(overlap)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: overlap near 1.0 reproduces the paper's observation that\n"
+      "phishing contracts use opcodes at rates similar to benign ones, so\n"
+      "no single opcode frequency suffices as a filter (Fig. 3).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 4: Dunn's test for pairwise comparison between each model pair's
+// metrics (Holm-Bonferroni adjusted), with the paper's within- vs
+// cross-category significant-pair breakdown.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+const char* significance_stars(double p_adjusted) {
+  if (p_adjusted < 0.0001) return "****";
+  if (p_adjusted < 0.001) return "*** ";
+  if (p_adjusted < 0.01) return "**  ";
+  if (p_adjusted < 0.05) return "*   ";
+  return "ns  ";
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  using namespace phishinghook;
+  bench::print_banner("Fig. 4 — Dunn's pairwise comparisons",
+                      "Fig. 4, §IV-E");
+
+  const auto all = bench::table2_trials(bench::bench_output_dir(argv[0]));
+  const auto models = bench::post_hoc_subset(all);
+  const core::PostHocReport report = core::post_hoc_analysis(models);
+
+  // Matrix for the accuracy metric (the paper shows all four; accuracy is
+  // printed as the representative grid, all metrics go to CSV).
+  const core::MetricDunn& accuracy = report.dunn.front();
+  std::printf("pairwise significance grid (accuracy; row vs column):\n\n");
+  std::printf("%-22s", "");
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    std::printf("%4zu ", m);
+  }
+  std::printf("\n");
+  std::vector<std::vector<std::string>> grid(
+      models.size(), std::vector<std::string>(models.size(), "  . "));
+  for (const stats::DunnPair& pair : accuracy.result.pairs) {
+    grid[pair.group_a][pair.group_b] = significance_stars(pair.p_adjusted);
+    grid[pair.group_b][pair.group_a] = significance_stars(pair.p_adjusted);
+  }
+  for (std::size_t row = 0; row < models.size(); ++row) {
+    std::printf("%2zu %-19s", row, models[row].model.substr(0, 19).c_str());
+    for (std::size_t col = 0; col < models.size(); ++col) {
+      std::printf("%s ", grid[row][col].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nlegend: **** p<1e-4, *** p<1e-3, ** p<0.01, * p<0.05, ns "
+              "not significant (Holm-adjusted)\n\n");
+
+  core::TextTable summary({"Metric", "Significant pairs (%)",
+                           "Within-category (%)", "Cross-category (%)"});
+  common::CsvWriter csv(bench::bench_output_dir(argv[0]) / "fig4_dunn.csv");
+  csv.write_row({"metric", "model_a", "model_b", "z", "p", "p_adj"});
+  for (const core::MetricDunn& metric : report.dunn) {
+    summary.add_row({metric.metric,
+                     core::percent(metric.significant_fraction),
+                     core::percent(metric.within_category_fraction),
+                     core::percent(metric.cross_category_fraction)});
+    for (const stats::DunnPair& pair : metric.result.pairs) {
+      csv.write_row({metric.metric, models[pair.group_a].model,
+                     models[pair.group_b].model, std::to_string(pair.z),
+                     std::to_string(pair.p_value),
+                     std::to_string(pair.p_adjusted)});
+    }
+  }
+  std::printf("%s\n", summary.render().c_str());
+  std::printf(
+      "paper reference: 65.38%% of pairs significant for accuracy/F1/\n"
+      "precision (61.54%% recall); within-category 33-41%%, cross-category\n"
+      "76-80%% — divergence concentrates *across* model families.\n");
+  return 0;
+}

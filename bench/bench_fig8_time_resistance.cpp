@@ -1,0 +1,83 @@
+// Fig. 8: time-resistance analysis (after TESSERACT) — train on
+// 2023-10..2024-01, evaluate on nine monthly test sets 2024-02..2024-10,
+// and report the phishing-F1 Area Under Time (AUT). Expected shape: mild
+// decay driven by the generator's rising obfuscation, with
+// AUT(Random Forest) > AUT(SCSGuard) > AUT(ECA+EfficientNet).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int, char** argv) {
+  using namespace phishinghook;
+  bench::print_banner("Fig. 8 — time-resistance over nine months",
+                      "Fig. 8, §IV-G");
+
+  // The dedicated temporal dataset: benign samples match the phishing
+  // temporal profile (the paper built a second 7,000-sample dataset).
+  const bench::BuiltDataset dataset =
+      bench::build_bench_dataset(/*temporal=*/true);
+  const synth::TemporalSplit split = synth::temporal_split(dataset.samples);
+  std::printf("train: %zu contracts (2023-10..2024-01); test: nine monthly "
+              "sets 2024-02..2024-10\n\n",
+              split.train.size());
+
+  // The temporal training window holds only the first four months'
+  // contracts (~a quarter of the corpus), so the deep models get a larger
+  // epoch budget here at unchanged wall-clock cost.
+  auto params = common::current_scale_params();
+  params.nn_epochs *= 3;
+  const auto specs = core::all_models(params);
+  const core::ExperimentHarness harness;
+  std::vector<std::vector<const synth::LabeledContract*>> tests(
+      split.monthly_tests.begin(), split.monthly_tests.end());
+
+  const std::vector<std::string> models = {"Random Forest", "SCSGuard",
+                                           "ECA+EfficientNet"};
+  core::TextTable table({"Month", "RF F1", "SCSGuard F1", "ECA+EffNet F1",
+                         "RF Acc", "SCSGuard Acc", "ECA+EffNet Acc"});
+  common::CsvWriter csv(bench::bench_output_dir(argv[0]) /
+                        "fig8_time_resistance.csv");
+  csv.write_row({"model", "month", "accuracy", "f1", "precision", "recall"});
+
+  std::vector<std::vector<ml::Metrics>> per_model;
+  for (const std::string& name : models) {
+    per_model.push_back(
+        harness.evaluate_temporal(core::find_model(specs, name), split.train,
+                                  tests));
+    for (std::size_t m = 0; m < per_model.back().size(); ++m) {
+      const ml::Metrics& metrics = per_model.back()[m];
+      csv.write_row({name, chain::Month{static_cast<int>(m) + 4}.label(),
+                     std::to_string(metrics.accuracy),
+                     std::to_string(metrics.f1),
+                     std::to_string(metrics.precision),
+                     std::to_string(metrics.recall)});
+    }
+  }
+
+  for (std::size_t m = 0; m < 9; ++m) {
+    table.add_row({chain::Month{static_cast<int>(m) + 4}.label(),
+                   core::percent(per_model[0][m].f1),
+                   core::percent(per_model[1][m].f1),
+                   core::percent(per_model[2][m].f1),
+                   core::percent(per_model[0][m].accuracy),
+                   core::percent(per_model[1][m].accuracy),
+                   core::percent(per_model[2][m].accuracy)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  core::TextTable aut({"Model", "AUT (phishing F1)"});
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    std::vector<double> f1_series;
+    for (const ml::Metrics& metrics : per_model[i]) {
+      f1_series.push_back(metrics.f1);
+    }
+    aut.add_row({models[i],
+                 common::format_fixed(ml::area_under_time(f1_series), 2)});
+  }
+  std::printf("%s\n", aut.render().c_str());
+  std::printf(
+      "paper reference: AUT = 0.89 (Random Forest) > 0.84 (SCSGuard) >\n"
+      "0.79 (ECA+EfficientNet); detection stays stable with only a slight\n"
+      "decline as attack patterns evolve (Take-away 4).\n");
+  return 0;
+}

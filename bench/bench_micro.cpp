@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the substrate primitives the
+// pipeline leans on: Keccak-256, U256 arithmetic, disassembly, interpreter
+// execution, feature extraction. Not a paper artifact — engineering
+// telemetry for the library itself.
+#include <benchmark/benchmark.h>
+
+#include "chain/state.hpp"
+#include "core/features.hpp"
+#include "evm/disassembler.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/keccak.hpp"
+#include "synth/contract_synthesizer.hpp"
+
+namespace {
+
+using namespace phishinghook;
+
+const synth::SynthContract& sample_contract() {
+  static const synth::SynthContract* contract = [] {
+    common::Rng rng(7);
+    static const synth::ContractSynthesizer synth;
+    return new synth::SynthContract(synth.benign(chain::Month{3}, rng));
+  }();
+  return *contract;
+}
+
+void BM_Keccak256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evm::keccak256(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Keccak256_1KiB);
+
+void BM_U256_Mul(benchmark::State& state) {
+  const evm::U256 a = evm::U256::from_string(
+      "0xdeadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff");
+  evm::U256 acc(1);
+  for (auto _ : state) {
+    acc *= a;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_U256_Mul);
+
+void BM_U256_Div(benchmark::State& state) {
+  const evm::U256 n = evm::U256::max();
+  const evm::U256 d = evm::U256::from_string("0x10000000000000001");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(n / d);
+  }
+}
+BENCHMARK(BM_U256_Div);
+
+void BM_Disassemble_Contract(benchmark::State& state) {
+  const evm::Disassembler disassembler;
+  const evm::Bytecode& code = sample_contract().runtime;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disassembler.disassemble(code));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(code.size()));
+}
+BENCHMARK(BM_Disassemble_Contract);
+
+void BM_Interpreter_Dispatch(benchmark::State& state) {
+  // A full dispatcher round trip into the fallback (unknown selector).
+  chain::State world;
+  const evm::Address contract = world.install_code(
+      evm::Address::from_hex("0x00000000000000000000000000000000000000bb"),
+      sample_contract().runtime);
+  evm::Message msg;
+  msg.caller = evm::Address::from_hex(
+      "0x00000000000000000000000000000000000000aa");
+  msg.origin = msg.caller;
+  msg.code_address = contract;
+  msg.storage_address = contract;
+  msg.data = {0xde, 0xad, 0xbe, 0xef};
+  msg.gas = 1'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.call(msg, evm::CallKind::kCall, 0));
+  }
+}
+BENCHMARK(BM_Interpreter_Dispatch);
+
+void BM_HistogramExtraction(benchmark::State& state) {
+  const evm::Bytecode& code = sample_contract().runtime;
+  core::HistogramVocabulary vocab;
+  vocab.fit({&code});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vocab.transform(code));
+  }
+}
+BENCHMARK(BM_HistogramExtraction);
+
+void BM_R2D2ImageEncoding(benchmark::State& state) {
+  const evm::Bytecode& code = sample_contract().runtime;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::r2d2_image(code, 16));
+  }
+}
+BENCHMARK(BM_R2D2ImageEncoding);
+
+void BM_SynthesizeBenignContract(benchmark::State& state) {
+  const synth::ContractSynthesizer synth;
+  common::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.benign(chain::Month{5}, rng));
+  }
+}
+BENCHMARK(BM_SynthesizeBenignContract);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table I: EVM opcodes for the Shanghai fork.
+//
+// Prints the registry in the paper's format (opcode, name, gas,
+// stack-effect summary) — the excerpt rows the paper shows plus the full
+// count — and writes the complete table as CSV.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "evm/opcodes.hpp"
+
+int main(int, char** argv) {
+  using namespace phishinghook;
+  bench::print_banner("Table I — EVM opcodes (Shanghai fork)",
+                      "Table I, §II Background");
+
+  const auto& table = evm::OpcodeTable::shanghai();
+  core::TextTable text({"Opcode", "Name", "Gas", "In", "Out", "Category"});
+  for (const evm::OpcodeInfo& info : table.all()) {
+    char byte[8];
+    std::snprintf(byte, sizeof(byte), "0x%02X", info.value);
+    text.add_row({byte, std::string(info.mnemonic),
+                  info.gas_is_nan ? "NaN" : std::to_string(info.base_gas),
+                  std::to_string(info.stack_inputs),
+                  std::to_string(info.stack_outputs),
+                  std::string(category_name(info.category))});
+  }
+  std::printf("%s\n", text.render().c_str());
+  std::printf("total defined opcodes: %zu (paper: 144 as of Shanghai)\n",
+              table.size());
+  std::printf("includes the two evmdasm additions: PUSH0 (0x5F), INVALID "
+              "(0xFE, gas = NaN)\n");
+
+  text.write_csv(bench::bench_output_dir(argv[0]) / "table1_opcodes.csv");
+  return 0;
+}

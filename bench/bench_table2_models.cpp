@@ -1,0 +1,72 @@
+// Table II: averaged performance metrics for all 16 models (Accuracy, F1,
+// Precision, Recall; k-fold x runs), plus per-category means — the paper's
+// headline result. Expected shape: HSCs best (Random Forest on top), LMs
+// second (SCSGuard best), VMs third, ESCORT near chance.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int, char** argv) {
+  using namespace phishinghook;
+  bench::print_banner("Table II — averaged model performance",
+                      "Table II, §IV-D");
+
+  const auto trials = bench::table2_trials(bench::bench_output_dir(argv[0]));
+
+  const char* marker_of[] = {"+", "#", "*", "S"};  // †, ‡, *, § stand-ins
+  core::TextTable table(
+      {"Model", "Cat", "Accuracy (%)", "F1 Score", "Precision", "Recall"});
+  struct CategoryAgg {
+    ml::Metrics sum;
+    int count = 0;
+  };
+  CategoryAgg per_category[4];
+
+  const bench::ModelEvaluation* best = nullptr;
+  for (const bench::ModelEvaluation& evaluation : trials) {
+    const ml::Metrics mean = evaluation.mean();
+    table.add_row({evaluation.model,
+                   marker_of[static_cast<int>(evaluation.category)],
+                   core::percent(mean.accuracy), core::percent(mean.f1),
+                   core::percent(mean.precision), core::percent(mean.recall)});
+    auto& agg = per_category[static_cast<int>(evaluation.category)];
+    agg.sum.accuracy += mean.accuracy;
+    agg.sum.f1 += mean.f1;
+    agg.sum.precision += mean.precision;
+    agg.sum.recall += mean.recall;
+    agg.count += 1;
+    if (best == nullptr || mean.accuracy > best->mean().accuracy) {
+      best = &evaluation;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("markers: + Histogram (HSC), # Vision, * Language, S "
+              "Vulnerability detector\n\n");
+
+  core::TextTable category_table(
+      {"Category", "Avg Accuracy (%)", "Avg F1", "Avg Precision", "Avg Recall"});
+  const char* names[] = {"Histogram (HSC)", "Vision (VM)", "Language (LM)",
+                         "Vulnerability (VDM)"};
+  for (int c = 0; c < 4; ++c) {
+    const auto& agg = per_category[c];
+    if (agg.count == 0) continue;
+    const double n = agg.count;
+    category_table.add_row({names[c], core::percent(agg.sum.accuracy / n),
+                            core::percent(agg.sum.f1 / n),
+                            core::percent(agg.sum.precision / n),
+                            core::percent(agg.sum.recall / n)});
+  }
+  std::printf("%s\n", category_table.render().c_str());
+
+  if (best != nullptr) {
+    std::printf("best model overall: %s (paper: Random Forest, 93.63%%)\n",
+                best->model.c_str());
+  }
+  std::printf(
+      "paper reference means — HSC 91.52%%, LM 88.83%%, VM 83.75%%, ESCORT "
+      "55.91%%;\nexpected shape: HSC >= LM > VM >> ESCORT (~ chance).\n");
+
+  table.write_csv(bench::bench_output_dir(argv[0]) / "table2_results.csv");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Contract scanner: the paper's motivating deployment scenario.
+//
+// A crypto wallet (or a monitoring service like the paper's prospective
+// Etherscan customer) must warn users *before* they sign — §IV-F: "users
+// interact with smart contracts in real-time, often signing transactions
+// within seconds". This example trains a detector on the historical window,
+// then watches a live stream of fresh deployments and flags phishing
+// contracts, reporting per-contract scan latency.
+//
+// Build & run:  ./build/examples/contract_scanner
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "core/bem.hpp"
+#include "core/experiment.hpp"
+#include "synth/dataset_builder.hpp"
+
+int main() {
+  using namespace phishinghook;
+
+  // --- historical training data (months 2023-10 .. 2024-07) ----------------
+  synth::DatasetConfig config;
+  config.target_size = 300;
+  config.seed = 21;
+  config.match_benign_temporal = true;
+  const synth::BuiltDataset history = synth::DatasetBuilder(config).build();
+
+  std::vector<const evm::Bytecode*> train_codes;
+  std::vector<int> train_labels;
+  for (const synth::LabeledContract& sample : history.samples) {
+    if (sample.month.index <= 9) {  // keep the last months as "the future"
+      train_codes.push_back(&sample.code);
+      train_labels.push_back(sample.phishing ? 1 : 0);
+    }
+  }
+  const auto specs = core::all_models(common::scale_params(common::Scale::kSmoke));
+  auto detector = core::find_model(specs, "Random Forest").make(3);
+  common::Timer train_timer;
+  detector->fit(train_codes, train_labels);
+  std::printf("detector trained on %zu historical contracts in %.2fs\n\n",
+              train_codes.size(), train_timer.seconds());
+
+  // --- live stream: fresh deployments arriving on-chain ---------------------
+  // The scanner sees only addresses; it pulls bytecode through the BEM, the
+  // same eth_getCode path a production integration would use.
+  const core::BytecodeExtractionModule bem(*history.explorer);
+  std::size_t scanned = 0, flagged = 0, missed = 0, false_alarms = 0;
+  double worst_latency = 0.0;
+
+  std::printf("scanning fresh deployments (2024-08..2024-10):\n");
+  for (const synth::LabeledContract& sample : history.samples) {
+    if (sample.month.index <= 9) continue;
+    common::Timer scan_timer;
+    const core::ExtractedContract contract = bem.extract(sample.address);
+    const double prob =
+        detector->predict_proba({&contract.code}).front();
+    const double latency_ms = scan_timer.milliseconds();
+    worst_latency = std::max(worst_latency, latency_ms);
+    ++scanned;
+
+    const bool alarm = prob >= 0.5;
+    if (alarm && sample.phishing) ++flagged;
+    if (!alarm && sample.phishing) ++missed;
+    if (alarm && !sample.phishing) ++false_alarms;
+    if (alarm) {
+      std::printf("  !! %s  P(phishing)=%.2f  (%0.1f ms)%s\n",
+                  sample.address.to_hex().c_str(), prob, latency_ms,
+                  sample.phishing ? "" : "  <- FALSE ALARM");
+    }
+  }
+
+  std::printf("\nscanned %zu new contracts\n", scanned);
+  std::printf("  phishing caught:  %zu\n", flagged);
+  std::printf("  phishing missed:  %zu\n", missed);
+  std::printf("  false alarms:     %zu\n", false_alarms);
+  std::printf("  worst scan latency: %.1f ms (wallet signing budget: "
+              "seconds)\n",
+              worst_latency);
+  return 0;
+}

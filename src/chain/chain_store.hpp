@@ -1,0 +1,94 @@
+// Simulated Ethereum chain: blocks, deployments, and the contract registry
+// the data-gathering phase crawls.
+//
+// Stands in for the Google BigQuery public dataset of the paper's Fig. 1-1:
+// it records every contract deployment with its block number and timestamp
+// so the dataset builder can enumerate "contracts deployed between October
+// 2023 and October 2024" exactly as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/state.hpp"
+
+namespace phishinghook::chain {
+
+/// Calendar month within the study window. Index 0 = 2023-10 (the paper's
+/// window runs through 2024-10, index 12).
+struct Month {
+  int index = 0;
+
+  static constexpr int kCount = 13;  // 2023-10 .. 2024-10 inclusive
+
+  /// "2023-10", "2024-03", ...
+  std::string label() const;
+
+  /// First-of-month unix timestamp (UTC, approximate 30.44-day months are
+  /// not used — real month lengths are).
+  std::uint64_t start_timestamp() const;
+
+  friend bool operator==(const Month&, const Month&) = default;
+  friend auto operator<=>(const Month&, const Month&) = default;
+};
+
+/// One deployment record, as the public dataset would expose it.
+struct ContractRecord {
+  Address address;
+  Address deployer;
+  std::uint64_t block_number = 0;
+  std::uint64_t timestamp = 0;
+  Month month;
+  evm::Hash256 code_hash{};
+};
+
+/// The chain: world state plus the deployment journal.
+class ChainStore {
+ public:
+  /// `genesis_timestamp` defaults to the start of the study window.
+  ChainStore();
+
+  State& state() { return state_; }
+  const State& state() const { return state_; }
+
+  /// Advances the chain head into `month` (blocks are appended with evenly
+  /// spread timestamps; ~12 s slots are simulated coarsely).
+  void advance_to(Month month);
+
+  /// Deploys runtime code directly (the registry path used for corpus
+  /// generation), stamping the current head block/month.
+  const ContractRecord& register_contract(const Address& deployer,
+                                          Bytecode runtime_code);
+
+  /// Deploys through a real init frame on the interpreter; stamps the head.
+  const ContractRecord& deploy_contract(const Address& deployer,
+                                        std::span<const std::uint8_t> init_code);
+
+  std::uint64_t head_block() const { return head_block_; }
+  std::uint64_t head_timestamp() const { return head_timestamp_; }
+  Month head_month() const { return head_month_; }
+
+  /// All deployments, in chain order.
+  const std::vector<ContractRecord>& contracts() const { return records_; }
+
+  /// Record lookup by address.
+  const ContractRecord* find(const Address& address) const;
+
+  /// Deployments within [from, to] months inclusive — the crawl primitive.
+  std::vector<const ContractRecord*> contracts_between(Month from,
+                                                       Month to) const;
+
+ private:
+  const ContractRecord& record_deployment(const Address& deployer,
+                                          const Address& address);
+
+  State state_;
+  std::vector<ContractRecord> records_;
+  std::uint64_t head_block_;
+  std::uint64_t head_timestamp_;
+  Month head_month_;
+};
+
+}  // namespace phishinghook::chain

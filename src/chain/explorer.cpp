@@ -1,0 +1,39 @@
+#include "chain/explorer.hpp"
+
+namespace phishinghook::chain {
+
+std::string Explorer::eth_get_code(const Address& address) const {
+  return get_code(address).to_hex();
+}
+
+Bytecode Explorer::get_code(const Address& address) const {
+  const Account* account = chain_->state().find(address);
+  return account == nullptr ? Bytecode() : account->code;
+}
+
+void Explorer::flag(const Address& address, ContractFlag flag) {
+  if (flag == ContractFlag::kPhishHack) {
+    phishing_.insert(address);
+  } else {
+    phishing_.erase(address);
+  }
+}
+
+ContractFlag Explorer::flag_of(const Address& address) const {
+  return phishing_.contains(address) ? ContractFlag::kPhishHack
+                                     : ContractFlag::kNone;
+}
+
+bool Explorer::is_flagged_phishing(const Address& address) const {
+  return flag_of(address) == ContractFlag::kPhishHack;
+}
+
+std::vector<Address> Explorer::crawl(Month from, Month to) const {
+  std::vector<Address> out;
+  for (const ContractRecord* record : chain_->contracts_between(from, to)) {
+    out.push_back(record->address);
+  }
+  return out;
+}
+
+}  // namespace phishinghook::chain

@@ -1,0 +1,60 @@
+// Explorer: the etherscan.io stand-in.
+//
+// Provides the two services PhishingHook's data-gathering phase consumes
+// (paper Fig. 1-2/3):
+//   * a label service that flags contracts as "Phish/Hack" (the scrape step
+//     over the 4M candidate hashes), and
+//   * the JSON-RPC `eth_getCode` endpoint used by the Bytecode Extraction
+//     Module (BEM) to pull deployed bytecode.
+//
+// The real Etherscan is an *independent* validation source; here labels are
+// assigned by whoever populates the corpus (the synthetic generator knows
+// ground truth), but the pipeline only ever observes them through this
+// scrape interface, preserving the paper's data flow.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/chain_store.hpp"
+
+namespace phishinghook::chain {
+
+/// Flag taxonomy, mirroring the etherscan labels the paper relies on.
+enum class ContractFlag {
+  kNone,       ///< not flagged — treated as benign in the dataset
+  kPhishHack,  ///< the "Phish/Hack" label used for the positive class
+};
+
+class Explorer {
+ public:
+  explicit Explorer(const ChainStore& chain) : chain_(&chain) {}
+
+  /// JSON-RPC eth_getCode: the deployed bytecode as "0x..." hex.
+  /// Unknown accounts return "0x" like a real node.
+  std::string eth_get_code(const Address& address) const;
+
+  /// The same, decoded — the BEM's working form.
+  Bytecode get_code(const Address& address) const;
+
+  /// Label-service write path (exercised by corpus generation).
+  void flag(const Address& address, ContractFlag flag);
+
+  /// Label-service read path (the scrape).
+  ContractFlag flag_of(const Address& address) const;
+  bool is_flagged_phishing(const Address& address) const;
+
+  /// Crawl: all contract addresses deployed in [from, to] months — the raw
+  /// unlabeled hash list of the paper's data-gathering phase.
+  std::vector<Address> crawl(Month from, Month to) const;
+
+  std::size_t flagged_count() const { return phishing_.size(); }
+
+ private:
+  const ChainStore* chain_;
+  std::set<Address> phishing_;
+};
+
+}  // namespace phishinghook::chain

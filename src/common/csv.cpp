@@ -1,0 +1,127 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::common {
+
+std::size_t CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw NotFound("CSV column '" + std::string(name) + "'");
+}
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : path_(path) {
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+}
+
+CsvWriter::CsvWriter() = default;
+
+CsvWriter::~CsvWriter() {
+  if (path_.empty()) return;
+  std::ofstream out(path_, std::ios::trunc);
+  out << buffer_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) buffer_ += ',';
+    buffer_ += csv_escape(fields[i]);
+  }
+  buffer_ += '\n';
+}
+
+std::string CsvWriter::str() const { return buffer_; }
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvTable parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // swallow; handled with the following '\n'
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) end_row();
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field");
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+
+  CsvTable table;
+  if (!rows.empty()) {
+    table.header = std::move(rows.front());
+    table.rows.assign(std::make_move_iterator(rows.begin() + 1),
+                      std::make_move_iterator(rows.end()));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw NotFound("CSV file " + path.string());
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_csv(text.str());
+}
+
+}  // namespace phishinghook::common

@@ -1,0 +1,55 @@
+// Minimal CSV reader/writer.
+//
+// The paper's BDM stores disassembled opcodes as .csv and the benches dump
+// every table/figure series as .csv next to the binary; this is the shared
+// implementation. Fields containing separators, quotes or newlines are
+// quoted per RFC 4180.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phishinghook::common {
+
+/// In-memory CSV table: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws NotFound if absent.
+  std::size_t column(std::string_view name) const;
+};
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path);
+  /// Builds an in-memory writer (retrieve with str()); used in tests.
+  CsvWriter();
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+  /// The buffered text when constructed without a path.
+  std::string str() const;
+
+ private:
+  std::string buffer_;
+  std::filesystem::path path_;  // empty => in-memory
+};
+
+/// Escapes one CSV field per RFC 4180.
+std::string csv_escape(std::string_view field);
+
+/// Parses CSV text (first row = header). Handles quoted fields with embedded
+/// separators/quotes/newlines. Throws ParseError on unterminated quotes.
+CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws NotFound if the file is missing.
+CsvTable read_csv_file(const std::filesystem::path& path);
+
+}  // namespace phishinghook::common

@@ -1,0 +1,67 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace phishinghook::common {
+
+Scale experiment_scale() {
+  const char* raw = std::getenv("PHOOK_SCALE");
+  if (raw == nullptr) return Scale::kSmall;
+  const std::string v(raw);
+  if (v == "smoke") return Scale::kSmoke;
+  if (v == "small") return Scale::kSmall;
+  if (v == "medium") return Scale::kMedium;
+  if (v == "full") return Scale::kFull;
+  log_warn("unknown PHOOK_SCALE '", v, "', using 'small'");
+  return Scale::kSmall;
+}
+
+std::string scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kSmall: return "small";
+    case Scale::kMedium: return "medium";
+    case Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+ScaleParams scale_params(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return {.corpus_size = 160,
+              .folds = 3,
+              .runs = 1,
+              .nn_epochs = 2,
+              .image_side = 16,
+              .max_sequence = 96};
+    case Scale::kSmall:
+      return {.corpus_size = 400,
+              .folds = 5,
+              .runs = 2,
+              .nn_epochs = 3,
+              .image_side = 16,
+              .max_sequence = 128};
+    case Scale::kMedium:
+      return {.corpus_size = 2000,
+              .folds = 10,
+              .runs = 3,
+              .nn_epochs = 10,
+              .image_side = 32,
+              .max_sequence = 256};
+    case Scale::kFull:
+      return {.corpus_size = 7000,
+              .folds = 10,
+              .runs = 3,
+              .nn_epochs = 20,
+              .image_side = 64,
+              .max_sequence = 512};
+  }
+  return scale_params(Scale::kSmall);
+}
+
+ScaleParams current_scale_params() { return scale_params(experiment_scale()); }
+
+}  // namespace phishinghook::common

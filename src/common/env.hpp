@@ -1,0 +1,42 @@
+// Experiment-scale configuration.
+//
+// The paper's full evaluation (7,000 contracts x 10 folds x 3 runs x 16
+// models, several GPU-days) does not fit a CPU CI run, so every bench scales
+// its corpus size, fold count and training epochs through one knob:
+//
+//   PHOOK_SCALE=smoke | small | medium | full
+//
+// `small` (the default) reproduces every table/figure shape in minutes;
+// `full` approximates paper scale.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace phishinghook::common {
+
+enum class Scale { kSmoke, kSmall, kMedium, kFull };
+
+/// Scale selected by the PHOOK_SCALE env var (default kSmall).
+Scale experiment_scale();
+
+/// Human-readable name ("small", ...).
+std::string scale_name(Scale scale);
+
+/// Experiment dimensions derived from a scale.
+struct ScaleParams {
+  std::size_t corpus_size;   ///< total contracts in the balanced dataset
+  int folds;                 ///< cross-validation folds
+  int runs;                  ///< repeated CV runs
+  int nn_epochs;             ///< epochs for neural models
+  std::size_t image_side;    ///< square image side for vision models
+  std::size_t max_sequence;  ///< token-sequence cap for language models
+};
+
+/// Parameters for a given scale (see env.cpp for the table).
+ScaleParams scale_params(Scale scale);
+
+/// Convenience: parameters for the env-selected scale.
+ScaleParams current_scale_params();
+
+}  // namespace phishinghook::common

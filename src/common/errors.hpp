@@ -1,0 +1,45 @@
+// Error types shared across the PhishingHook library.
+//
+// All library errors derive from `phishinghook::Error` (itself a
+// std::runtime_error) so callers can catch library failures uniformly while
+// still discriminating on the concrete category when useful.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace phishinghook {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed external input (hex strings, CSV rows, config values...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A precondition on an API call was violated by the caller.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+/// Requested entity (account, contract, model, file...) does not exist.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error("not found: " + what) {}
+};
+
+/// An operation was attempted on an object in the wrong state
+/// (e.g. predict() before fit()).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error("state error: " + what) {}
+};
+
+}  // namespace phishinghook

@@ -1,0 +1,52 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace phishinghook::common {
+
+namespace {
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::kInfo;
+  const std::string_view v(text);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{
+      static_cast<int>(parse_level(std::getenv("PHOOK_LOG")))};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[phook %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace phishinghook::common

@@ -1,0 +1,57 @@
+// Lightweight leveled logger.
+//
+// The benches and examples narrate long-running experiments through this;
+// level is process-global and settable via the PHOOK_LOG env var
+// (debug|info|warn|error, default info).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace phishinghook::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Current process-wide level (initialized from PHOOK_LOG on first use).
+LogLevel log_level();
+
+/// Overrides the process-wide level.
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` passes the filter.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace phishinghook::common

@@ -1,0 +1,121 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace phishinghook::common {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw InvalidArgument("Rng::next_below bound must be > 0");
+  // Rejection sampling over the largest multiple of `bound`.
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+int Rng::poisson(double lambda) {
+  if (lambda < 0.0) throw InvalidArgument("Rng::poisson lambda must be >= 0");
+  const double threshold = std::exp(-lambda);
+  int count = 0;
+  double product = next_double();
+  while (product > threshold) {
+    ++count;
+    product *= next_double();
+  }
+  return count;
+}
+
+int Rng::geometric(double continue_prob, int cap) {
+  int count = 0;
+  while (count < cap && bernoulli(continue_prob)) ++count;
+  return count;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw InvalidArgument("Rng::weighted_index requires non-empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw InvalidArgument("Rng::weighted_index weight < 0");
+    total += w;
+  }
+  if (total <= 0.0) return next_below(weights.size());
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace phishinghook::common

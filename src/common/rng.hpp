@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in PhishingHook takes an explicit seed; this
+// header provides the single PRNG used everywhere (xoshiro256**, seeded via
+// splitmix64) plus the small set of distributions the library needs. Using
+// our own generator — instead of std::mt19937 + std:: distributions — keeps
+// results bit-for-bit reproducible across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::common {
+
+/// splitmix64 step: used to expand a 64-bit seed into generator state and to
+/// derive independent child seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Small, fast, and statistically strong; all library
+/// randomness flows through this type.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability `p`.
+  bool bernoulli(double p);
+
+  /// Poisson-distributed count (Knuth's method; fine for small lambda).
+  int poisson(double lambda);
+
+  /// Geometric-ish count: number of successes before failure, capped.
+  int geometric(double continue_prob, int cap);
+
+  /// Index sampled according to non-negative `weights` (need not sum to 1).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    if (values.empty()) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      std::swap(values[i], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-fold / per-tree seeds).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// [0, n) as a vector, shuffled with `rng` — the standard permutation helper.
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace phishinghook::common

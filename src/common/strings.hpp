@@ -1,0 +1,39 @@
+// Small string utilities (split/join/trim/case, fixed-width formatting)
+// shared by the CSV layer, the report printers and the CLI tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phishinghook::common {
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Left-pads with spaces to `width` (no-op if already wider).
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pads with spaces to `width` (no-op if already wider).
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Formats a double with fixed `digits` decimals ("93.63").
+std::string format_fixed(double value, int digits);
+
+/// Formats in scientific notation with `digits` significant decimals
+/// ("7.35e-70"); used by the statistics report tables.
+std::string format_scientific(double value, int digits);
+
+}  // namespace phishinghook::common

@@ -1,0 +1,28 @@
+// Wall-clock timing used by the model scalability study (Fig. 7) and the
+// experiment harness' training/inference time accounting.
+#pragma once
+
+#include <chrono>
+
+namespace phishinghook::common {
+
+/// Monotonic stopwatch. Starts on construction; `seconds()` reads elapsed
+/// time without stopping; `restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace phishinghook::common

@@ -1,0 +1,18 @@
+#include "core/bdm.hpp"
+
+#include <fstream>
+
+namespace phishinghook::core {
+
+evm::Disassembly BytecodeDisassemblerModule::disassemble_to_csv(
+    const evm::Bytecode& code, const std::filesystem::path& path) const {
+  evm::Disassembly listing = disassembler_.disassemble(code);
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << listing.to_csv();
+  return listing;
+}
+
+}  // namespace phishinghook::core

@@ -1,0 +1,30 @@
+// Bytecode Disassembler Module (BDM) — Fig. 1-5/6.
+//
+// Wraps the Shanghai disassembler and persists listings as the .csv files
+// the paper's downstream feature extractors read.
+#pragma once
+
+#include <filesystem>
+
+#include "evm/disassembler.hpp"
+
+namespace phishinghook::core {
+
+class BytecodeDisassemblerModule {
+ public:
+  BytecodeDisassemblerModule() = default;
+
+  /// Disassembles one contract.
+  evm::Disassembly disassemble(const evm::Bytecode& code) const {
+    return disassembler_.disassemble(code);
+  }
+
+  /// Disassembles and writes the pc/opcode/mnemonic/operand/gas CSV.
+  evm::Disassembly disassemble_to_csv(const evm::Bytecode& code,
+                                      const std::filesystem::path& path) const;
+
+ private:
+  evm::Disassembler disassembler_;
+};
+
+}  // namespace phishinghook::core

@@ -1,0 +1,28 @@
+#include "core/bem.hpp"
+
+namespace phishinghook::core {
+
+ExtractedContract BytecodeExtractionModule::extract(
+    const evm::Address& address) const {
+  ExtractedContract out;
+  out.address = address;
+  // Round-trip through the JSON-RPC hex representation deliberately: the
+  // BEM consumes the endpoint's wire format, not internal state.
+  out.code = evm::Bytecode::from_hex(explorer_->eth_get_code(address));
+  out.flagged_phishing = explorer_->is_flagged_phishing(address);
+  return out;
+}
+
+std::vector<ExtractedContract> BytecodeExtractionModule::extract_all(
+    const std::vector<evm::Address>& addresses, bool skip_empty) const {
+  std::vector<ExtractedContract> out;
+  out.reserve(addresses.size());
+  for (const evm::Address& address : addresses) {
+    ExtractedContract extracted = extract(address);
+    if (skip_empty && extracted.code.empty()) continue;
+    out.push_back(std::move(extracted));
+  }
+  return out;
+}
+
+}  // namespace phishinghook::core

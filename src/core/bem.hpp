@@ -1,0 +1,37 @@
+// Bytecode Extraction Module (BEM) — Fig. 1-3.
+//
+// Pulls deployed bytecode for labeled contract addresses through the
+// explorer's eth_getCode endpoint, exactly as the paper's pipeline does
+// against a public JSON-RPC node.
+#pragma once
+
+#include <vector>
+
+#include "chain/explorer.hpp"
+
+namespace phishinghook::core {
+
+struct ExtractedContract {
+  evm::Address address;
+  evm::Bytecode code;
+  bool flagged_phishing = false;
+};
+
+class BytecodeExtractionModule {
+ public:
+  explicit BytecodeExtractionModule(const chain::Explorer& explorer)
+      : explorer_(&explorer) {}
+
+  /// eth_getCode for one address (hex round-trip, as over JSON-RPC).
+  ExtractedContract extract(const evm::Address& address) const;
+
+  /// Batch extraction; empty codes (EOAs, destroyed contracts) are skipped
+  /// when `skip_empty` is set.
+  std::vector<ExtractedContract> extract_all(
+      const std::vector<evm::Address>& addresses, bool skip_empty = true) const;
+
+ private:
+  const chain::Explorer* explorer_;
+};
+
+}  // namespace phishinghook::core

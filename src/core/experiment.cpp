@@ -1,0 +1,137 @@
+#include "core/experiment.hpp"
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+
+namespace phishinghook::core {
+
+ml::Metrics ModelEvaluation::mean() const {
+  std::vector<ml::Metrics> all;
+  all.reserve(trials.size());
+  for (const TrialResult& trial : trials) all.push_back(trial.metrics);
+  return ml::mean_metrics(all);
+}
+
+double ModelEvaluation::mean_train_seconds() const {
+  double total = 0.0;
+  for (const TrialResult& trial : trials) total += trial.train_seconds;
+  return trials.empty() ? 0.0 : total / static_cast<double>(trials.size());
+}
+
+double ModelEvaluation::mean_inference_seconds() const {
+  double total = 0.0;
+  for (const TrialResult& trial : trials) total += trial.inference_seconds;
+  return trials.empty() ? 0.0 : total / static_cast<double>(trials.size());
+}
+
+std::vector<double> ModelEvaluation::metric_series(
+    std::string_view metric) const {
+  std::vector<double> out;
+  out.reserve(trials.size());
+  for (const TrialResult& trial : trials) {
+    if (metric == "accuracy") out.push_back(trial.metrics.accuracy);
+    else if (metric == "f1") out.push_back(trial.metrics.f1);
+    else if (metric == "precision") out.push_back(trial.metrics.precision);
+    else if (metric == "recall") out.push_back(trial.metrics.recall);
+    else throw InvalidArgument("unknown metric '" + std::string(metric) + "'");
+  }
+  return out;
+}
+
+std::vector<const Bytecode*> codes_of(
+    const std::vector<LabeledContract>& samples) {
+  std::vector<const Bytecode*> out;
+  out.reserve(samples.size());
+  for (const LabeledContract& sample : samples) out.push_back(&sample.code);
+  return out;
+}
+
+std::vector<int> labels_of(const std::vector<LabeledContract>& samples) {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const LabeledContract& sample : samples) {
+    out.push_back(sample.phishing ? 1 : 0);
+  }
+  return out;
+}
+
+ModelEvaluation ExperimentHarness::evaluate(
+    const ModelSpec& spec, const std::vector<LabeledContract>& samples) const {
+  const std::vector<const Bytecode*> codes = codes_of(samples);
+  const std::vector<int> labels = labels_of(samples);
+
+  ModelEvaluation evaluation;
+  evaluation.model = spec.name;
+  evaluation.category = spec.category;
+
+  common::Rng run_rng(config_.seed);
+  for (int run = 0; run < config_.runs; ++run) {
+    common::Rng fold_rng = run_rng.fork();
+    const auto folds = ml::stratified_kfold(labels, config_.folds, fold_rng);
+    for (int f = 0; f < config_.folds; ++f) {
+      const ml::Fold& fold = folds[static_cast<std::size_t>(f)];
+      std::vector<const Bytecode*> train_codes, test_codes;
+      std::vector<int> train_labels, test_labels;
+      for (std::size_t i : fold.train_indices) {
+        train_codes.push_back(codes[i]);
+        train_labels.push_back(labels[i]);
+      }
+      for (std::size_t i : fold.test_indices) {
+        test_codes.push_back(codes[i]);
+        test_labels.push_back(labels[i]);
+      }
+
+      auto model = spec.make(run_rng.next_u64());
+      common::Timer train_timer;
+      model->fit(train_codes, train_labels);
+      const double train_seconds = train_timer.seconds();
+
+      common::Timer inference_timer;
+      const std::vector<int> predictions = model->predict(test_codes);
+      const double inference_seconds = inference_timer.seconds();
+
+      TrialResult trial;
+      trial.run = run;
+      trial.fold = f;
+      trial.metrics = ml::compute_metrics(test_labels, predictions);
+      trial.train_seconds = train_seconds;
+      trial.inference_seconds = inference_seconds;
+      evaluation.trials.push_back(trial);
+
+      common::log_debug(spec.name, " run ", run, " fold ", f, " acc ",
+                        trial.metrics.accuracy);
+    }
+  }
+  return evaluation;
+}
+
+std::vector<ml::Metrics> ExperimentHarness::evaluate_temporal(
+    const ModelSpec& spec, const std::vector<const LabeledContract*>& train,
+    const std::vector<std::vector<const LabeledContract*>>& test_sets) const {
+  std::vector<const Bytecode*> train_codes;
+  std::vector<int> train_labels;
+  for (const LabeledContract* sample : train) {
+    train_codes.push_back(&sample->code);
+    train_labels.push_back(sample->phishing ? 1 : 0);
+  }
+  auto model = spec.make(config_.seed);
+  model->fit(train_codes, train_labels);
+
+  std::vector<ml::Metrics> out;
+  for (const auto& test_set : test_sets) {
+    std::vector<const Bytecode*> test_codes;
+    std::vector<int> test_labels;
+    for (const LabeledContract* sample : test_set) {
+      test_codes.push_back(&sample->code);
+      test_labels.push_back(sample->phishing ? 1 : 0);
+    }
+    if (test_codes.empty()) {
+      out.push_back(ml::Metrics{});
+      continue;
+    }
+    out.push_back(ml::compute_metrics(test_labels, model->predict(test_codes)));
+  }
+  return out;
+}
+
+}  // namespace phishinghook::core

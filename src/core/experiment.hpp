@@ -1,0 +1,68 @@
+// Model Evaluation Module (MEM): the paper's evaluation protocol.
+//
+// Runs stratified k-fold cross-validation repeated over several runs
+// (Table II: 10 folds x 3 runs = 30 trials per model), recording the four
+// metrics plus wall-clock training and inference time per trial (Fig. 7).
+#pragma once
+
+#include "core/model_registry.hpp"
+#include "ml/cross_validation.hpp"
+#include "synth/dataset_builder.hpp"
+
+namespace phishinghook::core {
+
+using synth::LabeledContract;
+
+/// One trial = one (run, fold) evaluation.
+struct TrialResult {
+  int run = 0;
+  int fold = 0;
+  ml::Metrics metrics;
+  double train_seconds = 0.0;
+  double inference_seconds = 0.0;  ///< whole test batch
+};
+
+struct ModelEvaluation {
+  std::string model;
+  ModelCategory category = ModelCategory::kHistogram;
+  std::vector<TrialResult> trials;
+
+  ml::Metrics mean() const;
+  double mean_train_seconds() const;
+  double mean_inference_seconds() const;
+  /// All values of one metric across trials (PAM input).
+  std::vector<double> metric_series(std::string_view metric) const;
+};
+
+struct ExperimentConfig {
+  int folds = 5;
+  int runs = 2;
+  std::uint64_t seed = 1234;
+};
+
+class ExperimentHarness {
+ public:
+  explicit ExperimentHarness(ExperimentConfig config = {}) : config_(config) {}
+
+  /// Cross-validates `spec` on `samples`.
+  ModelEvaluation evaluate(const ModelSpec& spec,
+                           const std::vector<LabeledContract>& samples) const;
+
+  /// Trains on `train` and evaluates on each test set (the Fig. 8 protocol).
+  /// Returns the metric bundle per test set.
+  std::vector<ml::Metrics> evaluate_temporal(
+      const ModelSpec& spec, const std::vector<const LabeledContract*>& train,
+      const std::vector<std::vector<const LabeledContract*>>& test_sets) const;
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+};
+
+/// Convenience views over a sample set.
+std::vector<const Bytecode*> codes_of(
+    const std::vector<LabeledContract>& samples);
+std::vector<int> labels_of(const std::vector<LabeledContract>& samples);
+
+}  // namespace phishinghook::core

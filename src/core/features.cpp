@@ -1,0 +1,181 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+namespace phishinghook::core {
+
+// --- HistogramVocabulary -----------------------------------------------------
+
+void HistogramVocabulary::fit(const std::vector<const Bytecode*>& corpus) {
+  mnemonics_.clear();
+  index_.clear();
+  const evm::Disassembler disassembler;
+  for (const Bytecode* code : corpus) {
+    const evm::Disassembly listing = disassembler.disassemble(*code);
+    for (const evm::Instruction& ins : listing.instructions) {
+      const std::string name(ins.mnemonic);
+      if (!index_.contains(name)) {
+        index_.emplace(name, mnemonics_.size());
+        mnemonics_.push_back(name);
+      }
+    }
+  }
+}
+
+std::vector<double> HistogramVocabulary::transform(const Bytecode& code) const {
+  std::vector<double> counts(mnemonics_.size(), 0.0);
+  const evm::Disassembler disassembler;
+  const evm::Disassembly listing = disassembler.disassemble(code);
+  for (const evm::Instruction& ins : listing.instructions) {
+    const auto it = index_.find(std::string(ins.mnemonic));
+    if (it != index_.end()) counts[it->second] += 1.0;
+  }
+  return counts;
+}
+
+ml::Matrix HistogramVocabulary::transform_all(
+    const std::vector<const Bytecode*>& corpus) const {
+  ml::Matrix out(corpus.size(), mnemonics_.size());
+  for (std::size_t r = 0; r < corpus.size(); ++r) {
+    const std::vector<double> counts = transform(*corpus[r]);
+    for (std::size_t c = 0; c < counts.size(); ++c) out.at(r, c) = counts[c];
+  }
+  return out;
+}
+
+// --- R2D2 images ----------------------------------------------------------------
+
+ml::nn::Tensor r2d2_image(const Bytecode& code, std::size_t side) {
+  ml::nn::Tensor image({3, side, side});
+  const auto& bytes = code.bytes();
+  const std::size_t pixels = side * side;
+  for (std::size_t p = 0; p < pixels; ++p) {
+    for (std::size_t channel = 0; channel < 3; ++channel) {
+      const std::size_t byte_index = p * 3 + channel;
+      if (byte_index >= bytes.size()) return image;  // zero padding
+      image.at3(channel, p / side, p % side) =
+          static_cast<float>(bytes[byte_index]) / 255.0F;
+    }
+  }
+  return image;
+}
+
+// --- FrequencyEncoder -------------------------------------------------------------
+
+namespace {
+std::string operand_key_of(const evm::Instruction& ins) {
+  return ins.operand.has_value() ? ins.operand->to_hex() : "-";
+}
+}  // namespace
+
+void FrequencyEncoder::fit(const std::vector<const Bytecode*>& corpus) {
+  mnemonic_table_.clear();
+  operand_table_.clear();
+  gas_table_.clear();
+  double total = 0.0;
+  for (const Bytecode* code : corpus) {
+    const evm::Disassembly listing = disassembler_.disassemble(*code);
+    for (const evm::Instruction& ins : listing.instructions) {
+      mnemonic_table_[std::string(ins.mnemonic)] += 1.0;
+      operand_table_[operand_key_of(ins)] += 1.0;
+      gas_table_[ins.gas] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total <= 0.0) return;
+  // Normalize to the max frequency so the most common entries saturate the
+  // channel (the paper's "higher intensity for more frequent" mapping).
+  auto normalize = [](auto& table) {
+    double max_count = 0.0;
+    for (const auto& [key, count] : table) max_count = std::max(max_count, count);
+    if (max_count <= 0.0) return;
+    for (auto& [key, count] : table) count /= max_count;
+  };
+  normalize(mnemonic_table_);
+  normalize(operand_table_);
+  normalize(gas_table_);
+}
+
+double FrequencyEncoder::mnemonic_freq(std::string_view mnemonic) const {
+  const auto it = mnemonic_table_.find(std::string(mnemonic));
+  return it == mnemonic_table_.end() ? 0.0 : it->second;
+}
+
+double FrequencyEncoder::operand_freq(const std::string& operand_key) const {
+  const auto it = operand_table_.find(operand_key);
+  return it == operand_table_.end() ? 0.0 : it->second;
+}
+
+double FrequencyEncoder::gas_freq(std::uint32_t gas) const {
+  const auto it = gas_table_.find(gas);
+  return it == gas_table_.end() ? 0.0 : it->second;
+}
+
+ml::nn::Tensor FrequencyEncoder::transform(const Bytecode& code,
+                                           std::size_t side) const {
+  ml::nn::Tensor image({3, side, side});
+  const evm::Disassembly listing = disassembler_.disassemble(code);
+  const std::size_t pixels = side * side;
+  for (std::size_t p = 0; p < pixels && p < listing.instructions.size(); ++p) {
+    const evm::Instruction& ins = listing.instructions[p];
+    image.at3(0, p / side, p % side) =
+        static_cast<float>(mnemonic_freq(ins.mnemonic));
+    image.at3(1, p / side, p % side) =
+        static_cast<float>(operand_freq(operand_key_of(ins)));
+    image.at3(2, p / side, p % side) = static_cast<float>(gas_freq(ins.gas));
+  }
+  return image;
+}
+
+// --- NgramTokenizer ------------------------------------------------------------------
+
+std::uint32_t NgramTokenizer::gram_at(const Bytecode& code,
+                                      std::size_t offset) {
+  std::uint32_t gram = 0;
+  for (std::size_t b = 0; b < 3; ++b) {
+    gram = (gram << 8) |
+           (offset + b < code.size() ? code.bytes()[offset + b] : 0u);
+  }
+  return gram;
+}
+
+void NgramTokenizer::fit(const std::vector<const Bytecode*>& corpus) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const Bytecode* code : corpus) {
+    for (std::size_t offset = 0; offset < code->size(); offset += 3) {
+      ++counts[gram_at(*code, offset)];
+    }
+  }
+  // Keep the vocab_size - 1 most frequent grams (0 is reserved for UNK).
+  std::vector<std::pair<std::size_t, std::uint32_t>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [gram, count] : counts) ranked.emplace_back(count, gram);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  gram_ids_.clear();
+  const std::size_t keep = std::min(ranked.size(), vocab_size_ - 1);
+  for (std::size_t i = 0; i < keep; ++i) {
+    gram_ids_.emplace(ranked[i].second, i + 1);
+  }
+}
+
+TokenSequence NgramTokenizer::transform(const Bytecode& code) const {
+  TokenSequence out;
+  out.reserve(code.size() / 3 + 1);
+  for (std::size_t offset = 0; offset < code.size(); offset += 3) {
+    const auto it = gram_ids_.find(gram_at(code, offset));
+    out.push_back(it == gram_ids_.end() ? 0 : it->second);
+  }
+  if (out.empty()) out.push_back(0);
+  return out;
+}
+
+TokenSequence byte_tokens(const Bytecode& code) {
+  TokenSequence out;
+  out.reserve(code.size());
+  for (std::uint8_t byte : code.bytes()) out.push_back(byte);
+  if (out.empty()) out.push_back(256);
+  return out;
+}
+
+}  // namespace phishinghook::core

@@ -1,0 +1,117 @@
+// Feature extraction: bytecode -> the four representations the paper's
+// model families consume.
+//
+//  * Opcode histograms (HSC): counts per mnemonic over a vocabulary built
+//    on the training set only [54].
+//  * R2D2 images (ViT+R2D2, ECA+EfficientNet): raw bytes read as RGB color
+//    components, arranged into a square tensor, zero-padded [44].
+//  * Frequency images (ViT+Freq): per-instruction pixels whose R/G/B encode
+//    the training-set frequency of the mnemonic, operand and gas value.
+//  * Token sequences: 3-byte n-grams over the hex string (SCSGuard) and raw
+//    byte tokens (GPT-2, T5, ESCORT).
+//
+// Everything learned (vocabularies, lookup tables) is fit on the training
+// split of each fold and only applied to the test split — the paper's "the
+// lookup table is constructed exactly once on the entire contract training
+// set" discipline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+#include "evm/disassembler.hpp"
+#include "ml/matrix.hpp"
+#include "ml/models/sequence_model.hpp"
+#include "ml/nn/tensor.hpp"
+
+namespace phishinghook::core {
+
+using evm::Bytecode;
+using ml::models::TokenSequence;
+
+// --- opcode histograms -------------------------------------------------------
+
+/// Mnemonic vocabulary learned from a training corpus.
+class HistogramVocabulary {
+ public:
+  /// Collects every mnemonic present in `corpus` (first-seen order).
+  void fit(const std::vector<const Bytecode*>& corpus);
+
+  /// Count vector (length = vocabulary size); unseen mnemonics are dropped,
+  /// as a scikit-learn CountVectorizer would.
+  std::vector<double> transform(const Bytecode& code) const;
+
+  /// Histogram matrix for a corpus.
+  ml::Matrix transform_all(const std::vector<const Bytecode*>& corpus) const;
+
+  const std::vector<std::string>& mnemonics() const { return mnemonics_; }
+  std::size_t size() const { return mnemonics_.size(); }
+
+ private:
+  std::vector<std::string> mnemonics_;
+  std::map<std::string, std::size_t> index_;
+};
+
+// --- R2D2 images --------------------------------------------------------------
+
+/// Bytes -> [3, side, side] tensor: consecutive bytes fill the R, G and B
+/// components of consecutive pixels; shorter codes are zero-padded, longer
+/// ones truncated (the paper pads to 224x224; side is CPU-scaled here).
+/// Values are normalized to [0, 1].
+ml::nn::Tensor r2d2_image(const Bytecode& code, std::size_t side);
+
+// --- frequency images ----------------------------------------------------------
+
+/// The ViT+Freq lookup table: normalized appearance frequencies of
+/// mnemonics, operand values and gas costs over the training set.
+class FrequencyEncoder {
+ public:
+  void fit(const std::vector<const Bytecode*>& corpus);
+
+  /// Per-instruction pixels: R = mnemonic frequency, G = operand frequency,
+  /// B = gas frequency; zero-padded / truncated to [3, side, side].
+  ml::nn::Tensor transform(const Bytecode& code, std::size_t side) const;
+
+ private:
+  double mnemonic_freq(std::string_view mnemonic) const;
+  double operand_freq(const std::string& operand_key) const;
+  double gas_freq(std::uint32_t gas) const;
+
+  evm::Disassembler disassembler_;
+  std::map<std::string, double> mnemonic_table_;
+  std::map<std::string, double> operand_table_;
+  std::map<std::uint32_t, double> gas_table_;
+};
+
+// --- token sequences ------------------------------------------------------------
+
+/// SCSGuard's n-gram tokenizer: the bytecode hex string is read as
+/// non-overlapping 6-hex-character (3-byte) grams; the `vocab_size - 1`
+/// most frequent grams in the training set get ids 1.., everything else
+/// maps to the UNK id 0.
+class NgramTokenizer {
+ public:
+  explicit NgramTokenizer(std::size_t vocab_size = 4096)
+      : vocab_size_(vocab_size) {}
+
+  void fit(const std::vector<const Bytecode*>& corpus);
+  TokenSequence transform(const Bytecode& code) const;
+  std::size_t vocab_size() const { return vocab_size_; }
+
+ private:
+  static std::uint32_t gram_at(const Bytecode& code, std::size_t offset);
+
+  std::size_t vocab_size_;
+  std::map<std::uint32_t, std::size_t> gram_ids_;
+};
+
+/// Raw byte tokens (GPT-2 / T5 / ESCORT): ids 0..255; empty codes yield a
+/// single pad token 256.
+TokenSequence byte_tokens(const Bytecode& code);
+
+/// Vocabulary size for byte tokens (256 + 1 pad).
+constexpr std::size_t kByteVocab = 257;
+
+}  // namespace phishinghook::core

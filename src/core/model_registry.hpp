@@ -1,0 +1,136 @@
+// Model registry: the 16 evaluated detectors behind one interface.
+//
+// A `PhishingClassifier` consumes raw deployed bytecodes; each adapter owns
+// its feature pipeline (histogram vocabulary, image encoder, tokenizer) and
+// fits it on the training split only, exactly as the MEM requires.
+//
+// Categories follow Table II's markers: Histogram (†), Vision (‡),
+// Language (*), Vulnerability (§).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/features.hpp"
+#include "ml/classifier.hpp"
+#include "ml/models/sequence_model.hpp"
+#include "ml/models/vision_model.hpp"
+
+namespace phishinghook::core {
+
+enum class ModelCategory { kHistogram, kVision, kLanguage, kVulnerability };
+
+std::string_view category_label(ModelCategory category);
+
+class PhishingClassifier {
+ public:
+  virtual ~PhishingClassifier() = default;
+
+  virtual void fit(const std::vector<const Bytecode*>& codes,
+                   const std::vector<int>& labels) = 0;
+  virtual std::vector<double> predict_proba(
+      const std::vector<const Bytecode*>& codes) = 0;
+  std::vector<int> predict(const std::vector<const Bytecode*>& codes) {
+    return ml::threshold_predictions(predict_proba(codes));
+  }
+
+  virtual std::string name() const = 0;
+  virtual ModelCategory category() const = 0;
+};
+
+/// Histogram (HSC) adapter: vocabulary + a tabular classifier.
+class HistogramAdapter final : public PhishingClassifier {
+ public:
+  HistogramAdapter(std::unique_ptr<ml::TabularClassifier> model,
+                   std::string name);
+
+  void fit(const std::vector<const Bytecode*>& codes,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<const Bytecode*>& codes) override;
+  std::string name() const override { return name_; }
+  ModelCategory category() const override { return ModelCategory::kHistogram; }
+
+  /// The fitted vocabulary and inner model (SHAP analysis needs both).
+  const HistogramVocabulary& vocabulary() const { return vocabulary_; }
+  const ml::TabularClassifier& model() const { return *model_; }
+
+ private:
+  std::unique_ptr<ml::TabularClassifier> model_;
+  std::string name_;
+  HistogramVocabulary vocabulary_;
+};
+
+/// Which image encoding a vision adapter uses.
+enum class ImageEncoding { kR2D2, kFrequency };
+
+class VisionAdapter final : public PhishingClassifier {
+ public:
+  VisionAdapter(std::unique_ptr<ml::models::ImageClassifierModel> model,
+                std::string name, ImageEncoding encoding, std::size_t side);
+
+  void fit(const std::vector<const Bytecode*>& codes,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<const Bytecode*>& codes) override;
+  std::string name() const override { return name_; }
+  ModelCategory category() const override { return ModelCategory::kVision; }
+
+ private:
+  std::vector<ml::nn::Tensor> encode(
+      const std::vector<const Bytecode*>& codes) const;
+
+  std::unique_ptr<ml::models::ImageClassifierModel> model_;
+  std::string name_;
+  ImageEncoding encoding_;
+  std::size_t side_;
+  FrequencyEncoder frequency_encoder_;  // used when encoding == kFrequency
+};
+
+/// Which tokenization a sequence adapter uses.
+enum class Tokenization { kNgram, kBytes };
+
+class SequenceAdapter final : public PhishingClassifier {
+ public:
+  SequenceAdapter(std::unique_ptr<ml::models::SequenceClassifierModel> model,
+                  std::string name, Tokenization tokenization,
+                  ModelCategory category, std::size_t ngram_vocab = 4096);
+
+  void fit(const std::vector<const Bytecode*>& codes,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<const Bytecode*>& codes) override;
+  std::string name() const override { return name_; }
+  ModelCategory category() const override { return category_; }
+
+ private:
+  std::vector<TokenSequence> tokenize(
+      const std::vector<const Bytecode*>& codes) const;
+
+  std::unique_ptr<ml::models::SequenceClassifierModel> model_;
+  std::string name_;
+  Tokenization tokenization_;
+  ModelCategory category_;
+  NgramTokenizer ngram_tokenizer_;
+};
+
+/// A registry entry: name, category, and a factory producing a fresh
+/// (unfitted) classifier, seeded per fold.
+struct ModelSpec {
+  std::string name;
+  ModelCategory category;
+  std::function<std::unique_ptr<PhishingClassifier>(std::uint64_t seed)> make;
+};
+
+/// All 16 Table II models, scaled by `params` (image side, sequence caps,
+/// epochs). Order matches Table II.
+std::vector<ModelSpec> all_models(const common::ScaleParams& params);
+
+/// Lookup by Table II name ("Random Forest", "GPT-2 (alpha)", ...).
+const ModelSpec& find_model(const std::vector<ModelSpec>& specs,
+                            std::string_view name);
+
+}  // namespace phishinghook::core

@@ -1,0 +1,93 @@
+#include "core/pam.hpp"
+
+#include "stats/holm.hpp"
+
+namespace phishinghook::core {
+
+PostHocReport post_hoc_analysis(const std::vector<ModelEvaluation>& models) {
+  PostHocReport report;
+
+  // 1. Shapiro-Wilk per (model, metric).
+  for (const ModelEvaluation& model : models) {
+    for (std::string_view metric : kMetricNames) {
+      NormalityEntry entry;
+      entry.model = model.model;
+      entry.metric = std::string(metric);
+      const std::vector<double> series = model.metric_series(metric);
+      bool constant = true;
+      for (double v : series) {
+        if (v != series.front()) {
+          constant = false;
+          break;
+        }
+      }
+      if (constant || series.size() < 3) {
+        entry.w = 1.0;
+        entry.p_value = 1.0;
+      } else {
+        const auto sw = stats::shapiro_wilk(series);
+        entry.w = sw.w;
+        entry.p_value = sw.p_value;
+      }
+      entry.normal = entry.p_value >= 0.05;
+      if (!entry.normal) ++report.non_normal_pairs;
+      report.normality.push_back(std::move(entry));
+    }
+  }
+
+  // 2. Kruskal-Wallis per metric, Holm-adjusted across metrics.
+  std::vector<double> raw_p;
+  for (std::string_view metric : kMetricNames) {
+    std::vector<std::vector<double>> groups;
+    for (const ModelEvaluation& model : models) {
+      groups.push_back(model.metric_series(metric));
+    }
+    const auto kw = stats::kruskal_wallis(groups);
+    MetricKruskalWallis row;
+    row.metric = std::string(metric);
+    row.h = kw.h;
+    row.p = kw.p_value;
+    report.kruskal_wallis.push_back(std::move(row));
+    raw_p.push_back(kw.p_value);
+  }
+  const std::vector<double> adjusted = stats::holm_bonferroni(raw_p);
+  for (std::size_t i = 0; i < report.kruskal_wallis.size(); ++i) {
+    report.kruskal_wallis[i].p_adjusted = adjusted[i];
+  }
+
+  // 3. Dunn's test per metric with category breakdown.
+  for (std::string_view metric : kMetricNames) {
+    std::vector<std::vector<double>> groups;
+    for (const ModelEvaluation& model : models) {
+      groups.push_back(model.metric_series(metric));
+    }
+    MetricDunn dunn;
+    dunn.metric = std::string(metric);
+    dunn.result = stats::dunn_test(groups);
+    dunn.significant_fraction = dunn.result.significant_fraction();
+
+    std::size_t within = 0, within_sig = 0, cross = 0, cross_sig = 0;
+    for (const stats::DunnPair& pair : dunn.result.pairs) {
+      const bool same_category =
+          models[pair.group_a].category == models[pair.group_b].category;
+      const bool significant = pair.p_adjusted < 0.05;
+      if (same_category) {
+        ++within;
+        if (significant) ++within_sig;
+      } else {
+        ++cross;
+        if (significant) ++cross_sig;
+      }
+    }
+    dunn.within_category_fraction =
+        within > 0 ? static_cast<double>(within_sig) / static_cast<double>(within)
+                   : 0.0;
+    dunn.cross_category_fraction =
+        cross > 0 ? static_cast<double>(cross_sig) / static_cast<double>(cross)
+                  : 0.0;
+    report.dunn.push_back(std::move(dunn));
+  }
+  return report;
+}
+
+}  // namespace phishinghook::core

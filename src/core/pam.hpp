@@ -1,0 +1,57 @@
+// Post hoc Analysis Module (PAM) — Fig. 1-8.
+//
+// Reproduces the paper's §IV-E decision flow over the MEM's trial results:
+//   1. Shapiro-Wilk normality per (model, metric) distribution;
+//   2. Kruskal-Wallis across models per metric (Table III), p Holm-adjusted
+//      across the four metrics;
+//   3. Dunn's test with Holm-Bonferroni for pairwise divergence (Fig. 4),
+//      with within/cross-category significant-pair fractions.
+#pragma once
+
+#include <array>
+
+#include "core/experiment.hpp"
+#include "stats/dunn.hpp"
+#include "stats/kruskal_wallis.hpp"
+#include "stats/shapiro_wilk.hpp"
+
+namespace phishinghook::core {
+
+inline constexpr std::array<std::string_view, 4> kMetricNames = {
+    "accuracy", "f1", "precision", "recall"};
+
+struct NormalityEntry {
+  std::string model;
+  std::string metric;
+  double w = 0.0;
+  double p_value = 1.0;
+  bool normal = true;  ///< p >= 0.05
+};
+
+struct MetricKruskalWallis {
+  std::string metric;
+  double h = 0.0;
+  double p = 1.0;
+  double p_adjusted = 1.0;
+};
+
+struct MetricDunn {
+  std::string metric;
+  stats::DunnResult result;
+  double significant_fraction = 0.0;
+  double within_category_fraction = 0.0;
+  double cross_category_fraction = 0.0;
+};
+
+struct PostHocReport {
+  std::vector<NormalityEntry> normality;
+  std::size_t non_normal_pairs = 0;  ///< the paper found 20 / 52
+  std::vector<MetricKruskalWallis> kruskal_wallis;  ///< Table III rows
+  std::vector<MetricDunn> dunn;                     ///< Fig. 4 matrices
+};
+
+/// Runs the full PAM over per-model trial results. Models with degenerate
+/// (constant) metric samples keep a normality entry with w = 1, p = 1.
+PostHocReport post_hoc_analysis(const std::vector<ModelEvaluation>& models);
+
+}  // namespace phishinghook::core

@@ -1,0 +1,58 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+
+namespace phishinghook::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw InvalidArgument("table row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += common::pad_right(row[c], widths[c]);
+      out += c + 1 < row.size() ? "  " : "";
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TextTable::write_csv(const std::filesystem::path& path) const {
+  common::CsvWriter writer(path);
+  writer.write_row(header_);
+  for (const auto& row : rows_) writer.write_row(row);
+}
+
+std::string percent(double fraction) {
+  return common::format_fixed(100.0 * fraction, 2);
+}
+
+}  // namespace phishinghook::core

@@ -1,0 +1,32 @@
+// Report rendering: aligned text tables matching the paper's rows, plus
+// CSV dumps written next to each bench binary.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace phishinghook::core {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header separator; columns padded to content width.
+  std::string render() const;
+
+  /// Writes the same content as CSV.
+  void write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "93.63" — the paper prints metrics as percentages with 2 decimals.
+std::string percent(double fraction);
+
+}  // namespace phishinghook::core

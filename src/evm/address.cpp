@@ -1,0 +1,74 @@
+#include "evm/address.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+#include "evm/keccak.hpp"
+
+namespace phishinghook::evm {
+
+Address Address::from_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSize) {
+    throw InvalidArgument("address requires exactly 20 bytes, got " +
+                          std::to_string(bytes.size()));
+  }
+  Address out;
+  std::copy(bytes.begin(), bytes.end(), out.bytes_.begin());
+  return out;
+}
+
+Address Address::from_hex(std::string_view hex) {
+  const auto bytes = phishinghook::common::hex_decode(hex);
+  return from_bytes(bytes);
+}
+
+Address Address::from_word(const U256& word) {
+  const auto bytes = word.to_bytes_be();
+  Address out;
+  std::copy(bytes.begin() + 12, bytes.end(), out.bytes_.begin());
+  return out;
+}
+
+U256 Address::to_word() const {
+  return U256::from_bytes_be(bytes_);
+}
+
+std::string Address::to_hex() const {
+  return phishinghook::common::hex_encode_prefixed(bytes_);
+}
+
+bool Address::is_zero() const {
+  return std::all_of(bytes_.begin(), bytes_.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+Address derive_contract_address(const Address& sender, std::uint64_t nonce) {
+  std::vector<std::uint8_t> preimage;
+  preimage.reserve(Address::kSize + 8);
+  preimage.insert(preimage.end(), sender.bytes().begin(), sender.bytes().end());
+  for (int i = 7; i >= 0; --i) {
+    preimage.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
+  }
+  const Hash256 digest = keccak256(preimage);
+  return Address::from_bytes(
+      std::span<const std::uint8_t>(digest.data() + 12, Address::kSize));
+}
+
+Address derive_create2_address(const Address& sender, const U256& salt,
+                               std::span<const std::uint8_t> init_code) {
+  const Hash256 code_hash = keccak256(init_code);
+  std::vector<std::uint8_t> preimage;
+  preimage.reserve(1 + Address::kSize + 32 + 32);
+  preimage.push_back(0xFF);
+  preimage.insert(preimage.end(), sender.bytes().begin(), sender.bytes().end());
+  const auto salt_bytes = salt.to_bytes_be();
+  preimage.insert(preimage.end(), salt_bytes.begin(), salt_bytes.end());
+  preimage.insert(preimage.end(), code_hash.begin(), code_hash.end());
+  const Hash256 digest = keccak256(preimage);
+  return Address::from_bytes(
+      std::span<const std::uint8_t>(digest.data() + 12, Address::kSize));
+}
+
+}  // namespace phishinghook::evm

@@ -1,0 +1,61 @@
+// 20-byte Ethereum account address.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "evm/uint256.hpp"
+
+namespace phishinghook::evm {
+
+class Address {
+ public:
+  static constexpr std::size_t kSize = 20;
+
+  /// The zero address.
+  constexpr Address() = default;
+
+  /// From exactly 20 raw bytes.
+  static Address from_bytes(std::span<const std::uint8_t> bytes);
+
+  /// From "0x"-prefixed or bare 40-digit hex.
+  static Address from_hex(std::string_view hex);
+
+  /// From the low 160 bits of a 256-bit word (how the EVM reads addresses
+  /// off the stack for CALL/BALANCE/...).
+  static Address from_word(const U256& word);
+
+  /// As a 256-bit word (zero-extended), for pushing onto the EVM stack.
+  U256 to_word() const;
+
+  /// Lowercase "0x"-prefixed hex.
+  std::string to_hex() const;
+
+  constexpr const std::array<std::uint8_t, kSize>& bytes() const {
+    return bytes_;
+  }
+
+  bool is_zero() const;
+
+  friend constexpr bool operator==(const Address&, const Address&) = default;
+  friend constexpr auto operator<=>(const Address&, const Address&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+/// CREATE-style address derivation. The canonical scheme hashes
+/// rlp(sender, nonce); we hash the equivalent fixed-width encoding — the
+/// derived addresses are equally unique and deterministic, which is all the
+/// simulated chain requires.
+Address derive_contract_address(const Address& sender, std::uint64_t nonce);
+
+/// CREATE2 address: keccak(0xff ++ sender ++ salt ++ keccak(init_code))[12:].
+Address derive_create2_address(const Address& sender, const U256& salt,
+                               std::span<const std::uint8_t> init_code);
+
+}  // namespace phishinghook::evm

@@ -1,0 +1,38 @@
+#include "evm/bytecode.hpp"
+
+#include "common/hex.hpp"
+#include "evm/opcodes.hpp"
+
+namespace phishinghook::evm {
+
+Bytecode::Bytecode(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+Bytecode Bytecode::from_hex(std::string_view hex) {
+  return Bytecode(phishinghook::common::hex_decode(hex));
+}
+
+std::string Bytecode::to_hex() const {
+  return phishinghook::common::hex_encode_prefixed(bytes_);
+}
+
+Hash256 Bytecode::code_hash() const { return keccak256(bytes_); }
+
+const std::vector<bool>& Bytecode::instruction_starts() const {
+  if (starts_.size() != bytes_.size() || bytes_.empty()) {
+    starts_.assign(bytes_.size(), false);
+    std::size_t pc = 0;
+    while (pc < bytes_.size()) {
+      starts_[pc] = true;
+      pc += 1 + push_data_size(bytes_[pc]);
+    }
+  }
+  return starts_;
+}
+
+bool Bytecode::is_valid_jump_dest(std::size_t pc) const {
+  if (pc >= bytes_.size()) return false;
+  if (bytes_[pc] != op_byte(Op::kJumpdest)) return false;
+  return instruction_starts()[pc];
+}
+
+}  // namespace phishinghook::evm

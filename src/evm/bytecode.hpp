@@ -1,0 +1,55 @@
+// Deployed-contract bytecode container.
+//
+// Wraps the raw byte vector with the operations the rest of the pipeline
+// needs: hex round-trips, Keccak identity (for bit-exact deduplication of
+// minimal-proxy clones), and JUMPDEST analysis (valid jump targets exclude
+// 0x5B bytes that are PUSH immediates — the classic subtlety of EVM code).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "evm/keccak.hpp"
+
+namespace phishinghook::evm {
+
+class Bytecode {
+ public:
+  Bytecode() = default;
+  explicit Bytecode(std::vector<std::uint8_t> bytes);
+
+  /// Parses "0x6080..." (or bare hex). Throws ParseError on malformed input.
+  static Bytecode from_hex(std::string_view hex);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  std::uint8_t at(std::size_t i) const { return bytes_.at(i); }
+
+  /// "0x"-prefixed lowercase hex.
+  std::string to_hex() const;
+
+  /// Keccak-256 of the code — the contract's code hash / dedup key.
+  Hash256 code_hash() const;
+
+  /// Bitmap of positions that begin an instruction (i.e. are not inside a
+  /// PUSH immediate). Computed lazily on first use.
+  const std::vector<bool>& instruction_starts() const;
+
+  /// True if `pc` is a valid JUMP/JUMPI destination: a JUMPDEST byte that
+  /// starts an instruction.
+  bool is_valid_jump_dest(std::size_t pc) const;
+
+  friend bool operator==(const Bytecode& a, const Bytecode& b) {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  mutable std::vector<bool> starts_;  // lazy; empty until computed
+};
+
+}  // namespace phishinghook::evm

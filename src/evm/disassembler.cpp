@@ -1,0 +1,120 @@
+#include "evm/disassembler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "common/csv.hpp"
+#include "common/hex.hpp"
+
+namespace phishinghook::evm {
+
+namespace {
+
+// Stable storage for UNKNOWN_0xXX mnemonics (256 possible).
+std::string_view unknown_mnemonic(std::uint8_t byte) {
+  static std::deque<std::string>* storage = new std::deque<std::string>();
+  static std::array<const std::string*, 256> cache{};
+  if (cache[byte] == nullptr) {
+    static const char kDigits[] = "0123456789abcdef";
+    std::string name = "UNKNOWN_0x";
+    name.push_back(kDigits[byte >> 4]);
+    name.push_back(kDigits[byte & 0x0F]);
+    storage->push_back(std::move(name));
+    cache[byte] = &storage->back();
+  }
+  return *cache[byte];
+}
+
+}  // namespace
+
+std::string Instruction::to_string() const {
+  std::string out(mnemonic);
+  if (operand.has_value()) {
+    out += ' ';
+    out += operand->to_hex();
+  }
+  return out;
+}
+
+std::uint64_t Disassembly::total_static_gas() const {
+  std::uint64_t total = 0;
+  for (const Instruction& ins : instructions) {
+    if (ins.defined && !ins.gas_is_nan) total += ins.gas;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, std::size_t>> Disassembly::mnemonic_counts()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> counts;
+  for (const Instruction& ins : instructions) {
+    auto it = std::find_if(counts.begin(), counts.end(), [&](const auto& kv) {
+      return kv.first == ins.mnemonic;
+    });
+    if (it == counts.end()) {
+      counts.emplace_back(std::string(ins.mnemonic), 1);
+    } else {
+      ++it->second;
+    }
+  }
+  return counts;
+}
+
+std::string Disassembly::to_csv() const {
+  phishinghook::common::CsvWriter writer;
+  writer.write_row({"pc", "opcode", "mnemonic", "operand", "gas"});
+  for (const Instruction& ins : instructions) {
+    writer.write_row({std::to_string(ins.pc),
+                      "0x" + phishinghook::common::hex_encode(
+                                 std::span<const std::uint8_t>(&ins.opcode, 1)),
+                      std::string(ins.mnemonic),
+                      ins.operand.has_value() ? ins.operand->to_hex() : "",
+                      ins.gas_is_nan ? "NaN" : std::to_string(ins.gas)});
+  }
+  return writer.str();
+}
+
+Disassembler::Disassembler() : table_(&OpcodeTable::shanghai()) {}
+Disassembler::Disassembler(const OpcodeTable& table) : table_(&table) {}
+
+Disassembly Disassembler::disassemble(const Bytecode& code) const {
+  Disassembly out;
+  const auto& bytes = code.bytes();
+  std::size_t pc = 0;
+  while (pc < bytes.size()) {
+    const std::uint8_t byte = bytes[pc];
+    Instruction ins;
+    ins.pc = pc;
+    ins.opcode = byte;
+    const OpcodeInfo* info = table_->find(byte);
+    if (info != nullptr) {
+      ins.mnemonic = info->mnemonic;
+      ins.gas = info->base_gas;
+      ins.gas_is_nan = info->gas_is_nan;
+      ins.defined = true;
+      const std::size_t width = info->immediate_bytes;
+      if (width > 0) {
+        const std::size_t available = std::min(width, bytes.size() - pc - 1);
+        U256 value = U256::from_bytes_be(
+            std::span<const std::uint8_t>(bytes.data() + pc + 1, available));
+        // Missing trailing bytes read as zero (EVM code padding semantics).
+        if (available < width) {
+          value = value << static_cast<unsigned>(8 * (width - available));
+        }
+        ins.operand = value;
+        ins.operand_bytes = width;
+        pc += width;
+      }
+    } else {
+      ins.mnemonic = unknown_mnemonic(byte);
+      ins.defined = false;
+      ins.gas_is_nan = true;
+    }
+    out.instructions.push_back(ins);
+    ++pc;
+  }
+  return out;
+}
+
+}  // namespace phishinghook::evm

@@ -1,0 +1,48 @@
+// The EVM interpreter: a 256-bit stack machine executing Shanghai opcodes.
+//
+// Implements the full Shanghai instruction set over the Host interface, with
+// gas accounting that covers the dominant dynamic components (memory
+// expansion, word-granular copy costs, EXP byte cost, LOG data, SSTORE
+// set/reset, call value surcharges and the 63/64 forwarding rule).
+//
+// Documented simplifications vs mainnet (this is a research simulator; the
+// PhishingHook pipeline only needs structurally-correct execution):
+//  * no EIP-2929 cold/warm access lists — account/storage accesses always
+//    charge the table's flat cost;
+//  * no SSTORE/SELFDESTRUCT gas refunds;
+//  * BLOCKHASH answers for any block number the host knows about.
+#pragma once
+
+#include "evm/bytecode.hpp"
+#include "evm/host.hpp"
+#include "evm/trace.hpp"
+
+namespace phishinghook::evm {
+
+class Interpreter {
+ public:
+  static constexpr int kMaxCallDepth = 1024;
+
+  explicit Interpreter(BlockContext block) : block_(block) {}
+
+  /// Runs `code` in the context of `message`. `depth` is this frame's call
+  /// depth (0 for a top-level transaction).
+  ExecutionResult execute(const Message& message, const Bytecode& code,
+                          Host& host, int depth = 0) const;
+
+  /// Attaches a per-instruction observer (nullptr detaches). The sink must
+  /// outlive every execute() call. chain::State propagates its sink into
+  /// nested call frames.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  const BlockContext& block() const { return block_; }
+
+ private:
+  ExecutionResult execute_impl(const Message& message, const Bytecode& code,
+                               Host& host, int depth) const;
+
+  BlockContext block_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace phishinghook::evm

@@ -1,0 +1,115 @@
+#include "evm/keccak.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+
+namespace phishinghook::evm {
+
+namespace {
+
+constexpr int kRounds = 24;
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kRotations[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                                25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+std::uint64_t rotl64(std::uint64_t x, int s) {
+  return s == 0 ? x : (x << s) | (x >> (64 - s));
+}
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d;
+    }
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl64(a[x + 5 * y], kRotations[x + 5 * y]);
+      }
+    }
+    // Chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ ((~b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Keccak256::Keccak256() = default;
+
+void Keccak256::absorb_block() {
+  for (std::size_t i = 0; i < buffer_.size() / 8; ++i) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, buffer_.data() + i * 8, 8);  // little-endian hosts
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffer_len_ = 0;
+}
+
+void Keccak256::update(std::span<const std::uint8_t> data) {
+  if (finalized_) throw StateError("Keccak256::update after finalize");
+  for (std::uint8_t byte : data) {
+    buffer_[buffer_len_++] = byte;
+    if (buffer_len_ == buffer_.size()) absorb_block();
+  }
+}
+
+Hash256 Keccak256::finalize() {
+  if (finalized_) throw StateError("Keccak256::finalize called twice");
+  finalized_ = true;
+  // Keccak (pre-SHA3) padding: 0x01 ... 0x80.
+  std::memset(buffer_.data() + buffer_len_, 0, buffer_.size() - buffer_len_);
+  buffer_[buffer_len_] ^= 0x01;
+  buffer_[buffer_.size() - 1] ^= 0x80;
+  absorb_block();
+
+  Hash256 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::memcpy(out.data() + i * 8, &state_[i], 8);
+  }
+  return out;
+}
+
+Hash256 keccak256(std::span<const std::uint8_t> data) {
+  Keccak256 hasher;
+  hasher.update(data);
+  return hasher.finalize();
+}
+
+Hash256 keccak256(const std::string& data) {
+  return keccak256(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::string hash_to_hex(const Hash256& hash) {
+  return phishinghook::common::hex_encode(hash);
+}
+
+}  // namespace phishinghook::evm

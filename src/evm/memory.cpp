@@ -1,0 +1,62 @@
+#include "evm/memory.hpp"
+
+#include <algorithm>
+
+namespace phishinghook::evm {
+
+namespace {
+std::uint64_t words_for(std::uint64_t bytes) { return (bytes + 31) / 32; }
+}  // namespace
+
+std::uint64_t EvmMemory::grow_cost(std::uint64_t offset, std::uint64_t len) const {
+  if (len == 0) return 0;
+  const std::uint64_t needed = words_for(offset + len);
+  const std::uint64_t current = words_for(bytes_.size());
+  if (needed <= current) return 0;
+  return expansion_cost(needed) - expansion_cost(current);
+}
+
+void EvmMemory::grow(std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t needed = words_for(offset + len) * 32;
+  if (needed > bytes_.size()) bytes_.resize(needed, 0);
+}
+
+U256 EvmMemory::load_word(std::uint64_t offset) {
+  grow(offset, 32);
+  return U256::from_bytes_be(
+      std::span<const std::uint8_t>(bytes_.data() + offset, 32));
+}
+
+void EvmMemory::store_word(std::uint64_t offset, const U256& value) {
+  grow(offset, 32);
+  const auto be = value.to_bytes_be();
+  std::copy(be.begin(), be.end(), bytes_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void EvmMemory::store_byte(std::uint64_t offset, std::uint8_t value) {
+  grow(offset, 1);
+  bytes_[offset] = value;
+}
+
+void EvmMemory::store_span(std::uint64_t offset,
+                           std::span<const std::uint8_t> data,
+                           std::uint64_t len) {
+  if (len == 0) return;
+  grow(offset, len);
+  const std::uint64_t copy_len = std::min<std::uint64_t>(len, data.size());
+  std::copy(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(copy_len),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(offset));
+  std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(offset + copy_len),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(offset + len), 0);
+}
+
+std::vector<std::uint8_t> EvmMemory::read(std::uint64_t offset,
+                                          std::uint64_t len) {
+  grow(offset, len);
+  return std::vector<std::uint8_t>(
+      bytes_.begin() + static_cast<std::ptrdiff_t>(offset),
+      bytes_.begin() + static_cast<std::ptrdiff_t>(offset + len));
+}
+
+}  // namespace phishinghook::evm

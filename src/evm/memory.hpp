@@ -1,0 +1,56 @@
+// EVM linear memory: a zero-initialized, word-expanded byte array.
+//
+// Memory grows in 32-byte words; the quadratic expansion cost
+// (3·w + w²/512, yellow paper Appendix G) is computed here so the
+// interpreter can charge the *delta* on each touching access.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "evm/uint256.hpp"
+
+namespace phishinghook::evm {
+
+class EvmMemory {
+ public:
+  /// Current size in bytes (always a multiple of 32).
+  std::size_t size() const { return bytes_.size(); }
+
+  /// Gas cost of memory of `words` 32-byte words.
+  static std::uint64_t expansion_cost(std::uint64_t words) {
+    return 3 * words + (words * words) / 512;
+  }
+
+  /// Additional gas required to grow so [offset, offset+len) is addressable;
+  /// 0 if already covered. Does not grow.
+  std::uint64_t grow_cost(std::uint64_t offset, std::uint64_t len) const;
+
+  /// Ensures [offset, offset+len) is addressable (zero-filled growth).
+  void grow(std::uint64_t offset, std::uint64_t len);
+
+  /// 32-byte big-endian load (MLOAD). Grows as needed.
+  U256 load_word(std::uint64_t offset);
+
+  /// 32-byte big-endian store (MSTORE). Grows as needed.
+  void store_word(std::uint64_t offset, const U256& value);
+
+  /// Single-byte store (MSTORE8). Grows as needed.
+  void store_byte(std::uint64_t offset, std::uint8_t value);
+
+  /// Copies `data` to `offset`, zero-filling `len - data.size()` trailing
+  /// bytes (the semantics of CALLDATACOPY/CODECOPY with short sources).
+  void store_span(std::uint64_t offset, std::span<const std::uint8_t> data,
+                  std::uint64_t len);
+
+  /// Reads `len` bytes at `offset` (grows, so reads past old size yield 0).
+  std::vector<std::uint8_t> read(std::uint64_t offset, std::uint64_t len);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace phishinghook::evm

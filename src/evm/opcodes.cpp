@@ -1,0 +1,205 @@
+#include "evm/opcodes.hpp"
+
+#include <deque>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::evm {
+
+std::string_view category_name(OpcodeCategory category) {
+  switch (category) {
+    case OpcodeCategory::kArithmetic: return "arithmetic";
+    case OpcodeCategory::kComparisonBitwise: return "comparison/bitwise";
+    case OpcodeCategory::kSha3: return "sha3";
+    case OpcodeCategory::kEnvironment: return "environment";
+    case OpcodeCategory::kBlock: return "block";
+    case OpcodeCategory::kStackMemoryFlow: return "stack/memory/flow";
+    case OpcodeCategory::kPush: return "push";
+    case OpcodeCategory::kDup: return "dup";
+    case OpcodeCategory::kSwap: return "swap";
+    case OpcodeCategory::kLog: return "log";
+    case OpcodeCategory::kSystem: return "system";
+  }
+  return "?";
+}
+
+namespace {
+
+// PUSH1..PUSH32 / DUP1..DUP16 / SWAP1..SWAP16 / LOG0..LOG4 mnemonics must
+// outlive the table; build them once as stable strings.
+const std::string& numbered_mnemonic(const char* stem, int n) {
+  // std::deque never relocates existing elements, so the string_views held
+  // by OpcodeInfo stay valid for the life of the process.
+  static std::deque<std::string>* storage = new std::deque<std::string>();
+  storage->push_back(std::string(stem) + std::to_string(n));
+  return storage->back();
+}
+
+}  // namespace
+
+OpcodeTable::OpcodeTable() {
+  auto add = [this](std::uint8_t value, std::string_view mnemonic,
+                    std::uint32_t gas, std::uint8_t in, std::uint8_t out,
+                    OpcodeCategory cat, std::uint8_t immediate = 0,
+                    bool gas_nan = false) {
+    OpcodeInfo info{.value = value,
+                    .mnemonic = mnemonic,
+                    .base_gas = gas,
+                    .gas_is_nan = gas_nan,
+                    .stack_inputs = in,
+                    .stack_outputs = out,
+                    .immediate_bytes = immediate,
+                    .category = cat};
+    by_value_[value] = info;
+  };
+
+  using C = OpcodeCategory;
+
+  // 0x00..0x0B: arithmetic / halting.
+  add(0x00, "STOP", 0, 0, 0, C::kSystem);
+  add(0x01, "ADD", 3, 2, 1, C::kArithmetic);
+  add(0x02, "MUL", 5, 2, 1, C::kArithmetic);
+  add(0x03, "SUB", 3, 2, 1, C::kArithmetic);
+  add(0x04, "DIV", 5, 2, 1, C::kArithmetic);
+  add(0x05, "SDIV", 5, 2, 1, C::kArithmetic);
+  add(0x06, "MOD", 5, 2, 1, C::kArithmetic);
+  add(0x07, "SMOD", 5, 2, 1, C::kArithmetic);
+  add(0x08, "ADDMOD", 8, 3, 1, C::kArithmetic);
+  add(0x09, "MULMOD", 8, 3, 1, C::kArithmetic);
+  add(0x0A, "EXP", 10, 2, 1, C::kArithmetic);
+  add(0x0B, "SIGNEXTEND", 5, 2, 1, C::kArithmetic);
+
+  // 0x10..0x1D: comparison & bitwise.
+  add(0x10, "LT", 3, 2, 1, C::kComparisonBitwise);
+  add(0x11, "GT", 3, 2, 1, C::kComparisonBitwise);
+  add(0x12, "SLT", 3, 2, 1, C::kComparisonBitwise);
+  add(0x13, "SGT", 3, 2, 1, C::kComparisonBitwise);
+  add(0x14, "EQ", 3, 2, 1, C::kComparisonBitwise);
+  add(0x15, "ISZERO", 3, 1, 1, C::kComparisonBitwise);
+  add(0x16, "AND", 3, 2, 1, C::kComparisonBitwise);
+  add(0x17, "OR", 3, 2, 1, C::kComparisonBitwise);
+  add(0x18, "XOR", 3, 2, 1, C::kComparisonBitwise);
+  add(0x19, "NOT", 3, 1, 1, C::kComparisonBitwise);
+  add(0x1A, "BYTE", 3, 2, 1, C::kComparisonBitwise);
+  add(0x1B, "SHL", 3, 2, 1, C::kComparisonBitwise);
+  add(0x1C, "SHR", 3, 2, 1, C::kComparisonBitwise);
+  add(0x1D, "SAR", 3, 2, 1, C::kComparisonBitwise);
+
+  // 0x20: hashing.
+  add(0x20, "SHA3", 30, 2, 1, C::kSha3);
+
+  // 0x30..0x3F: execution environment.
+  add(0x30, "ADDRESS", 2, 0, 1, C::kEnvironment);
+  add(0x31, "BALANCE", 100, 1, 1, C::kEnvironment);
+  add(0x32, "ORIGIN", 2, 0, 1, C::kEnvironment);
+  add(0x33, "CALLER", 2, 0, 1, C::kEnvironment);
+  add(0x34, "CALLVALUE", 2, 0, 1, C::kEnvironment);
+  add(0x35, "CALLDATALOAD", 3, 1, 1, C::kEnvironment);
+  add(0x36, "CALLDATASIZE", 2, 0, 1, C::kEnvironment);
+  add(0x37, "CALLDATACOPY", 3, 3, 0, C::kEnvironment);
+  add(0x38, "CODESIZE", 2, 0, 1, C::kEnvironment);
+  add(0x39, "CODECOPY", 3, 3, 0, C::kEnvironment);
+  add(0x3A, "GASPRICE", 2, 0, 1, C::kEnvironment);
+  add(0x3B, "EXTCODESIZE", 100, 1, 1, C::kEnvironment);
+  add(0x3C, "EXTCODECOPY", 100, 4, 0, C::kEnvironment);
+  add(0x3D, "RETURNDATASIZE", 2, 0, 1, C::kEnvironment);
+  add(0x3E, "RETURNDATACOPY", 3, 3, 0, C::kEnvironment);
+  add(0x3F, "EXTCODEHASH", 100, 1, 1, C::kEnvironment);
+
+  // 0x40..0x48: block information.
+  add(0x40, "BLOCKHASH", 20, 1, 1, C::kBlock);
+  add(0x41, "COINBASE", 2, 0, 1, C::kBlock);
+  add(0x42, "TIMESTAMP", 2, 0, 1, C::kBlock);
+  add(0x43, "NUMBER", 2, 0, 1, C::kBlock);
+  add(0x44, "PREVRANDAO", 2, 0, 1, C::kBlock);
+  add(0x45, "GASLIMIT", 2, 0, 1, C::kBlock);
+  add(0x46, "CHAINID", 2, 0, 1, C::kBlock);
+  add(0x47, "SELFBALANCE", 5, 0, 1, C::kBlock);
+  add(0x48, "BASEFEE", 2, 0, 1, C::kBlock);
+
+  // 0x50..0x5B: stack / memory / storage / control flow.
+  add(0x50, "POP", 2, 1, 0, C::kStackMemoryFlow);
+  add(0x51, "MLOAD", 3, 1, 1, C::kStackMemoryFlow);
+  add(0x52, "MSTORE", 3, 2, 0, C::kStackMemoryFlow);
+  add(0x53, "MSTORE8", 3, 2, 0, C::kStackMemoryFlow);
+  add(0x54, "SLOAD", 100, 1, 1, C::kStackMemoryFlow);
+  add(0x55, "SSTORE", 100, 2, 0, C::kStackMemoryFlow);
+  add(0x56, "JUMP", 8, 1, 0, C::kStackMemoryFlow);
+  add(0x57, "JUMPI", 10, 2, 0, C::kStackMemoryFlow);
+  add(0x58, "PC", 2, 0, 1, C::kStackMemoryFlow);
+  add(0x59, "MSIZE", 2, 0, 1, C::kStackMemoryFlow);
+  add(0x5A, "GAS", 2, 0, 1, C::kStackMemoryFlow);
+  add(0x5B, "JUMPDEST", 1, 0, 0, C::kStackMemoryFlow);
+
+  // 0x5F..0x7F: pushes. PUSH0 is the Shanghai addition the paper patched
+  // into evmdasm.
+  add(0x5F, "PUSH0", 2, 0, 1, C::kPush);
+  for (int n = 1; n <= 32; ++n) {
+    add(static_cast<std::uint8_t>(0x5F + n), numbered_mnemonic("PUSH", n), 3, 0,
+        1, C::kPush, static_cast<std::uint8_t>(n));
+  }
+
+  // 0x80..0x8F: dups; 0x90..0x9F: swaps.
+  for (int n = 1; n <= 16; ++n) {
+    add(static_cast<std::uint8_t>(0x7F + n), numbered_mnemonic("DUP", n), 3,
+        static_cast<std::uint8_t>(n), static_cast<std::uint8_t>(n + 1),
+        C::kDup);
+    add(static_cast<std::uint8_t>(0x8F + n), numbered_mnemonic("SWAP", n), 3,
+        static_cast<std::uint8_t>(n + 1), static_cast<std::uint8_t>(n + 1),
+        C::kSwap);
+  }
+
+  // 0xA0..0xA4: logs.
+  for (int n = 0; n <= 4; ++n) {
+    add(static_cast<std::uint8_t>(0xA0 + n), numbered_mnemonic("LOG", n), 375,
+        static_cast<std::uint8_t>(n + 2), 0, C::kLog);
+  }
+
+  // 0xF0..0xFF: system operations.
+  add(0xF0, "CREATE", 32000, 3, 1, C::kSystem);
+  add(0xF1, "CALL", 100, 7, 1, C::kSystem);
+  add(0xF2, "CALLCODE", 100, 7, 1, C::kSystem);
+  add(0xF3, "RETURN", 0, 2, 0, C::kSystem);
+  add(0xF4, "DELEGATECALL", 100, 6, 1, C::kSystem);
+  add(0xF5, "CREATE2", 32000, 4, 1, C::kSystem);
+  add(0xFA, "STATICCALL", 100, 6, 1, C::kSystem);
+  add(0xFD, "REVERT", 0, 2, 0, C::kSystem);
+  add(0xFE, "INVALID", 0, 0, 0, C::kSystem, 0, /*gas_nan=*/true);
+  add(0xFF, "SELFDESTRUCT", 5000, 1, 0, C::kSystem);
+
+  for (const auto& slot : by_value_) {
+    if (slot.has_value()) defined_.push_back(*slot);
+  }
+}
+
+const OpcodeTable& OpcodeTable::shanghai() {
+  static const OpcodeTable* table = new OpcodeTable();
+  return *table;
+}
+
+const OpcodeInfo* OpcodeTable::find(std::uint8_t byte) const {
+  const auto& slot = by_value_[byte];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+const OpcodeInfo& OpcodeTable::at(std::uint8_t byte) const {
+  const OpcodeInfo* info = find(byte);
+  if (info == nullptr) {
+    throw NotFound("opcode 0x" + std::to_string(byte) + " is not defined");
+  }
+  return *info;
+}
+
+const OpcodeInfo& OpcodeTable::by_mnemonic(std::string_view mnemonic) const {
+  for (const OpcodeInfo& info : defined_) {
+    if (info.mnemonic == mnemonic) return info;
+  }
+  throw NotFound("opcode mnemonic '" + std::string(mnemonic) + "'");
+}
+
+std::uint8_t push_opcode_for_size(std::size_t n) {
+  if (n > 32) throw InvalidArgument("PUSH immediate width must be <= 32");
+  return static_cast<std::uint8_t>(0x5F + n);
+}
+
+}  // namespace phishinghook::evm

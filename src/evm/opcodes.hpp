@@ -1,0 +1,198 @@
+// EVM opcode registry — Shanghai fork (144 opcodes).
+//
+// This is the native equivalent of the table on evm.codes (paper Table I)
+// and of the authors' patched `evmdasm` registry: every opcode carries its
+// mnemonic, static gas cost, stack effect and immediate (PUSH) width. The
+// registry includes the two opcodes the paper had to add to evmdasm —
+// PUSH0 (Shanghai) and INVALID (whose gas is NaN, modeled as `gas_is_nan`).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phishinghook::evm {
+
+/// Named constants for opcodes referenced from code. The registry covers
+/// every Shanghai opcode; this enum only names the ones the library
+/// manipulates directly.
+enum class Op : std::uint8_t {
+  kStop = 0x00,
+  kAdd = 0x01,
+  kMul = 0x02,
+  kSub = 0x03,
+  kDiv = 0x04,
+  kSdiv = 0x05,
+  kMod = 0x06,
+  kSmod = 0x07,
+  kAddmod = 0x08,
+  kMulmod = 0x09,
+  kExp = 0x0A,
+  kSignextend = 0x0B,
+  kLt = 0x10,
+  kGt = 0x11,
+  kSlt = 0x12,
+  kSgt = 0x13,
+  kEq = 0x14,
+  kIszero = 0x15,
+  kAnd = 0x16,
+  kOr = 0x17,
+  kXor = 0x18,
+  kNot = 0x19,
+  kByte = 0x1A,
+  kShl = 0x1B,
+  kShr = 0x1C,
+  kSar = 0x1D,
+  kSha3 = 0x20,
+  kAddress = 0x30,
+  kBalance = 0x31,
+  kOrigin = 0x32,
+  kCaller = 0x33,
+  kCallvalue = 0x34,
+  kCalldataload = 0x35,
+  kCalldatasize = 0x36,
+  kCalldatacopy = 0x37,
+  kCodesize = 0x38,
+  kCodecopy = 0x39,
+  kGasprice = 0x3A,
+  kExtcodesize = 0x3B,
+  kExtcodecopy = 0x3C,
+  kReturndatasize = 0x3D,
+  kReturndatacopy = 0x3E,
+  kExtcodehash = 0x3F,
+  kBlockhash = 0x40,
+  kCoinbase = 0x41,
+  kTimestamp = 0x42,
+  kNumber = 0x43,
+  kPrevrandao = 0x44,
+  kGaslimit = 0x45,
+  kChainid = 0x46,
+  kSelfbalance = 0x47,
+  kBasefee = 0x48,
+  kPop = 0x50,
+  kMload = 0x51,
+  kMstore = 0x52,
+  kMstore8 = 0x53,
+  kSload = 0x54,
+  kSstore = 0x55,
+  kJump = 0x56,
+  kJumpi = 0x57,
+  kPc = 0x58,
+  kMsize = 0x59,
+  kGas = 0x5A,
+  kJumpdest = 0x5B,
+  kPush0 = 0x5F,
+  kPush1 = 0x60,
+  kPush2 = 0x61,
+  kPush3 = 0x62,
+  kPush4 = 0x63,
+  kPush20 = 0x73,
+  kPush32 = 0x7F,
+  kDup1 = 0x80,
+  kDup2 = 0x81,
+  kDup3 = 0x82,
+  kDup4 = 0x83,
+  kSwap1 = 0x90,
+  kSwap2 = 0x91,
+  kSwap3 = 0x92,
+  kLog0 = 0xA0,
+  kLog1 = 0xA1,
+  kLog2 = 0xA2,
+  kLog3 = 0xA3,
+  kLog4 = 0xA4,
+  kCreate = 0xF0,
+  kCall = 0xF1,
+  kCallcode = 0xF2,
+  kReturn = 0xF3,
+  kDelegatecall = 0xF4,
+  kCreate2 = 0xF5,
+  kStaticcall = 0xFA,
+  kRevert = 0xFD,
+  kInvalid = 0xFE,
+  kSelfdestruct = 0xFF,
+};
+
+constexpr std::uint8_t op_byte(Op op) { return static_cast<std::uint8_t>(op); }
+
+/// Functional family of an opcode; drives both the synthetic generator's
+/// template grammar and several reports.
+enum class OpcodeCategory {
+  kArithmetic,
+  kComparisonBitwise,
+  kSha3,
+  kEnvironment,
+  kBlock,
+  kStackMemoryFlow,
+  kPush,
+  kDup,
+  kSwap,
+  kLog,
+  kSystem,
+};
+
+std::string_view category_name(OpcodeCategory category);
+
+/// Static metadata for one opcode.
+struct OpcodeInfo {
+  std::uint8_t value = 0;
+  std::string_view mnemonic;
+  /// Static (base) gas cost; dynamic components (memory expansion, cold
+  /// access...) are handled by the interpreter's gas module.
+  std::uint32_t base_gas = 0;
+  /// True only for INVALID, whose gas is listed as NaN in the reference
+  /// tables (paper Table I).
+  bool gas_is_nan = false;
+  std::uint8_t stack_inputs = 0;
+  std::uint8_t stack_outputs = 0;
+  /// Immediate operand width in bytes (PUSHn => n, otherwise 0).
+  std::uint8_t immediate_bytes = 0;
+  OpcodeCategory category = OpcodeCategory::kSystem;
+};
+
+/// The Shanghai-fork opcode registry.
+class OpcodeTable {
+ public:
+  /// The process-wide registry (immutable after construction).
+  static const OpcodeTable& shanghai();
+
+  /// Metadata for a byte, or nullptr if the byte is not a defined opcode.
+  const OpcodeInfo* find(std::uint8_t byte) const;
+
+  /// Metadata for a defined opcode; throws NotFound for undefined bytes.
+  const OpcodeInfo& at(std::uint8_t byte) const;
+
+  /// Lookup by mnemonic ("PUSH1", "SELFDESTRUCT"); throws NotFound.
+  const OpcodeInfo& by_mnemonic(std::string_view mnemonic) const;
+
+  bool is_defined(std::uint8_t byte) const { return find(byte) != nullptr; }
+
+  /// All defined opcodes, ascending by byte value.
+  const std::vector<OpcodeInfo>& all() const { return defined_; }
+
+  /// Number of defined opcodes (144 for Shanghai).
+  std::size_t size() const { return defined_.size(); }
+
+ private:
+  OpcodeTable();
+
+  std::array<std::optional<OpcodeInfo>, 256> by_value_{};
+  std::vector<OpcodeInfo> defined_;
+};
+
+/// True for PUSH1..PUSH32 (bytes 0x60..0x7F).
+constexpr bool is_push_with_data(std::uint8_t byte) {
+  return byte >= 0x60 && byte <= 0x7F;
+}
+
+/// Immediate width of a PUSH opcode (0 for PUSH0 and non-push bytes).
+constexpr std::size_t push_data_size(std::uint8_t byte) {
+  return is_push_with_data(byte) ? static_cast<std::size_t>(byte - 0x5F) : 0;
+}
+
+/// The PUSHn opcode carrying `n` immediate bytes, n in [0, 32].
+std::uint8_t push_opcode_for_size(std::size_t n);
+
+}  // namespace phishinghook::evm

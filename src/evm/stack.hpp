@@ -1,0 +1,62 @@
+// EVM operand stack: up to 1024 words of 256 bits.
+//
+// Over/underflow are reported via status codes rather than exceptions: they
+// are *contract* failures (the transaction halts exceptionally), not library
+// bugs, and the interpreter's hot loop checks them on every instruction.
+#pragma once
+
+#include <vector>
+
+#include "evm/uint256.hpp"
+
+namespace phishinghook::evm {
+
+class Stack {
+ public:
+  static constexpr std::size_t kMaxDepth = 1024;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// True on success; false on overflow.
+  [[nodiscard]] bool push(const U256& value) {
+    if (items_.size() >= kMaxDepth) return false;
+    items_.push_back(value);
+    return true;
+  }
+
+  /// True on success; false on underflow.
+  [[nodiscard]] bool pop(U256& out) {
+    if (items_.empty()) return false;
+    out = items_.back();
+    items_.pop_back();
+    return true;
+  }
+
+  /// Element `depth` from the top (0 = top). Caller must bounds-check via
+  /// size(); used after the interpreter's uniform stack-effect validation.
+  const U256& peek(std::size_t depth = 0) const {
+    return items_[items_.size() - 1 - depth];
+  }
+
+  /// DUPn: duplicates the n-th item from the top (n >= 1).
+  [[nodiscard]] bool dup(std::size_t n) {
+    if (items_.size() < n || items_.size() >= kMaxDepth) return false;
+    items_.push_back(items_[items_.size() - n]);
+    return true;
+  }
+
+  /// SWAPn: swaps top with the (n+1)-th item (n >= 1).
+  [[nodiscard]] bool swap(std::size_t n) {
+    if (items_.size() < n + 1) return false;
+    std::swap(items_.back(), items_[items_.size() - 1 - n]);
+    return true;
+  }
+
+  const std::vector<U256>& items() const { return items_; }
+
+ private:
+  std::vector<U256> items_;
+};
+
+}  // namespace phishinghook::evm

@@ -1,0 +1,29 @@
+#include "evm/trace.hpp"
+
+#include "common/csv.hpp"
+
+namespace phishinghook::evm {
+
+std::size_t TraceRecorder::count(std::string_view mnemonic) const {
+  std::size_t total = 0;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.mnemonic == mnemonic) ++total;
+  }
+  return total;
+}
+
+std::string TraceRecorder::to_csv() const {
+  common::CsvWriter writer;
+  writer.write_row({"depth", "pc", "opcode", "mnemonic", "gas_left",
+                    "stack_size"});
+  for (const TraceEntry& entry : entries_) {
+    writer.write_row({std::to_string(entry.depth), std::to_string(entry.pc),
+                      std::to_string(entry.opcode),
+                      std::string(entry.mnemonic),
+                      std::to_string(entry.gas_left),
+                      std::to_string(entry.stack_size)});
+  }
+  return writer.str();
+}
+
+}  // namespace phishinghook::evm

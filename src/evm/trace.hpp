@@ -1,0 +1,62 @@
+// Execution tracing: a structured per-instruction event stream from the
+// interpreter (the `debug_traceTransaction` of this simulator).
+//
+// Attach a TraceSink to an Interpreter (and/or to chain::State, which
+// propagates it into nested call frames) to observe every executed
+// instruction with its pc, gas and stack depth — used for debugging
+// synthetic templates and for the forensic walkthroughs in the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phishinghook::evm {
+
+enum class Status;  // host.hpp
+
+/// One executed instruction.
+struct TraceEntry {
+  int depth = 0;               ///< call frame depth (0 = top level)
+  std::size_t pc = 0;
+  std::uint8_t opcode = 0;
+  std::string_view mnemonic;   ///< from the opcode table ("UNKNOWN_.." too)
+  std::uint64_t gas_left = 0;  ///< before charging this instruction
+  std::size_t stack_size = 0;  ///< before executing this instruction
+};
+
+/// Observer interface. Implementations must be cheap: on_step fires for
+/// every instruction executed.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_step(const TraceEntry& entry) = 0;
+  /// A frame finished (normally or exceptionally).
+  virtual void on_halt(int depth, Status status, std::uint64_t gas_used) {
+    (void)depth;
+    (void)status;
+    (void)gas_used;
+  }
+};
+
+/// Records the full trace in memory; CSV export for offline inspection.
+class TraceRecorder final : public TraceSink {
+ public:
+  void on_step(const TraceEntry& entry) override { entries_.push_back(entry); }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Count of executed instructions with the given mnemonic.
+  std::size_t count(std::string_view mnemonic) const;
+
+  /// depth,pc,opcode,mnemonic,gas_left,stack_size rows.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace phishinghook::evm

@@ -1,0 +1,394 @@
+#include "evm/uint256.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+
+namespace phishinghook::evm {
+
+using phishinghook::common::hex_digit;
+using phishinghook::InvalidArgument;
+using phishinghook::ParseError;
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// --- generic limb helpers (little-endian limb order) -----------------------
+
+// a += b over n limbs; returns carry.
+std::uint64_t add_limbs(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 sum = static_cast<u128>(a[i]) + b[i] + carry;
+    a[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return carry;
+}
+
+// a -= b over n limbs; returns borrow.
+std::uint64_t sub_limbs(std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t n) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 diff = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<std::uint64_t>(diff);
+    borrow = static_cast<std::uint64_t>((diff >> 64) != 0 ? 1 : 0);
+  }
+  return borrow;
+}
+
+int compare_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+unsigned limb_bit_length(const std::uint64_t* a, std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) {
+    if (a[i] != 0) {
+      return static_cast<unsigned>(64 * i) + 64 -
+             static_cast<unsigned>(__builtin_clzll(a[i]));
+    }
+  }
+  return 0;
+}
+
+// Left shift by one bit in place, feeding `in_bit` into bit 0.
+void shl1_limbs(std::uint64_t* a, std::size_t n, std::uint64_t in_bit) {
+  std::uint64_t carry = in_bit;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t next = a[i] >> 63;
+    a[i] = (a[i] << 1) | carry;
+    carry = next;
+  }
+}
+
+// Binary long division: quotient/remainder of an n-limb numerator by an
+// n-limb denominator. Simple and branch-predictable; at 256/512 bits this is
+// plenty fast for a research EVM.
+void divmod_limbs(const std::uint64_t* num, const std::uint64_t* den,
+                  std::uint64_t* quot, std::uint64_t* rem, std::size_t n) {
+  std::fill(quot, quot + n, 0);
+  std::fill(rem, rem + n, 0);
+  const unsigned bits = limb_bit_length(num, n);
+  for (unsigned i = bits; i-- > 0;) {
+    const std::uint64_t num_bit = (num[i / 64] >> (i % 64)) & 1ULL;
+    shl1_limbs(rem, n, num_bit);
+    if (compare_limbs(rem, den, n) >= 0) {
+      sub_limbs(rem, den, n);
+      quot[i / 64] |= 1ULL << (i % 64);
+    }
+  }
+}
+
+// Full 256x256 -> 512 bit product.
+std::array<std::uint64_t, 8> mul_full(const std::array<std::uint64_t, 4>& a,
+                                      const std::array<std::uint64_t, 4>& b) {
+  std::array<std::uint64_t, 8> out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out[i + 4] = carry;
+  }
+  return out;
+}
+
+}  // namespace
+
+U256 U256::from_string(std::string_view text) {
+  if (text.empty()) throw ParseError("empty U256 literal");
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    text.remove_prefix(2);
+    if (text.empty() || text.size() > 64) {
+      throw ParseError("hex U256 literal must have 1..64 digits");
+    }
+    U256 out;
+    for (char c : text) {
+      out = (out << 4) | U256(hex_digit(c));
+    }
+    return out;
+  }
+  U256 out;
+  const U256 ten(10);
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw ParseError(std::string("bad decimal digit '") + c + "' in U256");
+    }
+    const U256 shifted = out * ten;
+    if (shifted / ten != out) throw ParseError("decimal U256 literal overflows");
+    out = shifted + U256(static_cast<std::uint64_t>(c - '0'));
+    if (out < shifted) throw ParseError("decimal U256 literal overflows");
+  }
+  return out;
+}
+
+U256 U256::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > 32) {
+    throw InvalidArgument("U256::from_bytes_be takes at most 32 bytes, got " +
+                          std::to_string(bytes.size()));
+  }
+  U256 out;
+  for (std::uint8_t b : bytes) {
+    out = (out << 8) | U256(b);
+  }
+  return out;
+}
+
+U256 U256::pow2(unsigned bit) {
+  if (bit >= 256) throw InvalidArgument("U256::pow2 bit must be < 256");
+  U256 out;
+  out.limbs_[bit / 64] = 1ULL << (bit % 64);
+  return out;
+}
+
+std::array<std::uint8_t, 32> U256::to_bytes_be() const {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t limb = limbs_[i];
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[31 - (i * 8 + b)] = static_cast<std::uint8_t>(limb >> (8 * b));
+    }
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  if (is_zero()) return "0x0";
+  const auto bytes = to_bytes_be();
+  std::size_t first = 0;
+  while (first < 32 && bytes[first] == 0) ++first;
+  std::string hex = phishinghook::common::hex_encode(
+      std::span<const std::uint8_t>(bytes.data() + first, 32 - first));
+  if (hex.size() > 1 && hex[0] == '0') hex.erase(hex.begin());
+  return "0x" + hex;
+}
+
+std::string U256::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  U256 value = *this;
+  const U256 ten(10);
+  while (!value.is_zero()) {
+    const U256 quotient = value / ten;
+    const U256 remainder = value - quotient * ten;
+    digits.push_back(static_cast<char>('0' + remainder.low64()));
+    value = quotient;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+unsigned U256::bit_length() const {
+  return limb_bit_length(limbs_.data(), 4);
+}
+
+bool U256::bit(unsigned i) const {
+  if (i >= 256) return false;
+  return (limbs_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+std::uint8_t U256::byte_msb(unsigned i) const {
+  if (i >= 32) return 0;
+  return to_bytes_be()[i];
+}
+
+U256 operator+(const U256& a, const U256& b) {
+  U256 out = a;
+  add_limbs(out.limbs_.data(), b.limbs_.data(), 4);
+  return out;
+}
+
+U256 operator-(const U256& a, const U256& b) {
+  U256 out = a;
+  sub_limbs(out.limbs_.data(), b.limbs_.data(), 4);
+  return out;
+}
+
+U256 operator*(const U256& a, const U256& b) {
+  const auto full = mul_full(a.limbs_, b.limbs_);
+  return U256(full[0], full[1], full[2], full[3]);
+}
+
+U256 operator/(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256();  // EVM semantics: x / 0 == 0
+  U256 quotient, remainder;
+  divmod_limbs(a.limbs_.data(), b.limbs_.data(), quotient.limbs_.data(),
+               remainder.limbs_.data(), 4);
+  return quotient;
+}
+
+U256 operator%(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256();  // EVM semantics: x % 0 == 0
+  U256 quotient, remainder;
+  divmod_limbs(a.limbs_.data(), b.limbs_.data(), quotient.limbs_.data(),
+               remainder.limbs_.data(), 4);
+  return remainder;
+}
+
+U256 operator&(const U256& a, const U256& b) {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = a.limbs_[i] & b.limbs_[i];
+  return out;
+}
+
+U256 operator|(const U256& a, const U256& b) {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = a.limbs_[i] | b.limbs_[i];
+  return out;
+}
+
+U256 operator^(const U256& a, const U256& b) {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = a.limbs_[i] ^ b.limbs_[i];
+  return out;
+}
+
+U256 U256::operator~() const {
+  U256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = ~limbs_[i];
+  return out;
+}
+
+U256 operator<<(const U256& a, unsigned shift) {
+  if (shift >= 256) return U256();
+  U256 out;
+  const unsigned limb_shift = shift / 64;
+  const unsigned bit_shift = shift % 64;
+  for (std::size_t i = 4; i-- > limb_shift;) {
+    std::uint64_t v = a.limbs_[i - limb_shift] << bit_shift;
+    if (bit_shift != 0 && i - limb_shift > 0) {
+      v |= a.limbs_[i - limb_shift - 1] >> (64 - bit_shift);
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+U256 operator>>(const U256& a, unsigned shift) {
+  if (shift >= 256) return U256();
+  U256 out;
+  const unsigned limb_shift = shift / 64;
+  const unsigned bit_shift = shift % 64;
+  for (std::size_t i = 0; i + limb_shift < 4; ++i) {
+    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < 4) {
+      v |= a.limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    out.limbs_[i] = v;
+  }
+  return out;
+}
+
+std::strong_ordering operator<=>(const U256& a, const U256& b) {
+  const int cmp = compare_limbs(a.limbs_.data(), b.limbs_.data(), 4);
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+U256 U256::negated() const { return (~*this) + U256(1); }
+
+U256 U256::sdiv(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256();
+  const bool a_neg = a.is_negative();
+  const bool b_neg = b.is_negative();
+  const U256 abs_a = a_neg ? a.negated() : a;
+  const U256 abs_b = b_neg ? b.negated() : b;
+  const U256 q = abs_a / abs_b;
+  // Note: MIN_INT256 / -1 overflows to MIN_INT256, which this path produces
+  // naturally: |MIN| / 1 = |MIN|, then negated()( == MIN).
+  return (a_neg != b_neg) ? q.negated() : q;
+}
+
+U256 U256::smod(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256();
+  const bool a_neg = a.is_negative();
+  const U256 abs_a = a_neg ? a.negated() : a;
+  const U256 abs_b = b.is_negative() ? b.negated() : b;
+  const U256 r = abs_a % abs_b;
+  return a_neg ? r.negated() : r;
+}
+
+bool U256::slt(const U256& a, const U256& b) {
+  const bool a_neg = a.is_negative();
+  const bool b_neg = b.is_negative();
+  if (a_neg != b_neg) return a_neg;
+  return a < b;
+}
+
+bool U256::sgt(const U256& a, const U256& b) { return slt(b, a); }
+
+U256 U256::addmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256();
+  // 257-bit sum held in 5 limbs, then mod by long division.
+  std::array<std::uint64_t, 5> sum{};
+  std::copy(a.limbs_.begin(), a.limbs_.end(), sum.begin());
+  std::array<std::uint64_t, 5> addend{};
+  std::copy(b.limbs_.begin(), b.limbs_.end(), addend.begin());
+  add_limbs(sum.data(), addend.data(), 5);
+  std::array<std::uint64_t, 5> modulus{};
+  std::copy(m.limbs_.begin(), m.limbs_.end(), modulus.begin());
+  std::array<std::uint64_t, 5> quotient{}, remainder{};
+  divmod_limbs(sum.data(), modulus.data(), quotient.data(), remainder.data(),
+               5);
+  return U256(remainder[0], remainder[1], remainder[2], remainder[3]);
+}
+
+U256 U256::mulmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256();
+  const std::array<std::uint64_t, 8> product = mul_full(a.limbs_, b.limbs_);
+  std::array<std::uint64_t, 8> modulus{};
+  std::copy(m.limbs_.begin(), m.limbs_.end(), modulus.begin());
+  std::array<std::uint64_t, 8> quotient{}, remainder{};
+  divmod_limbs(product.data(), modulus.data(), quotient.data(),
+               remainder.data(), 8);
+  return U256(remainder[0], remainder[1], remainder[2], remainder[3]);
+}
+
+U256 U256::exp(const U256& base, const U256& exponent) {
+  U256 result(1);
+  U256 acc = base;
+  const unsigned bits = exponent.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result *= acc;
+    acc *= acc;
+  }
+  return result;
+}
+
+U256 U256::sar(const U256& value, const U256& shift) {
+  const bool negative = value.is_negative();
+  if (!shift.fits_u64() || shift.low64() >= 256) {
+    return negative ? U256::max() : U256();
+  }
+  const unsigned s = static_cast<unsigned>(shift.low64());
+  U256 out = value >> s;
+  if (negative && s > 0) {
+    // Fill the vacated top bits with ones.
+    out = out | (U256::max() << (256 - s));
+  }
+  return out;
+}
+
+U256 U256::signextend(const U256& byte_index, const U256& value) {
+  if (!byte_index.fits_u64() || byte_index.low64() >= 31) return value;
+  const unsigned sign_bit =
+      static_cast<unsigned>(byte_index.low64()) * 8 + 7;
+  const U256 mask = (U256::pow2(sign_bit) << 1) - U256(1);  // low bits incl. sign
+  if (value.bit(sign_bit)) {
+    return value | ~mask;
+  }
+  return value & mask;
+}
+
+}  // namespace phishinghook::evm

@@ -1,0 +1,55 @@
+// CatBoost-style gradient boosting (HSC category).
+//
+// Reproduces CatBoost's two structural signatures on this (fully numeric)
+// task: *oblivious* (symmetric) trees — every level of the tree applies the
+// same (feature, threshold) test, so a depth-k tree is a 2^k-leaf lookup
+// table — and Bayesian-bootstrap sample weighting per round (CatBoost's
+// bagging-temperature mechanism). Ordered boosting proper targets
+// categorical target-statistics leakage, which does not arise on numeric
+// opcode histograms; the permutation machinery is therefore represented by
+// the per-round weight resampling (documented simplification).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/gbdt_common.hpp"
+
+namespace phishinghook::ml {
+
+struct CatBoostConfig {
+  int n_rounds = 200;
+  int depth = 6;          ///< oblivious tree depth (2^depth leaves)
+  int max_bins = 63;
+  double learning_rate = 0.08;
+  double lambda = 3.0;
+  double bagging_temperature = 1.0;  ///< 0 = no reweighting
+  std::uint64_t seed = 23;
+};
+
+/// One oblivious tree: `depth` (feature, threshold) tests shared across the
+/// level, and 2^depth leaf values indexed by the test-result bitmask.
+struct ObliviousTree {
+  std::vector<int> features;
+  std::vector<double> thresholds;
+  std::vector<double> leaf_values;
+};
+
+class CatBoostClassifier final : public TabularClassifier {
+ public:
+  explicit CatBoostClassifier(CatBoostConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "CatBoost"; }
+
+  double raw_score(std::span<const double> row) const;
+  const std::vector<ObliviousTree>& trees() const { return trees_; }
+
+ private:
+  CatBoostConfig config_;
+  std::vector<ObliviousTree> trees_;
+  double base_score_ = 0.0;
+};
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,35 @@
+// Uniform interface for the tabular (histogram-feature) classifiers — the
+// HSC category of the paper, mirroring scikit-learn's fit/predict_proba.
+//
+// Binary task throughout: labels are {0 = benign, 1 = phishing} and
+// predict_proba returns P(phishing).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "ml/metrics.hpp"
+
+namespace phishinghook::ml {
+
+class TabularClassifier {
+ public:
+  virtual ~TabularClassifier() = default;
+
+  /// Trains on features `x` (n x d) with binary labels `y` (size n).
+  virtual void fit(const Matrix& x, const std::vector<int>& y) = 0;
+
+  /// P(phishing) per row. Requires fit() first (StateError otherwise).
+  virtual std::vector<double> predict_proba(const Matrix& x) const = 0;
+
+  /// Hard labels at the 0.5 threshold.
+  std::vector<int> predict(const Matrix& x) const {
+    return threshold_predictions(predict_proba(x));
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,77 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::ml {
+
+namespace {
+
+std::map<int, std::vector<std::size_t>> indices_by_class(
+    const std::vector<int>& labels, common::Rng& rng) {
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+  for (auto& [label, indices] : by_class) rng.shuffle(indices);
+  return by_class;
+}
+
+}  // namespace
+
+std::vector<Fold> stratified_kfold(const std::vector<int>& labels, int k,
+                                   common::Rng& rng) {
+  if (k < 2) throw InvalidArgument("k-fold requires k >= 2");
+  if (static_cast<std::size_t>(k) > labels.size()) {
+    throw InvalidArgument("k-fold requires k <= sample count");
+  }
+  auto by_class = indices_by_class(labels, rng);
+
+  // Deal each class round-robin over the folds' test sets.
+  std::vector<std::vector<std::size_t>> test_sets(static_cast<std::size_t>(k));
+  for (const auto& [label, indices] : by_class) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      test_sets[i % static_cast<std::size_t>(k)].push_back(indices[i]);
+    }
+  }
+
+  std::vector<Fold> folds(static_cast<std::size_t>(k));
+  for (int f = 0; f < k; ++f) {
+    auto& fold = folds[static_cast<std::size_t>(f)];
+    fold.test_indices = test_sets[static_cast<std::size_t>(f)];
+    std::sort(fold.test_indices.begin(), fold.test_indices.end());
+    for (int other = 0; other < k; ++other) {
+      if (other == f) continue;
+      const auto& src = test_sets[static_cast<std::size_t>(other)];
+      fold.train_indices.insert(fold.train_indices.end(), src.begin(),
+                                src.end());
+    }
+    std::sort(fold.train_indices.begin(), fold.train_indices.end());
+  }
+  return folds;
+}
+
+Fold stratified_holdout(const std::vector<int>& labels, double test_fraction,
+                        common::Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  auto by_class = indices_by_class(labels, rng);
+  Fold fold;
+  for (const auto& [label, indices] : by_class) {
+    const std::size_t test_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(test_fraction *
+                                    static_cast<double>(indices.size())));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      (i < test_count ? fold.test_indices : fold.train_indices)
+          .push_back(indices[i]);
+    }
+  }
+  std::sort(fold.test_indices.begin(), fold.test_indices.end());
+  std::sort(fold.train_indices.begin(), fold.train_indices.end());
+  return fold;
+}
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,28 @@
+// Stratified k-fold cross-validation — the paper's evaluation protocol
+// (10-fold x 3 runs for Table II; the folds preserve the 50/50 class
+// balance of the dataset).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace phishinghook::ml {
+
+struct Fold {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Splits [0, labels.size()) into `k` stratified folds: each class's indices
+/// are shuffled and dealt round-robin, so per-fold class proportions match
+/// the dataset's. Throws InvalidArgument for k < 2 or k > sample count.
+std::vector<Fold> stratified_kfold(const std::vector<int>& labels, int k,
+                                   common::Rng& rng);
+
+/// One stratified holdout split with `test_fraction` of each class held out.
+Fold stratified_holdout(const std::vector<int>& labels, double test_fraction,
+                        common::Rng& rng);
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,169 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace phishinghook::ml {
+
+namespace {
+
+double gini(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTreeClassifier::DecisionTreeClassifier(DecisionTreeConfig config)
+    : config_(config) {}
+
+void DecisionTreeClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  fit_weighted(x, y, std::vector<double>(y.size(), 1.0));
+}
+
+void DecisionTreeClassifier::fit_weighted(const Matrix& x,
+                                          const std::vector<int>& y,
+                                          const std::vector<double>& weights) {
+  if (x.rows() != y.size() || y.size() != weights.size()) {
+    throw InvalidArgument("DecisionTree::fit size mismatch");
+  }
+  if (x.rows() == 0) throw InvalidArgument("DecisionTree::fit on empty data");
+  nodes_.clear();
+  n_features_ = x.cols();
+  importances_.assign(n_features_, 0.0);
+  std::vector<std::size_t> indices;
+  indices.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (weights[i] > 0.0) indices.push_back(i);  // skip unsampled bootstrap rows
+  }
+  if (indices.empty()) throw InvalidArgument("DecisionTree::fit zero weight");
+  common::Rng rng(config_.seed);
+  build(x, y, weights, indices, 0, rng);
+
+  double total = std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+}
+
+int DecisionTreeClassifier::build(const Matrix& x, const std::vector<int>& y,
+                                  const std::vector<double>& weights,
+                                  std::vector<std::size_t>& indices, int depth,
+                                  common::Rng& rng) {
+  double total_weight = 0.0;
+  double pos_weight = 0.0;
+  for (std::size_t i : indices) {
+    total_weight += weights[i];
+    if (y[i] != 0) pos_weight += weights[i];
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{});
+  nodes_[node_id].value = total_weight > 0.0 ? pos_weight / total_weight : 0.0;
+  nodes_[node_id].weight = total_weight;
+
+  const bool pure = pos_weight <= 0.0 || pos_weight >= total_weight;
+  if (depth >= config_.max_depth || pure ||
+      indices.size() < config_.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset (Random Forest mode).
+  std::vector<std::size_t> features(n_features_);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t feature_count = n_features_;
+  if (config_.max_features > 0 && config_.max_features < n_features_) {
+    rng.shuffle(features);
+    feature_count = config_.max_features;
+  }
+
+  const double parent_impurity = gini(pos_weight, total_weight);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::size_t>> sorted;
+  sorted.reserve(indices.size());
+  for (std::size_t fi = 0; fi < feature_count; ++fi) {
+    const std::size_t feature = features[fi];
+    sorted.clear();
+    for (std::size_t i : indices) sorted.emplace_back(x.at(i, feature), i);
+    std::sort(sorted.begin(), sorted.end());
+
+    double left_weight = 0.0, left_pos = 0.0;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const std::size_t i = sorted[k].second;
+      left_weight += weights[i];
+      if (y[i] != 0) left_pos += weights[i];
+      if (sorted[k].first == sorted[k + 1].first) continue;  // tied values
+      const std::size_t left_count = k + 1;
+      const std::size_t right_count = sorted.size() - left_count;
+      if (left_count < config_.min_samples_leaf ||
+          right_count < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_weight = total_weight - left_weight;
+      const double right_pos = pos_weight - left_pos;
+      const double child_impurity =
+          (left_weight * gini(left_pos, left_weight) +
+           right_weight * gini(right_pos, right_weight)) /
+          total_weight;
+      const double gain = parent_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5 * (sorted[k].first + sorted[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    (x.at(i, static_cast<std::size_t>(best_feature)) <= best_threshold
+         ? left_idx
+         : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  importances_[static_cast<std::size_t>(best_feature)] +=
+      best_gain * total_weight;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  indices.clear();
+  indices.shrink_to_fit();
+  const int left = build(x, y, weights, left_idx, depth + 1, rng);
+  nodes_[node_id].left = left;
+  const int right = build(x, y, weights, right_idx, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTreeClassifier::predict_row(std::span<const double> row) const {
+  if (nodes_.empty()) throw StateError("DecisionTree::predict before fit");
+  int node = 0;
+  while (!nodes_[static_cast<std::size_t>(node)].is_leaf()) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+std::vector<double> DecisionTreeClassifier::predict_proba(
+    const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+std::vector<double> DecisionTreeClassifier::feature_importances() const {
+  return importances_;
+}
+
+}  // namespace phishinghook::ml

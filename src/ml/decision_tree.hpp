@@ -1,0 +1,71 @@
+// CART decision tree (gini impurity) — the base learner of the Random
+// Forest HSC and the structure TreeSHAP explains.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace phishinghook::ml {
+
+/// One node of a binary tree stored in a flat array. Leaves have
+/// feature == -1; `value` is the positive-class fraction at the leaf (for
+/// internal nodes it is the subtree's training fraction, used by SHAP).
+struct TreeNode {
+  int feature = -1;
+  double threshold = 0.0;  ///< go left if x[feature] <= threshold
+  int left = -1;
+  int right = -1;
+  double value = 0.0;
+  double weight = 0.0;  ///< training samples (or weight) covered
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+struct DecisionTreeConfig {
+  int max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features considered per split; 0 = all, otherwise a random subset of
+  /// this size (the Random Forest's decorrelation knob).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTreeClassifier final : public TabularClassifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+
+  /// Weighted fit (bootstrap counts / boosting weights).
+  void fit_weighted(const Matrix& x, const std::vector<int>& y,
+                    const std::vector<double>& weights);
+
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  /// P(phishing) for a single row.
+  double predict_row(std::span<const double> row) const;
+
+  /// Flat node array (root at 0); consumed by TreeSHAP.
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Gini-gain importances (normalized to sum 1; empty before fit).
+  std::vector<double> feature_importances() const;
+
+ private:
+  int build(const Matrix& x, const std::vector<int>& y,
+            const std::vector<double>& weights,
+            std::vector<std::size_t>& indices, int depth, common::Rng& rng);
+
+  DecisionTreeConfig config_;
+  std::vector<TreeNode> nodes_;
+  std::size_t n_features_ = 0;
+  std::vector<double> importances_;
+};
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,57 @@
+#include "ml/gbdt_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phishinghook::ml::gbdt {
+
+void FeatureBinner::fit(const Matrix& x, int max_bins) {
+  if (max_bins < 2 || max_bins > 255) {
+    throw InvalidArgument("FeatureBinner needs 2..255 bins");
+  }
+  cuts_.assign(x.cols(), {});
+  std::vector<double> values;
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    values.assign(x.rows(), 0.0);  // re-grow: unique() below shrinks it
+    for (std::size_t r = 0; r < x.rows(); ++r) values[r] = x.at(r, f);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() <= 1) continue;  // constant feature: single bin
+
+    auto& cuts = cuts_[f];
+    if (values.size() <= static_cast<std::size_t>(max_bins)) {
+      // One bin per distinct value: cuts at midpoints.
+      for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+        cuts.push_back(0.5 * (values[i] + values[i + 1]));
+      }
+    } else {
+      // Quantile cuts over the distinct values.
+      for (int b = 1; b < max_bins; ++b) {
+        const std::size_t idx =
+            static_cast<std::size_t>(static_cast<double>(b) *
+                                     static_cast<double>(values.size()) /
+                                     static_cast<double>(max_bins));
+        const double cut = values[std::min(idx, values.size() - 1)];
+        if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+      }
+    }
+  }
+}
+
+std::uint8_t FeatureBinner::bin(std::size_t feature, double v) const {
+  const auto& cuts = cuts_[feature];
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), v);
+  return static_cast<std::uint8_t>(it - cuts.begin());
+}
+
+std::vector<std::uint8_t> FeatureBinner::transform(const Matrix& x) const {
+  std::vector<std::uint8_t> out(x.rows() * x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      out[r * x.cols() + f] = bin(f, x.at(r, f));
+    }
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml::gbdt

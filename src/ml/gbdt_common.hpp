@@ -1,0 +1,56 @@
+// Shared machinery for the three gradient-boosted tree classifiers
+// (XGBoost-, LightGBM- and CatBoost-style): logistic loss derivatives and
+// quantile feature binning.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace phishinghook::ml::gbdt {
+
+inline double sigmoid(double z) {
+  if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+/// First/second derivatives of the logistic loss at raw score `score`.
+struct GradHess {
+  double grad = 0.0;
+  double hess = 0.0;
+};
+
+inline GradHess logistic_grad_hess(double score, int label) {
+  const double p = sigmoid(score);
+  return {p - static_cast<double>(label), std::max(p * (1.0 - p), 1e-12)};
+}
+
+/// Quantile binning learned on the training matrix: per feature, at most
+/// `max_bins` cut points; transform maps values to bin ids in [0, bins).
+class FeatureBinner {
+ public:
+  void fit(const Matrix& x, int max_bins);
+
+  /// Bin id of value `v` for feature `f`.
+  std::uint8_t bin(std::size_t feature, double v) const;
+
+  /// Bins for a whole matrix (row-major, same shape).
+  std::vector<std::uint8_t> transform(const Matrix& x) const;
+
+  int bins(std::size_t feature) const {
+    return static_cast<int>(cuts_[feature].size()) + 1;
+  }
+  std::size_t features() const { return cuts_.size(); }
+
+  /// Upper cut value of bin `b` (used to recover split thresholds).
+  double cut(std::size_t feature, int b) const { return cuts_[feature][static_cast<std::size_t>(b)]; }
+
+ private:
+  std::vector<std::vector<double>> cuts_;  // ascending cut points per feature
+};
+
+}  // namespace phishinghook::ml::gbdt

@@ -1,0 +1,62 @@
+// XGBoost-style gradient boosting (HSC category).
+//
+// Second-order logistic boosting with depth-wise regression trees and the
+// exact greedy split finder: per-split gain
+//   0.5 [ G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda) - G^2/(H+lambda) ] - gamma
+// with shrinkage, row subsampling and column subsampling — the standard
+// XGBoost recipe on a binary logloss objective.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace phishinghook::ml {
+
+struct GradientBoostingConfig {
+  int n_rounds = 150;
+  int max_depth = 5;
+  double learning_rate = 0.1;
+  double lambda = 1.0;        ///< L2 on leaf weights
+  double gamma = 0.0;         ///< min gain to split
+  double min_child_weight = 1.0;
+  double subsample = 1.0;     ///< row fraction per round
+  double colsample = 1.0;     ///< feature fraction per round
+  std::uint64_t seed = 17;
+};
+
+class GradientBoostingClassifier final : public TabularClassifier {
+ public:
+  explicit GradientBoostingClassifier(GradientBoostingConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "XGBoost"; }
+
+  /// Raw (pre-sigmoid) score of one row.
+  double raw_score(std::span<const double> row) const;
+
+  /// Boosted trees; leaf `value` holds the leaf weight. TreeSHAP-compatible.
+  const std::vector<std::vector<TreeNode>>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
+
+ private:
+  struct SplitResult {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  int build_tree(const Matrix& x, const std::vector<double>& grad,
+                 const std::vector<double>& hess,
+                 std::vector<std::size_t>& indices,
+                 const std::vector<std::size_t>& features, int depth,
+                 std::vector<TreeNode>& tree) const;
+
+  GradientBoostingConfig config_;
+  std::vector<std::vector<TreeNode>> trees_;
+  double base_score_ = 0.0;
+};
+
+}  // namespace phishinghook::ml

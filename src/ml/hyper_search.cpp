@@ -1,0 +1,83 @@
+#include "ml/hyper_search.hpp"
+
+#include "common/logging.hpp"
+
+namespace phishinghook::ml {
+
+double HyperSearch::evaluate(const ClassifierFactory& factory,
+                             const ParamAssignment& params, const Matrix& x,
+                             const std::vector<int>& y) const {
+  common::Rng rng(config_.seed);
+  const auto folds = stratified_kfold(y, config_.folds, rng);
+  double total = 0.0;
+  for (const Fold& fold : folds) {
+    const Matrix train_x = x.select_rows(fold.train_indices);
+    const auto train_y = select(y, fold.train_indices);
+    const Matrix test_x = x.select_rows(fold.test_indices);
+    const auto test_y = select(y, fold.test_indices);
+    auto model = factory(params);
+    model->fit(train_x, train_y);
+    total += compute_metrics(test_y, model->predict(test_x)).accuracy;
+  }
+  return total / static_cast<double>(folds.size());
+}
+
+Trial HyperSearch::grid_search(
+    const ClassifierFactory& factory,
+    const std::map<std::string, std::vector<double>>& space, const Matrix& x,
+    const std::vector<int>& y) const {
+  // Enumerate the cartesian product with a mixed-radix counter.
+  std::vector<std::string> names;
+  std::vector<std::size_t> sizes;
+  for (const auto& [name, values] : space) {
+    if (values.empty()) throw InvalidArgument("empty grid axis '" + name + "'");
+    names.push_back(name);
+    sizes.push_back(values.size());
+  }
+  Trial best;
+  best.score = -1.0;
+  std::vector<std::size_t> counter(names.size(), 0);
+  int trials = 0;
+  while (trials < config_.max_trials) {
+    ParamAssignment params;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      params[names[i]] = space.at(names[i])[counter[i]];
+    }
+    const double score = evaluate(factory, params, x, y);
+    common::log_debug("grid trial ", trials, " score ", score);
+    if (score > best.score) best = Trial{params, score};
+    ++trials;
+
+    // Increment the mixed-radix counter; stop after the last combination.
+    std::size_t axis = 0;
+    while (axis < counter.size()) {
+      if (++counter[axis] < sizes[axis]) break;
+      counter[axis] = 0;
+      ++axis;
+    }
+    if (axis == counter.size()) break;
+    if (counter.empty()) break;
+  }
+  return best;
+}
+
+Trial HyperSearch::random_search(
+    const ClassifierFactory& factory,
+    const std::map<std::string, std::vector<double>>& space, const Matrix& x,
+    const std::vector<int>& y, int n_trials) const {
+  common::Rng rng(config_.seed ^ 0xABCDEF);
+  Trial best;
+  best.score = -1.0;
+  for (int t = 0; t < std::min(n_trials, config_.max_trials); ++t) {
+    ParamAssignment params;
+    for (const auto& [name, values] : space) {
+      if (values.empty()) throw InvalidArgument("empty axis '" + name + "'");
+      params[name] = values[rng.next_below(values.size())];
+    }
+    const double score = evaluate(factory, params, x, y);
+    if (score > best.score) best = Trial{params, score};
+  }
+  return best;
+}
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,61 @@
+// Hyperparameter search (the paper tunes every model with Optuna grid
+// search over an arbitrary space, scored by 10-fold cross-validation).
+//
+// A define-by-run-ish API in miniature: the caller supplies a factory that
+// builds a classifier from a named parameter assignment, and a space of
+// candidate values per name; the searcher scores each assignment with
+// stratified k-fold accuracy and returns the best trial.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ml/classifier.hpp"
+#include "ml/cross_validation.hpp"
+
+namespace phishinghook::ml {
+
+using ParamAssignment = std::map<std::string, double>;
+using ClassifierFactory =
+    std::function<std::unique_ptr<TabularClassifier>(const ParamAssignment&)>;
+
+struct Trial {
+  ParamAssignment params;
+  double score = 0.0;  ///< mean CV accuracy
+};
+
+struct HyperSearchConfig {
+  int folds = 5;
+  std::uint64_t seed = 41;
+  /// Cap on grid points / random draws (grid search enumerates the full
+  /// cartesian product up to this many points).
+  int max_trials = 64;
+};
+
+class HyperSearch {
+ public:
+  explicit HyperSearch(HyperSearchConfig config = {}) : config_(config) {}
+
+  /// Mean k-fold accuracy of the classifier the factory builds for `params`.
+  double evaluate(const ClassifierFactory& factory,
+                  const ParamAssignment& params, const Matrix& x,
+                  const std::vector<int>& y) const;
+
+  /// Exhaustive cartesian-product search over `space`.
+  Trial grid_search(const ClassifierFactory& factory,
+                    const std::map<std::string, std::vector<double>>& space,
+                    const Matrix& x, const std::vector<int>& y) const;
+
+  /// Uniform random draws from `space`.
+  Trial random_search(const ClassifierFactory& factory,
+                      const std::map<std::string, std::vector<double>>& space,
+                      const Matrix& x, const std::vector<int>& y,
+                      int n_trials) const;
+
+ private:
+  HyperSearchConfig config_;
+};
+
+}  // namespace phishinghook::ml

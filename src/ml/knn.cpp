@@ -1,0 +1,75 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phishinghook::ml {
+
+KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
+  if (config_.k < 1) throw InvalidArgument("kNN requires k >= 1");
+}
+
+void KnnClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw InvalidArgument("kNN::fit size mismatch");
+  if (x.rows() == 0) throw InvalidArgument("kNN::fit on empty data");
+  train_x_ = x;
+  train_y_ = y;
+}
+
+double KnnClassifier::distance(std::span<const double> a,
+                               std::span<const double> b) const {
+  switch (config_.metric) {
+    case KnnMetric::kEuclidean: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+      }
+      return std::sqrt(sum);
+    }
+    case KnnMetric::kManhattan: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+      return sum;
+    }
+    case KnnMetric::kCosine: {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+      }
+      if (na <= 0.0 || nb <= 0.0) return 1.0;
+      return 1.0 - dot / std::sqrt(na * nb);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> KnnClassifier::predict_proba(const Matrix& x) const {
+  if (train_y_.empty()) throw StateError("kNN::predict before fit");
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.k), train_y_.size());
+
+  std::vector<double> out(x.rows());
+  std::vector<std::pair<double, std::size_t>> dists(train_y_.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto query = x.row(r);
+    for (std::size_t i = 0; i < train_y_.size(); ++i) {
+      dists[i] = {distance(query, train_x_.row(i)), i};
+    }
+    std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                      dists.end());
+    double pos = 0.0, total = 0.0;
+    for (std::size_t n = 0; n < k; ++n) {
+      const double weight =
+          config_.distance_weighted ? 1.0 / (dists[n].first + 1e-9) : 1.0;
+      total += weight;
+      if (train_y_[dists[n].second] != 0) pos += weight;
+    }
+    out[r] = total > 0.0 ? pos / total : 0.5;
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,35 @@
+// k-Nearest Neighbors over opcode histograms (HSC category).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace phishinghook::ml {
+
+enum class KnnMetric { kEuclidean, kManhattan, kCosine };
+
+struct KnnConfig {
+  int k = 7;
+  KnnMetric metric = KnnMetric::kEuclidean;
+  /// Weight votes by 1/(distance + eps) instead of uniformly.
+  bool distance_weighted = true;
+};
+
+class KnnClassifier final : public TabularClassifier {
+ public:
+  explicit KnnClassifier(KnnConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "k-NN"; }
+
+ private:
+  double distance(std::span<const double> a, std::span<const double> b) const;
+
+  KnnConfig config_;
+  Matrix train_x_;
+  std::vector<int> train_y_;
+};
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,108 @@
+#include "ml/logistic_regression.hpp"
+
+#include <cmath>
+
+namespace phishinghook::ml {
+
+namespace {
+double sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+LogisticRegressionClassifier::LogisticRegressionClassifier(
+    LogisticRegressionConfig config)
+    : config_(config) {}
+
+void LogisticRegressionClassifier::fit(const Matrix& x,
+                                       const std::vector<int>& y) {
+  if (x.rows() != y.size()) {
+    throw InvalidArgument("LogisticRegression::fit size mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  // Standardization statistics from the training set only.
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += x.at(r, c);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double delta = x.at(r, c) - mean_[c];
+      stddev_[c] += delta * delta;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;  // constant feature
+  }
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  // Adam state.
+  std::vector<double> m_w(d, 0.0), v_w(d, 0.0);
+  double m_b = 0.0, v_b = 0.0;
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+
+  std::vector<double> z(d);
+  std::vector<double> grad(d);
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double dot = bias_;
+      const auto row = x.row(r);
+      for (std::size_t c = 0; c < d; ++c) {
+        z[c] = (row[c] - mean_[c]) / stddev_[c];
+        dot += weights_[c] * z[c];
+      }
+      const double err = sigmoid(dot) - static_cast<double>(y[r]);
+      for (std::size_t c = 0; c < d; ++c) grad[c] += err * z[c];
+      grad_b += err;
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      grad[c] = grad[c] / static_cast<double>(n) + config_.l2 * weights_[c];
+    }
+    grad_b /= static_cast<double>(n);
+
+    const double bc1 = 1.0 - std::pow(beta1, epoch);
+    const double bc2 = 1.0 - std::pow(beta2, epoch);
+    for (std::size_t c = 0; c < d; ++c) {
+      m_w[c] = beta1 * m_w[c] + (1 - beta1) * grad[c];
+      v_w[c] = beta2 * v_w[c] + (1 - beta2) * grad[c] * grad[c];
+      weights_[c] -= config_.learning_rate * (m_w[c] / bc1) /
+                     (std::sqrt(v_w[c] / bc2) + eps);
+    }
+    m_b = beta1 * m_b + (1 - beta1) * grad_b;
+    v_b = beta2 * v_b + (1 - beta2) * grad_b * grad_b;
+    bias_ -= config_.learning_rate * (m_b / bc1) / (std::sqrt(v_b / bc2) + eps);
+  }
+}
+
+double LogisticRegressionClassifier::margin(std::span<const double> row) const {
+  double dot = bias_;
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    dot += weights_[c] * (row[c] - mean_[c]) / stddev_[c];
+  }
+  return dot;
+}
+
+std::vector<double> LogisticRegressionClassifier::predict_proba(
+    const Matrix& x) const {
+  if (weights_.empty()) throw StateError("LogisticRegression::predict before fit");
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = sigmoid(margin(x.row(r)));
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml

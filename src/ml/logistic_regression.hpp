@@ -1,0 +1,42 @@
+// L2-regularized logistic regression (HSC category).
+//
+// Trained by full-batch gradient descent with Adam and feature
+// standardization learned on the training set (raw opcode counts span
+// several orders of magnitude; the linear model needs the scaling even
+// though the paper feeds trees raw counts).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace phishinghook::ml {
+
+struct LogisticRegressionConfig {
+  double learning_rate = 0.05;
+  double l2 = 1e-3;
+  int epochs = 300;
+  std::uint64_t seed = 11;
+};
+
+class LogisticRegressionClassifier final : public TabularClassifier {
+ public:
+  explicit LogisticRegressionClassifier(LogisticRegressionConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "Logistic Regression"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  double margin(std::span<const double> row) const;
+
+  LogisticRegressionConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> mean_, stddev_;  // standardization learned in fit()
+};
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,83 @@
+#include "ml/metrics.hpp"
+
+#include "common/errors.hpp"
+
+namespace phishinghook::ml {
+
+ConfusionMatrix confusion(const std::vector<int>& truth,
+                          const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw InvalidArgument("confusion(): size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool actual = truth[i] != 0;
+    const bool guess = predicted[i] != 0;
+    if (actual && guess) ++cm.tp;
+    else if (!actual && guess) ++cm.fp;
+    else if (!actual && !guess) ++cm.tn;
+    else ++cm.fn;
+  }
+  return cm;
+}
+
+Metrics compute_metrics(const ConfusionMatrix& cm) {
+  Metrics m;
+  const double total = static_cast<double>(cm.total());
+  if (total > 0) {
+    m.accuracy = static_cast<double>(cm.tp + cm.tn) / total;
+  }
+  if (cm.tp + cm.fp > 0) {
+    m.precision = static_cast<double>(cm.tp) / static_cast<double>(cm.tp + cm.fp);
+  }
+  if (cm.tp + cm.fn > 0) {
+    m.recall = static_cast<double>(cm.tp) / static_cast<double>(cm.tp + cm.fn);
+  }
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+Metrics compute_metrics(const std::vector<int>& truth,
+                        const std::vector<int>& predicted) {
+  return compute_metrics(confusion(truth, predicted));
+}
+
+Metrics mean_metrics(const std::vector<Metrics>& all) {
+  Metrics m;
+  if (all.empty()) return m;
+  for (const Metrics& one : all) {
+    m.accuracy += one.accuracy;
+    m.precision += one.precision;
+    m.recall += one.recall;
+    m.f1 += one.f1;
+  }
+  const double n = static_cast<double>(all.size());
+  m.accuracy /= n;
+  m.precision /= n;
+  m.recall /= n;
+  m.f1 /= n;
+  return m;
+}
+
+std::vector<int> threshold_predictions(const std::vector<double>& probs,
+                                       double threshold) {
+  std::vector<int> out(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    out[i] = probs[i] >= threshold ? 1 : 0;
+  }
+  return out;
+}
+
+double area_under_time(const std::vector<double>& series) {
+  if (series.empty()) return 0.0;
+  if (series.size() == 1) return series.front();
+  double area = 0.0;
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    area += 0.5 * (series[i] + series[i + 1]);
+  }
+  return area / static_cast<double>(series.size() - 1);
+}
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,45 @@
+// Binary-classification metrics: the four columns of the paper's Table II.
+//
+// Positive class = phishing (label 1) throughout.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace phishinghook::ml {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+};
+
+ConfusionMatrix confusion(const std::vector<int>& truth,
+                          const std::vector<int>& predicted);
+
+/// The Table II metric bundle. Values in [0, 1].
+struct Metrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Metrics from a confusion matrix. Degenerate denominators yield 0.
+Metrics compute_metrics(const ConfusionMatrix& cm);
+Metrics compute_metrics(const std::vector<int>& truth,
+                        const std::vector<int>& predicted);
+
+/// Mean of a bundle list (fold averaging).
+Metrics mean_metrics(const std::vector<Metrics>& all);
+
+/// Thresholds probabilities at 0.5.
+std::vector<int> threshold_predictions(const std::vector<double>& probs,
+                                       double threshold = 0.5);
+
+/// Area Under Time (Fig. 8): normalized trapezoidal area under a metric
+/// series observed at evenly spaced test periods; in [0, 1] for series in
+/// [0, 1] (TESSERACT's AUT with evenly spaced samples).
+double area_under_time(const std::vector<double>& series);
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,135 @@
+#include "ml/models/eca_efficientnet.hpp"
+
+#include "common/logging.hpp"
+
+namespace phishinghook::ml::models {
+
+nn::Tensor EcaEfficientNetModel::MbConvBlock::forward(const nn::Tensor& x) {
+  cached_input = x;
+  nn::Tensor h = act1.forward(expand.forward(x));
+  h = act2.forward(depthwise.forward(h));
+  h = eca.forward(h);
+  h = project.forward(h);
+  if (residual) h.add_(x);
+  return h;
+}
+
+nn::Tensor EcaEfficientNetModel::MbConvBlock::backward(
+    const nn::Tensor& grad_out) {
+  nn::Tensor g = project.backward(grad_out);
+  g = eca.backward(g);
+  g = act2.backward(g);
+  g = depthwise.backward(g);
+  g = act1.backward(g);
+  g = expand.backward(g);
+  if (residual) g.add_(grad_out);
+  return g;
+}
+
+std::vector<nn::Param*> EcaEfficientNetModel::MbConvBlock::params() {
+  std::vector<nn::Param*> out;
+  for (nn::Param* p : expand.params()) out.push_back(p);
+  for (nn::Param* p : depthwise.params()) out.push_back(p);
+  for (nn::Param* p : eca.params()) out.push_back(p);
+  for (nn::Param* p : project.params()) out.push_back(p);
+  return out;
+}
+
+EcaEfficientNetModel::EcaEfficientNetModel(EcaEfficientNetConfig config)
+    : config_(config), rng_(config.base.seed) {
+  // Stem: 3x3 stride-2 conv, the EfficientNet opening move.
+  nn::Conv2dConfig stem;
+  stem.in_channels = 3;
+  stem.out_channels = config_.stem_channels;
+  stem.kernel = 3;
+  stem.stride = 2;
+  stem.padding = 1;
+  stem_ = nn::Conv2d(stem, rng_);
+
+  std::size_t channels = config_.stem_channels;
+  for (std::size_t out_channels : config_.block_channels) {
+    MbConvBlock block;
+    const std::size_t expanded = channels * config_.expand_ratio;
+    nn::Conv2dConfig expand;
+    expand.in_channels = channels;
+    expand.out_channels = expanded;
+    expand.kernel = 1;
+    expand.stride = 1;
+    expand.padding = 0;
+    block.expand = nn::Conv2d(expand, rng_);
+    block.depthwise = nn::DepthwiseConv2d(expanded, 3, 1, 1, rng_);
+    block.eca = nn::Eca(expanded, config_.eca_kernel, rng_);
+    nn::Conv2dConfig project;
+    project.in_channels = expanded;
+    project.out_channels = out_channels;
+    project.kernel = 1;
+    project.stride = 1;
+    project.padding = 0;
+    block.project = nn::Conv2d(project, rng_);
+    block.residual = out_channels == channels;
+    blocks_.push_back(std::move(block));
+    channels = out_channels;
+  }
+  head_ = nn::Linear(channels, 2, rng_);
+
+  std::vector<nn::Param*> params;
+  for (nn::Param* p : stem_.params()) params.push_back(p);
+  for (auto& block : blocks_) {
+    for (nn::Param* p : block.params()) params.push_back(p);
+  }
+  for (nn::Param* p : head_.params()) params.push_back(p);
+  nn::AdamConfig adam;
+  adam.learning_rate = config_.base.learning_rate;
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(std::move(params), adam);
+}
+
+nn::Tensor EcaEfficientNetModel::forward(const nn::Tensor& image) {
+  nn::Tensor h = stem_act_.forward(stem_.forward(image));
+  for (auto& block : blocks_) h = block.forward(h);
+  return head_.forward(pool_.forward(h));
+}
+
+void EcaEfficientNetModel::backward(const nn::Tensor& grad_logits) {
+  nn::Tensor g = pool_.backward(head_.backward(grad_logits));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    g = it->backward(g);
+  }
+  stem_.backward(stem_act_.backward(g));  // image grads discarded
+}
+
+void EcaEfficientNetModel::fit(const std::vector<nn::Tensor>& images,
+                               const std::vector<int>& labels) {
+  if (images.size() != labels.size()) {
+    throw InvalidArgument("ECA+EfficientNet::fit size mismatch");
+  }
+  for (int epoch = 0; epoch < config_.base.epochs; ++epoch) {
+    const auto order = common::random_permutation(images.size(), rng_);
+    int in_batch = 0;
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const nn::Tensor logits = forward(images[idx]);
+      const auto loss = nn::softmax_cross_entropy(
+          logits, static_cast<std::size_t>(labels[idx]));
+      epoch_loss += loss.loss;
+      backward(loss.grad);
+      if (++in_batch == config_.base.batch_size) {
+        optimizer_->step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) optimizer_->step();
+    common::log_debug("ECA+EfficientNet epoch ", epoch, " loss ",
+                      epoch_loss / static_cast<double>(images.size()));
+  }
+}
+
+std::vector<double> EcaEfficientNetModel::predict_proba(
+    const std::vector<nn::Tensor>& images) {
+  std::vector<double> out(images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    out[i] = nn::softmax(forward(images[i]))[1];
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml::models

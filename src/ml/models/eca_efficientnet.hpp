@@ -1,0 +1,67 @@
+// ECA+EfficientNet (Zhou et al., CMC 2023), CPU-scaled.
+//
+// The paper's fraud detector: bytecode RGB images feed a modified
+// EfficientNet-B0 whose squeeze-excite modules are replaced with ECA
+// (efficient channel attention), followed by global average pooling and a
+// fully connected classifier. Reproduced here as a stem convolution plus a
+// stack of MBConv-style blocks (pointwise expand -> depthwise -> ECA ->
+// pointwise project, residual where shapes allow) at reduced width/depth.
+#pragma once
+
+#include <memory>
+
+#include "ml/nn/activations.hpp"
+#include "ml/nn/conv.hpp"
+#include "ml/nn/linear.hpp"
+#include "ml/models/vision_model.hpp"
+
+namespace phishinghook::ml::models {
+
+struct EcaEfficientNetConfig {
+  VisionModelConfig base;
+  std::size_t stem_channels = 8;
+  std::vector<std::size_t> block_channels = {12, 16};  ///< one MBConv each
+  std::size_t expand_ratio = 2;
+  std::size_t eca_kernel = 3;
+};
+
+class EcaEfficientNetModel final : public ImageClassifierModel {
+ public:
+  explicit EcaEfficientNetModel(EcaEfficientNetConfig config = {});
+
+  void fit(const std::vector<nn::Tensor>& images,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<nn::Tensor>& images) override;
+  std::string name() const override { return "ECA+EfficientNet"; }
+
+ private:
+  struct MbConvBlock {
+    nn::Conv2d expand;        // 1x1
+    nn::Silu act1;
+    nn::DepthwiseConv2d depthwise;
+    nn::Silu act2;
+    nn::Eca eca;
+    nn::Conv2d project;       // 1x1
+    bool residual = false;
+    nn::Tensor cached_input;  // for the residual path
+
+    nn::Tensor forward(const nn::Tensor& x);
+    nn::Tensor backward(const nn::Tensor& grad_out);
+    std::vector<nn::Param*> params();
+  };
+
+  nn::Tensor forward(const nn::Tensor& image);
+  void backward(const nn::Tensor& grad_logits);
+
+  EcaEfficientNetConfig config_;
+  common::Rng rng_;
+  nn::Conv2d stem_;
+  nn::Silu stem_act_;
+  std::vector<MbConvBlock> blocks_;
+  nn::GlobalAvgPool pool_;
+  nn::Linear head_;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+};
+
+}  // namespace phishinghook::ml::models

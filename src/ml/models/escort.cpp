@@ -1,0 +1,149 @@
+#include "ml/models/escort.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace phishinghook::ml::models {
+
+EscortModel::EscortModel(EscortConfig config)
+    : config_(config), rng_(config.seed) {
+  embedding_ = nn::Embedding(config_.vocab, config_.embed_dim, rng_);
+  fc1_ = nn::Linear(config_.embed_dim, 2 * config_.feature_dim, rng_);
+  fc2_ = nn::Linear(2 * config_.feature_dim, config_.feature_dim, rng_);
+  vuln_branch_ = nn::Linear(
+      config_.feature_dim,
+      static_cast<std::size_t>(config_.vulnerability_classes), rng_);
+  phishing_branch_ = nn::Linear(config_.feature_dim, 2, rng_);
+}
+
+int EscortModel::vulnerability_class(const TokenSequence& tokens) {
+  bool has_delegatecall = false;
+  bool has_selfdestruct = false;
+  std::size_t arithmetic = 0;
+  for (std::size_t token : tokens) {
+    if (token == 0xF4) has_delegatecall = true;
+    if (token == 0xFF) has_selfdestruct = true;
+    if (token >= 0x01 && token <= 0x0B) ++arithmetic;
+  }
+  if (has_delegatecall) return 0;
+  if (!tokens.empty() &&
+      static_cast<double>(arithmetic) / static_cast<double>(tokens.size()) >
+          0.08) {
+    return 1;
+  }
+  if (has_selfdestruct) return 2;
+  return 3;
+}
+
+nn::Tensor EscortModel::extract(const TokenSequence& window) {
+  cached_t_ = window.size();
+  const nn::Tensor embedded = embedding_.forward(window);  // [T, E]
+  nn::Tensor pooled({1, config_.embed_dim});
+  for (std::size_t t = 0; t < cached_t_; ++t) {
+    for (std::size_t i = 0; i < config_.embed_dim; ++i) {
+      pooled.at(0, i) += embedded.at(t, i);
+    }
+  }
+  pooled.scale_(1.0F / static_cast<float>(cached_t_));
+  return act2_.forward(fc2_.forward(act1_.forward(fc1_.forward(pooled))));
+}
+
+void EscortModel::extract_backward(const nn::Tensor& grad_features) {
+  const nn::Tensor grad_pooled =
+      fc1_.backward(act1_.backward(fc2_.backward(act2_.backward(grad_features))));
+  nn::Tensor grad_embedded({cached_t_, config_.embed_dim});
+  const float inv = 1.0F / static_cast<float>(cached_t_);
+  for (std::size_t t = 0; t < cached_t_; ++t) {
+    for (std::size_t i = 0; i < config_.embed_dim; ++i) {
+      grad_embedded.at(t, i) = grad_pooled.at(0, i) * inv;
+    }
+  }
+  embedding_.backward(grad_embedded);
+}
+
+void EscortModel::fit(const std::vector<TokenSequence>& sequences,
+                      const std::vector<int>& labels) {
+  if (sequences.size() != labels.size()) {
+    throw InvalidArgument("ESCORT::fit size mismatch");
+  }
+
+  std::vector<TokenSequence> windows(sequences.size());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    windows[i] = make_windows(sequences[i], config_.max_len,
+                              /*sliding_window=*/false)
+                     .front();
+  }
+
+  // --- phase 1: multi-class vulnerability pretraining ---------------------
+  std::vector<int> vuln_labels(sequences.size());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    vuln_labels[i] = vulnerability_class(sequences[i]);
+  }
+  {
+    std::vector<nn::Param*> params;
+    for (nn::Param* p : embedding_.params()) params.push_back(p);
+    for (nn::Param* p : fc1_.params()) params.push_back(p);
+    for (nn::Param* p : fc2_.params()) params.push_back(p);
+    for (nn::Param* p : vuln_branch_.params()) params.push_back(p);
+    nn::AdamConfig adam;
+    adam.learning_rate = config_.learning_rate;
+    nn::AdamOptimizer optimizer(std::move(params), adam);
+
+    for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+      const auto order = common::random_permutation(sequences.size(), rng_);
+      int in_batch = 0;
+      for (std::size_t idx : order) {
+        const nn::Tensor features = extract(windows[idx]);
+        const nn::Tensor logits = vuln_branch_.forward(features);
+        const auto loss = nn::softmax_cross_entropy(
+            logits, static_cast<std::size_t>(vuln_labels[idx]));
+        extract_backward(vuln_branch_.backward(loss.grad));
+        if (++in_batch == config_.batch_size) {
+          optimizer.step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) optimizer.step();
+    }
+  }
+
+  // --- phase 2: frozen extractor, new phishing branch ---------------------
+  {
+    nn::AdamConfig adam;
+    adam.learning_rate = config_.learning_rate;
+    nn::AdamOptimizer optimizer(phishing_branch_.params(), adam);
+    // The extractor's own gradient buffers stay untouched: only the branch
+    // is registered with the optimizer and extract_backward is never called.
+    for (int epoch = 0; epoch < config_.transfer_epochs; ++epoch) {
+      const auto order = common::random_permutation(sequences.size(), rng_);
+      int in_batch = 0;
+      for (std::size_t idx : order) {
+        const nn::Tensor features = extract(windows[idx]);
+        const nn::Tensor logits = phishing_branch_.forward(features);
+        const auto loss = nn::softmax_cross_entropy(
+            logits, static_cast<std::size_t>(labels[idx]));
+        (void)phishing_branch_.backward(loss.grad);
+        if (++in_batch == config_.batch_size) {
+          optimizer.step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) optimizer.step();
+    }
+  }
+}
+
+std::vector<double> EscortModel::predict_proba(
+    const std::vector<TokenSequence>& sequences) {
+  std::vector<double> out(sequences.size());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const TokenSequence window =
+        make_windows(sequences[i], config_.max_len, false).front();
+    const nn::Tensor logits = phishing_branch_.forward(extract(window));
+    out[i] = nn::softmax(logits)[1];
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml::models

@@ -1,0 +1,74 @@
+// ESCORT (Sendner et al., NDSS 2023), reimplemented from the paper's
+// description and used — as in PhishingHook — outside its design domain.
+//
+// ESCORT embeds contract bytecode into a vector space with a shared feature
+// extractor and attaches one branch (a small DNN) per vulnerability class.
+// Its second operational mode detects *new* vulnerability types by transfer
+// learning: the extractor is frozen and only a fresh branch is trained.
+//
+// PhishingHook exercises exactly that transfer mode for phishing: phase 1
+// pretrains the extractor on technical vulnerability classes (derived here
+// from bytecode structure: delegatecall/proxy profile, arithmetic-overflow
+// profile, selfdestruct reachability, unchecked external calls — the
+// classes ESCORT's corpus covers), then phase 2 freezes it and trains a
+// binary phishing branch. The paper's finding — near-chance accuracy,
+// because phishing is social engineering, not a code defect — emerges from
+// the same mechanism: the frozen embedding preserves code-defect structure,
+// not intent.
+#pragma once
+
+#include <memory>
+
+#include "ml/nn/activations.hpp"
+#include "ml/nn/linear.hpp"
+#include "ml/models/sequence_model.hpp"
+
+namespace phishinghook::ml::models {
+
+struct EscortConfig {
+  std::size_t vocab = 257;       ///< byte tokens + pad
+  std::size_t embed_dim = 24;
+  std::size_t feature_dim = 16;  ///< the shared embedding space
+  std::size_t max_len = 256;
+  int vulnerability_classes = 4;
+  int pretrain_epochs = 4;
+  int transfer_epochs = 6;
+  int batch_size = 16;
+  float learning_rate = 2e-3F;
+  std::uint64_t seed = 37;
+};
+
+class EscortModel final : public SequenceClassifierModel {
+ public:
+  explicit EscortModel(EscortConfig config = {});
+
+  /// Phase 1 + phase 2: pretrains the extractor on derived vulnerability
+  /// classes over `sequences`, then freezes it and fits the phishing branch
+  /// on `labels`.
+  void fit(const std::vector<TokenSequence>& sequences,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<TokenSequence>& sequences) override;
+  std::string name() const override { return "ESCORT"; }
+
+  /// The derived technical class of a bytecode token sequence (exposed for
+  /// tests): 0 = proxy/delegatecall profile, 1 = arithmetic-heavy,
+  /// 2 = selfdestruct-reachable, 3 = plain storage/logic.
+  static int vulnerability_class(const TokenSequence& tokens);
+
+ private:
+  /// Mean-pooled embedding -> two-layer extractor -> feature vector [1, F].
+  nn::Tensor extract(const TokenSequence& window);
+  void extract_backward(const nn::Tensor& grad_features);
+
+  EscortConfig config_;
+  common::Rng rng_;
+  nn::Embedding embedding_;
+  nn::Linear fc1_, fc2_;  // the shared extractor
+  nn::ReLU act1_, act2_;
+  nn::Linear vuln_branch_;      // phase-1 head (num classes)
+  nn::Linear phishing_branch_;  // phase-2 head (2 classes)
+  std::size_t cached_t_ = 0;
+};
+
+}  // namespace phishinghook::ml::models

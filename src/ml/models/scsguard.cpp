@@ -1,0 +1,101 @@
+#include "ml/models/scsguard.hpp"
+
+#include "common/logging.hpp"
+
+namespace phishinghook::ml::models {
+
+ScsGuardModel::ScsGuardModel(SequenceModelConfig config)
+    : config_(config), rng_(config.seed) {
+  embedding_ = nn::Embedding(config_.vocab, config_.dim, rng_);
+  nn::AttentionConfig attn;
+  attn.dim = config_.dim;
+  attn.heads = config_.heads;
+  attention_ = nn::MultiHeadAttention(attn, rng_);
+  norm_ = nn::LayerNorm(config_.dim);
+  gru_ = nn::Gru(config_.dim, config_.dim, rng_);
+  head_ = nn::Linear(config_.dim, 2, rng_);
+
+  std::vector<nn::Param*> params;
+  for (nn::Param* p : embedding_.params()) params.push_back(p);
+  for (nn::Param* p : attention_.params()) params.push_back(p);
+  for (nn::Param* p : norm_.params()) params.push_back(p);
+  for (nn::Param* p : gru_.params()) params.push_back(p);
+  for (nn::Param* p : head_.params()) params.push_back(p);
+  nn::AdamConfig adam;
+  adam.learning_rate = config_.learning_rate;
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(std::move(params), adam);
+}
+
+nn::Tensor ScsGuardModel::forward(const TokenSequence& window) {
+  cached_t_ = window.size();
+  cached_embedded_ = embedding_.forward(window);
+  nn::Tensor attended = cached_embedded_;
+  attended.add_(attention_.forward(norm_.forward(cached_embedded_)));
+  const nn::Tensor hidden = gru_.forward(attended);  // [T, D]
+  // Last hidden state summarizes the sequence.
+  nn::Tensor last({1, config_.dim});
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    last.at(0, i) = hidden.at(cached_t_ - 1, i);
+  }
+  return head_.forward(last);
+}
+
+void ScsGuardModel::backward(const nn::Tensor& grad_logits) {
+  const nn::Tensor grad_last = head_.backward(grad_logits);  // [1, D]
+  nn::Tensor grad_hidden({cached_t_, config_.dim});
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    grad_hidden.at(cached_t_ - 1, i) = grad_last.at(0, i);
+  }
+  const nn::Tensor grad_attended = gru_.backward(grad_hidden);
+  nn::Tensor grad_embedded = grad_attended;
+  grad_embedded.add_(norm_.backward(attention_.backward(grad_attended)));
+  embedding_.backward(grad_embedded);
+}
+
+void ScsGuardModel::fit(const std::vector<TokenSequence>& sequences,
+                        const std::vector<int>& labels) {
+  if (sequences.size() != labels.size()) {
+    throw InvalidArgument("SCSGuard::fit size mismatch");
+  }
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto order = common::random_permutation(sequences.size(), rng_);
+    int in_batch = 0;
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const auto windows = make_windows(sequences[idx], config_.max_len,
+                                        config_.sliding_window);
+      for (const TokenSequence& window : windows) {
+        const nn::Tensor logits = forward(window);
+        const auto loss = nn::softmax_cross_entropy(
+            logits, static_cast<std::size_t>(labels[idx]));
+        epoch_loss += loss.loss;
+        backward(loss.grad);
+      }
+      if (++in_batch == config_.batch_size) {
+        optimizer_->step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) optimizer_->step();
+    common::log_debug("SCSGuard epoch ", epoch, " loss ",
+                      epoch_loss / static_cast<double>(sequences.size()));
+  }
+}
+
+std::vector<double> ScsGuardModel::predict_proba(
+    const std::vector<TokenSequence>& sequences) {
+  std::vector<double> out(sequences.size());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const auto windows =
+        make_windows(sequences[i], config_.max_len, config_.sliding_window);
+    double positive = 0.0;
+    for (const TokenSequence& window : windows) {
+      const auto probs = nn::softmax(forward(window));
+      positive += probs[1];
+    }
+    out[i] = positive / static_cast<double>(windows.size());
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml::models

@@ -1,0 +1,43 @@
+// SCSGuard (Hu, Bai, Xu — INFOCOM Workshops 2022), reimplemented from the
+// paper's description: bytecode hex strings are read as n-grams, embedded,
+// passed through multi-head attention to capture long-range dependencies,
+// then a GRU models the sequential structure, and a fully connected layer
+// produces the logits.
+#pragma once
+
+#include <memory>
+
+#include "ml/nn/attention.hpp"
+#include "ml/nn/gru.hpp"
+#include "ml/models/sequence_model.hpp"
+
+namespace phishinghook::ml::models {
+
+class ScsGuardModel final : public SequenceClassifierModel {
+ public:
+  explicit ScsGuardModel(SequenceModelConfig config = {});
+
+  void fit(const std::vector<TokenSequence>& sequences,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<TokenSequence>& sequences) override;
+  std::string name() const override { return "SCSGuard"; }
+
+ private:
+  nn::Tensor forward(const TokenSequence& window);
+  void backward(const nn::Tensor& grad_logits);
+
+  SequenceModelConfig config_;
+  common::Rng rng_;
+  nn::Embedding embedding_;
+  nn::MultiHeadAttention attention_;
+  nn::LayerNorm norm_;
+  nn::Gru gru_;
+  nn::Linear head_;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  // caches for the pieces outside layer objects
+  std::size_t cached_t_ = 0;
+  nn::Tensor cached_embedded_;
+};
+
+}  // namespace phishinghook::ml::models

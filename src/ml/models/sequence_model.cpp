@@ -1,0 +1,28 @@
+#include "ml/models/sequence_model.hpp"
+
+#include <algorithm>
+
+namespace phishinghook::ml::models {
+
+std::vector<TokenSequence> make_windows(const TokenSequence& tokens,
+                                        std::size_t max_len,
+                                        bool sliding_window) {
+  std::vector<TokenSequence> windows;
+  if (tokens.size() <= max_len || !sliding_window) {
+    windows.emplace_back(tokens.begin(),
+                         tokens.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(tokens.size(), max_len)));
+    if (windows.back().empty()) windows.back().push_back(0);
+    return windows;
+  }
+  const std::size_t stride = std::max<std::size_t>(1, max_len / 2);
+  for (std::size_t start = 0; start < tokens.size(); start += stride) {
+    const std::size_t end = std::min(tokens.size(), start + max_len);
+    windows.emplace_back(tokens.begin() + static_cast<std::ptrdiff_t>(start),
+                         tokens.begin() + static_cast<std::ptrdiff_t>(end));
+    if (end == tokens.size()) break;
+  }
+  return windows;
+}
+
+}  // namespace phishinghook::ml::models

@@ -1,0 +1,54 @@
+// Shared plumbing for the sequence (language) models: a common config and
+// the fit/predict interface over token-id sequences.
+//
+// All sequence models consume `TokenSequence`s produced by the feature
+// layer (bigram ids for SCSGuard, byte/opcode tokens for GPT-2 / T5) and
+// classify single samples; minibatch gradients are accumulated across
+// samples before each optimizer step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/nn/loss.hpp"
+
+namespace phishinghook::ml::models {
+
+using TokenSequence = std::vector<std::size_t>;
+
+struct SequenceModelConfig {
+  std::size_t vocab = 4096;
+  std::size_t dim = 32;
+  std::size_t heads = 4;
+  std::size_t layers = 2;
+  std::size_t max_len = 160;    ///< window length (the alpha truncation)
+  int epochs = 5;
+  int batch_size = 16;
+  float learning_rate = 2e-3F;
+  std::uint64_t seed = 29;
+  /// beta mode: classify every max_len-sized window (stride = max_len / 2)
+  /// and average the logits, instead of truncating to the first window.
+  bool sliding_window = false;
+};
+
+/// Interface shared by SCSGuard, GPT-2 and T5.
+class SequenceClassifierModel {
+ public:
+  virtual ~SequenceClassifierModel() = default;
+
+  virtual void fit(const std::vector<TokenSequence>& sequences,
+                   const std::vector<int>& labels) = 0;
+  virtual std::vector<double> predict_proba(
+      const std::vector<TokenSequence>& sequences) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Splits `tokens` into the windows the model sees: one truncated window in
+/// alpha mode, half-overlapping windows covering the whole sequence in beta
+/// mode. Never returns an empty list (short inputs yield one short window).
+std::vector<TokenSequence> make_windows(const TokenSequence& tokens,
+                                        std::size_t max_len,
+                                        bool sliding_window);
+
+}  // namespace phishinghook::ml::models

@@ -1,0 +1,225 @@
+#include "ml/models/transformer_classifier.hpp"
+
+#include "common/logging.hpp"
+
+namespace phishinghook::ml::models {
+
+TransformerClassifier::TransformerClassifier(
+    TransformerClassifierConfig config, std::string name)
+    : config_(config), name_(std::move(name)), rng_(config.base.seed) {
+  const auto& base = config_.base;
+  embedding_ = nn::Embedding(base.vocab, base.dim, rng_);
+  if (!config_.relative_bias) {
+    positions_ = nn::PositionalEmbedding(base.max_len, base.dim, rng_);
+  }
+  nn::AttentionConfig attn;
+  attn.dim = base.dim;
+  attn.heads = base.heads;
+  attn.causal = config_.causal;
+  attn.max_rel_distance = config_.relative_bias ? 16 : 0;
+  for (std::size_t l = 0; l < base.layers; ++l) {
+    blocks_.emplace_back(attn, rng_);
+  }
+  final_norm_ = nn::LayerNorm(base.dim);
+  head_ = nn::Linear(base.dim, 2, rng_);
+  lm_head_ = nn::Linear(base.dim, base.vocab, rng_);
+
+  std::vector<nn::Param*> params;
+  for (nn::Param* p : embedding_.params()) params.push_back(p);
+  if (!config_.relative_bias) {
+    for (nn::Param* p : positions_.params()) params.push_back(p);
+  }
+  for (auto& block : blocks_) {
+    for (nn::Param* p : block.params()) params.push_back(p);
+  }
+  for (nn::Param* p : final_norm_.params()) params.push_back(p);
+  for (nn::Param* p : head_.params()) params.push_back(p);
+  for (nn::Param* p : lm_head_.params()) params.push_back(p);
+  nn::AdamConfig adam;
+  adam.learning_rate = base.learning_rate;
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(std::move(params), adam);
+}
+
+nn::Tensor TransformerClassifier::encode(const TokenSequence& window) {
+  cached_t_ = window.size();
+  nn::Tensor h = embedding_.forward(window);
+  if (!config_.relative_bias) h = positions_.forward(h);
+  for (auto& block : blocks_) h = block.forward(h);
+  return final_norm_.forward(h);
+}
+
+void TransformerClassifier::decode_backward(const nn::Tensor& grad_hidden) {
+  nn::Tensor g = final_norm_.backward(grad_hidden);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    g = it->backward(g);
+  }
+  if (!config_.relative_bias) positions_.backward(g);
+  embedding_.backward(g);
+}
+
+nn::Tensor TransformerClassifier::classify_forward(const TokenSequence& window) {
+  const nn::Tensor h = encode(window);  // [T, D]
+  const std::size_t dim = config_.base.dim;
+  nn::Tensor pooled({1, dim});
+  if (config_.mean_pool) {
+    for (std::size_t t = 0; t < cached_t_; ++t) {
+      for (std::size_t i = 0; i < dim; ++i) pooled.at(0, i) += h.at(t, i);
+    }
+    pooled.scale_(1.0F / static_cast<float>(cached_t_));
+  } else {
+    for (std::size_t i = 0; i < dim; ++i) {
+      pooled.at(0, i) = h.at(cached_t_ - 1, i);
+    }
+  }
+  return head_.forward(pooled);
+}
+
+void TransformerClassifier::classify_backward(const nn::Tensor& grad_logits) {
+  const nn::Tensor grad_pooled = head_.backward(grad_logits);  // [1, D]
+  const std::size_t dim = config_.base.dim;
+  nn::Tensor grad_hidden({cached_t_, dim});
+  if (config_.mean_pool) {
+    const float inv = 1.0F / static_cast<float>(cached_t_);
+    for (std::size_t t = 0; t < cached_t_; ++t) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        grad_hidden.at(t, i) = grad_pooled.at(0, i) * inv;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < dim; ++i) {
+      grad_hidden.at(cached_t_ - 1, i) = grad_pooled.at(0, i);
+    }
+  }
+  decode_backward(grad_hidden);
+}
+
+void TransformerClassifier::pretext_warmup(
+    const std::vector<TokenSequence>& sequences) {
+  // Next-token prediction on the unlabeled windows: the stand-in for the
+  // HuggingFace pretraining prior. Only a causal model can predict the next
+  // token without leakage, so T5-mode uses masked positions equivalently by
+  // predicting the final token of each window.
+  for (int epoch = 0; epoch < config_.pretext_epochs; ++epoch) {
+    const auto order = common::random_permutation(sequences.size(), rng_);
+    int in_batch = 0;
+    for (std::size_t idx : order) {
+      const auto windows = make_windows(sequences[idx], config_.base.max_len,
+                                        /*sliding_window=*/false);
+      const TokenSequence& window = windows.front();
+      if (window.size() < 2) continue;
+      const nn::Tensor h = encode(window);
+      const std::size_t dim = config_.base.dim;
+      nn::Tensor grad_hidden({cached_t_, dim});
+      if (config_.causal) {
+        // Predict token t+1 from position t, a few sampled positions.
+        const std::size_t samples =
+            std::min<std::size_t>(4, window.size() - 1);
+        for (std::size_t s = 0; s < samples; ++s) {
+          const std::size_t t = rng_.next_below(window.size() - 1);
+          nn::Tensor row({1, dim});
+          for (std::size_t i = 0; i < dim; ++i) row.at(0, i) = h.at(t, i);
+          const nn::Tensor logits = lm_head_.forward(row);
+          const auto loss = nn::softmax_cross_entropy(logits, window[t + 1]);
+          const nn::Tensor grad_row = lm_head_.backward(loss.grad);
+          for (std::size_t i = 0; i < dim; ++i) {
+            grad_hidden.at(t, i) += grad_row.at(0, i);
+          }
+        }
+      } else {
+        // Predict the final token from the mean of the preceding ones.
+        nn::Tensor row({1, dim});
+        const std::size_t t_last = window.size() - 1;
+        for (std::size_t t = 0; t < t_last; ++t) {
+          for (std::size_t i = 0; i < dim; ++i) row.at(0, i) += h.at(t, i);
+        }
+        row.scale_(1.0F / static_cast<float>(t_last));
+        const nn::Tensor logits = lm_head_.forward(row);
+        const auto loss = nn::softmax_cross_entropy(logits, window[t_last]);
+        const nn::Tensor grad_row = lm_head_.backward(loss.grad);
+        const float inv = 1.0F / static_cast<float>(t_last);
+        for (std::size_t t = 0; t < t_last; ++t) {
+          for (std::size_t i = 0; i < dim; ++i) {
+            grad_hidden.at(t, i) += grad_row.at(0, i) * inv;
+          }
+        }
+      }
+      decode_backward(grad_hidden);
+      if (++in_batch == config_.base.batch_size) {
+        optimizer_->step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) optimizer_->step();
+  }
+}
+
+void TransformerClassifier::fit(const std::vector<TokenSequence>& sequences,
+                                const std::vector<int>& labels) {
+  if (sequences.size() != labels.size()) {
+    throw InvalidArgument(name_ + "::fit size mismatch");
+  }
+  if (config_.pretext_epochs > 0) pretext_warmup(sequences);
+
+  for (int epoch = 0; epoch < config_.base.epochs; ++epoch) {
+    const auto order = common::random_permutation(sequences.size(), rng_);
+    int in_batch = 0;
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const auto windows = make_windows(sequences[idx], config_.base.max_len,
+                                        config_.base.sliding_window);
+      for (const TokenSequence& window : windows) {
+        const nn::Tensor logits = classify_forward(window);
+        const auto loss = nn::softmax_cross_entropy(
+            logits, static_cast<std::size_t>(labels[idx]));
+        epoch_loss += loss.loss;
+        classify_backward(loss.grad);
+      }
+      if (++in_batch == config_.base.batch_size) {
+        optimizer_->step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) optimizer_->step();
+    common::log_debug(name_, " epoch ", epoch, " loss ",
+                      epoch_loss / static_cast<double>(sequences.size()));
+  }
+}
+
+std::vector<double> TransformerClassifier::predict_proba(
+    const std::vector<TokenSequence>& sequences) {
+  std::vector<double> out(sequences.size());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const auto windows = make_windows(sequences[i], config_.base.max_len,
+                                      config_.base.sliding_window);
+    double positive = 0.0;
+    for (const TokenSequence& window : windows) {
+      positive += nn::softmax(classify_forward(window))[1];
+    }
+    out[i] = positive / static_cast<double>(windows.size());
+  }
+  return out;
+}
+
+TransformerClassifierConfig gpt2_config(SequenceModelConfig base,
+                                        bool beta_variant) {
+  TransformerClassifierConfig config;
+  base.sliding_window = beta_variant;
+  config.base = base;
+  config.causal = true;
+  config.relative_bias = false;
+  config.mean_pool = false;
+  return config;
+}
+
+TransformerClassifierConfig t5_config(SequenceModelConfig base,
+                                      bool beta_variant) {
+  TransformerClassifierConfig config;
+  base.sliding_window = beta_variant;
+  config.base = base;
+  config.causal = false;
+  config.relative_bias = true;
+  config.mean_pool = true;
+  return config;
+}
+
+}  // namespace phishinghook::ml::models

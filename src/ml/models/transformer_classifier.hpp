@@ -1,0 +1,74 @@
+// Transformer-based sequence classifiers: the shared implementation behind
+// the GPT-2 and T5 models.
+//
+// GPT-2 mode: decoder-only — causal attention, learned absolute positional
+// embeddings, the last token's hidden state feeds the classification head
+// (the standard GPT-2 sequence-classification recipe).
+// T5 mode: encoder-only — bidirectional attention with learned
+// relative-position bias and mean pooling over the sequence.
+//
+// The paper fine-tunes HuggingFace checkpoints; pretrained weights are not
+// available here, so an optional next-token "pretext" warm-up on the
+// training corpus stands in for pretraining (documented substitution), and
+// the architecture is width/depth-scaled for CPU.
+#pragma once
+
+#include <memory>
+
+#include "ml/nn/transformer.hpp"
+#include "ml/models/sequence_model.hpp"
+
+namespace phishinghook::ml::models {
+
+struct TransformerClassifierConfig {
+  SequenceModelConfig base;
+  bool causal = true;           ///< GPT-2: true, T5: false
+  bool relative_bias = false;   ///< T5's position mechanism
+  bool mean_pool = false;       ///< T5 pools; GPT-2 takes the last token
+  int pretext_epochs = 1;       ///< next-token warm-up epochs (0 disables)
+};
+
+class TransformerClassifier final : public SequenceClassifierModel {
+ public:
+  TransformerClassifier(TransformerClassifierConfig config, std::string name);
+
+  void fit(const std::vector<TokenSequence>& sequences,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<TokenSequence>& sequences) override;
+  std::string name() const override { return name_; }
+
+ private:
+  /// Hidden states [T, D] after the block stack.
+  nn::Tensor encode(const TokenSequence& window);
+  /// Backprop from hidden-state grads down to the embeddings.
+  void decode_backward(const nn::Tensor& grad_hidden);
+
+  nn::Tensor classify_forward(const TokenSequence& window);
+  void classify_backward(const nn::Tensor& grad_logits);
+
+  void pretext_warmup(const std::vector<TokenSequence>& sequences);
+
+  TransformerClassifierConfig config_;
+  std::string name_;
+  common::Rng rng_;
+  nn::Embedding embedding_;
+  nn::PositionalEmbedding positions_;  // used when !relative_bias
+  std::vector<nn::TransformerBlock> blocks_;
+  nn::LayerNorm final_norm_;
+  nn::Linear head_;      // -> 2 classes
+  nn::Linear lm_head_;   // -> vocab (pretext only)
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+
+  std::size_t cached_t_ = 0;
+};
+
+/// GPT-2 configuration (alpha: truncation / beta: sliding window).
+TransformerClassifierConfig gpt2_config(SequenceModelConfig base,
+                                        bool beta_variant);
+
+/// T5 configuration (alpha / beta as above).
+TransformerClassifierConfig t5_config(SequenceModelConfig base,
+                                      bool beta_variant);
+
+}  // namespace phishinghook::ml::models

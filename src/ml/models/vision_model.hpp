@@ -1,0 +1,33 @@
+// Shared interface for the vision models, which consume [3, S, S] RGB
+// tensors produced by the feature layer (R2D2 byte-color images or
+// frequency-encoded images).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/nn/loss.hpp"
+
+namespace phishinghook::ml::models {
+
+struct VisionModelConfig {
+  std::size_t image_side = 24;  ///< square side (paper: 224; CPU-scaled)
+  int epochs = 5;
+  int batch_size = 16;
+  float learning_rate = 2e-3F;
+  std::uint64_t seed = 31;
+};
+
+class ImageClassifierModel {
+ public:
+  virtual ~ImageClassifierModel() = default;
+
+  virtual void fit(const std::vector<nn::Tensor>& images,
+                   const std::vector<int>& labels) = 0;
+  virtual std::vector<double> predict_proba(
+      const std::vector<nn::Tensor>& images) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace phishinghook::ml::models

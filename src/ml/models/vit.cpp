@@ -1,0 +1,139 @@
+#include "ml/models/vit.hpp"
+
+#include "common/logging.hpp"
+
+namespace phishinghook::ml::models {
+
+VitModel::VitModel(VitConfig config) : config_(config), rng_(config.base.seed) {
+  const std::size_t side = config_.base.image_side;
+  if (side % config_.patch != 0) {
+    throw InvalidArgument("ViT image side must be divisible by patch size");
+  }
+  const std::size_t per_side = side / config_.patch;
+  n_patches_ = per_side * per_side;
+  const std::size_t patch_dim = 3 * config_.patch * config_.patch;
+
+  patch_embed_ = nn::Linear(patch_dim, config_.dim, rng_);
+  cls_token_ = nn::Param(nn::Tensor::randn({config_.dim}, 0.02F, rng_));
+  positions_ = nn::PositionalEmbedding(n_patches_ + 1, config_.dim, rng_);
+  nn::AttentionConfig attn;
+  attn.dim = config_.dim;
+  attn.heads = config_.heads;
+  for (std::size_t l = 0; l < config_.layers; ++l) blocks_.emplace_back(attn, rng_);
+  final_norm_ = nn::LayerNorm(config_.dim);
+  head_ = nn::Linear(config_.dim, 2, rng_);
+
+  std::vector<nn::Param*> params;
+  for (nn::Param* p : patch_embed_.params()) params.push_back(p);
+  params.push_back(&cls_token_);
+  for (nn::Param* p : positions_.params()) params.push_back(p);
+  for (auto& block : blocks_) {
+    for (nn::Param* p : block.params()) params.push_back(p);
+  }
+  for (nn::Param* p : final_norm_.params()) params.push_back(p);
+  for (nn::Param* p : head_.params()) params.push_back(p);
+  nn::AdamConfig adam;
+  adam.learning_rate = config_.base.learning_rate;
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(std::move(params), adam);
+}
+
+nn::Tensor VitModel::patchify(const nn::Tensor& image) const {
+  const std::size_t side = config_.base.image_side;
+  const std::size_t p = config_.patch;
+  const std::size_t per_side = side / p;
+  nn::Tensor out({n_patches_, 3 * p * p});
+  for (std::size_t py = 0; py < per_side; ++py) {
+    for (std::size_t px = 0; px < per_side; ++px) {
+      const std::size_t patch_idx = py * per_side + px;
+      std::size_t k = 0;
+      for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t dy = 0; dy < p; ++dy) {
+          for (std::size_t dx = 0; dx < p; ++dx) {
+            out.at(patch_idx, k++) = image.at3(c, py * p + dy, px * p + dx);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor VitModel::forward(const nn::Tensor& image) {
+  const nn::Tensor patches = patchify(image);
+  const nn::Tensor embedded = patch_embed_.forward(patches);  // [N, D]
+  nn::Tensor tokens({n_patches_ + 1, config_.dim});
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    tokens.at(0, i) = cls_token_.value[i];
+  }
+  for (std::size_t t = 0; t < n_patches_; ++t) {
+    for (std::size_t i = 0; i < config_.dim; ++i) {
+      tokens.at(t + 1, i) = embedded.at(t, i);
+    }
+  }
+  nn::Tensor h = positions_.forward(tokens);
+  for (auto& block : blocks_) h = block.forward(h);
+  h = final_norm_.forward(h);
+  nn::Tensor cls({1, config_.dim});
+  for (std::size_t i = 0; i < config_.dim; ++i) cls.at(0, i) = h.at(0, i);
+  return head_.forward(cls);
+}
+
+void VitModel::backward(const nn::Tensor& grad_logits) {
+  const nn::Tensor grad_cls = head_.backward(grad_logits);
+  nn::Tensor grad_h({n_patches_ + 1, config_.dim});
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    grad_h.at(0, i) = grad_cls.at(0, i);
+  }
+  grad_h = final_norm_.backward(grad_h);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    grad_h = it->backward(grad_h);
+  }
+  positions_.backward(grad_h);
+  nn::Tensor grad_embedded({n_patches_, config_.dim});
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    cls_token_.grad[i] += grad_h.at(0, i);
+  }
+  for (std::size_t t = 0; t < n_patches_; ++t) {
+    for (std::size_t i = 0; i < config_.dim; ++i) {
+      grad_embedded.at(t, i) = grad_h.at(t + 1, i);
+    }
+  }
+  patch_embed_.backward(grad_embedded);  // image grads discarded
+}
+
+void VitModel::fit(const std::vector<nn::Tensor>& images,
+                   const std::vector<int>& labels) {
+  if (images.size() != labels.size()) {
+    throw InvalidArgument("ViT::fit size mismatch");
+  }
+  for (int epoch = 0; epoch < config_.base.epochs; ++epoch) {
+    const auto order = common::random_permutation(images.size(), rng_);
+    int in_batch = 0;
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const nn::Tensor logits = forward(images[idx]);
+      const auto loss = nn::softmax_cross_entropy(
+          logits, static_cast<std::size_t>(labels[idx]));
+      epoch_loss += loss.loss;
+      backward(loss.grad);
+      if (++in_batch == config_.base.batch_size) {
+        optimizer_->step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) optimizer_->step();
+    common::log_debug("ViT epoch ", epoch, " loss ",
+                      epoch_loss / static_cast<double>(images.size()));
+  }
+}
+
+std::vector<double> VitModel::predict_proba(
+    const std::vector<nn::Tensor>& images) {
+  std::vector<double> out(images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    out[i] = nn::softmax(forward(images[i]))[1];
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml::models

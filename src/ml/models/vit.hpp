@@ -1,0 +1,54 @@
+// Vision Transformer (Dosovitskiy et al., ICLR 2021), CPU-scaled.
+//
+// The paper fine-tunes an ImageNet-pretrained ViT-B/16 on 224x224 bytecode
+// images; here the same architecture — non-overlapping patch embedding, a
+// learned CLS token, absolute positional embeddings, pre-LN transformer
+// blocks, CLS-head classification — is trained from random init on smaller
+// images (documented substitution in DESIGN.md).
+#pragma once
+
+#include <memory>
+
+#include "ml/nn/transformer.hpp"
+#include "ml/models/vision_model.hpp"
+
+namespace phishinghook::ml::models {
+
+struct VitConfig {
+  VisionModelConfig base;
+  std::size_t patch = 4;   ///< patch side (paper: 16)
+  std::size_t dim = 32;
+  std::size_t heads = 4;
+  std::size_t layers = 2;
+};
+
+class VitModel final : public ImageClassifierModel {
+ public:
+  explicit VitModel(VitConfig config = {});
+
+  void fit(const std::vector<nn::Tensor>& images,
+           const std::vector<int>& labels) override;
+  std::vector<double> predict_proba(
+      const std::vector<nn::Tensor>& images) override;
+  std::string name() const override { return "ViT"; }
+
+ private:
+  nn::Tensor forward(const nn::Tensor& image);
+  void backward(const nn::Tensor& grad_logits);
+
+  /// [3, S, S] -> [n_patches, patch*patch*3] flattened patches.
+  nn::Tensor patchify(const nn::Tensor& image) const;
+
+  VitConfig config_;
+  common::Rng rng_;
+  std::size_t n_patches_ = 0;
+  nn::Linear patch_embed_;
+  nn::Param cls_token_;
+  nn::PositionalEmbedding positions_;
+  std::vector<nn::TransformerBlock> blocks_;
+  nn::LayerNorm final_norm_;
+  nn::Linear head_;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+};
+
+}  // namespace phishinghook::ml::models

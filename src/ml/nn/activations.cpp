@@ -1,0 +1,75 @@
+#include "ml/nn/activations.hpp"
+
+#include <cmath>
+
+namespace phishinghook::ml::nn {
+
+float sigmoidf(float x) {
+  if (x >= 0.0F) return 1.0F / (1.0F + std::exp(-x));
+  const float e = std::exp(x);
+  return e / (1.0F + e);
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0F) y[i] = 0.0F;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) const {
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (cached_input_[i] <= 0.0F) grad_in[i] = 0.0F;
+  }
+  return grad_in;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608F;  // sqrt(2/pi)
+}
+
+Tensor Gelu::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float v = x[i];
+    y[i] = 0.5F * v * (1.0F + std::tanh(kGeluC * (v + 0.044715F * v * v * v)));
+  }
+  return y;
+}
+
+Tensor Gelu::backward(const Tensor& grad_out) const {
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    const float v = cached_input_[i];
+    const float u = kGeluC * (v + 0.044715F * v * v * v);
+    const float th = std::tanh(u);
+    const float du = kGeluC * (1.0F + 3.0F * 0.044715F * v * v);
+    const float deriv = 0.5F * (1.0F + th) + 0.5F * v * (1.0F - th * th) * du;
+    grad_in[i] *= deriv;
+  }
+  return grad_in;
+}
+
+Tensor Silu::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = x[i] * sigmoidf(x[i]);
+  }
+  return y;
+}
+
+Tensor Silu::backward(const Tensor& grad_out) const {
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    const float s = sigmoidf(cached_input_[i]);
+    grad_in[i] *= s * (1.0F + cached_input_[i] * (1.0F - s));
+  }
+  return grad_in;
+}
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,40 @@
+// Stateless activations with explicit backward helpers.
+#pragma once
+
+#include "ml/nn/tensor.hpp"
+
+namespace phishinghook::ml::nn {
+
+/// Caches the forward input so backward can gate the gradient.
+class ReLU {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out) const;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// tanh-approximation GELU (the transformer default).
+class Gelu {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out) const;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// SiLU / swish (EfficientNet's activation).
+class Silu {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out) const;
+
+ private:
+  Tensor cached_input_;
+};
+
+float sigmoidf(float x);
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,142 @@
+#include "ml/nn/attention.hpp"
+
+#include <cmath>
+
+namespace phishinghook::ml::nn {
+
+MultiHeadAttention::MultiHeadAttention(AttentionConfig config, common::Rng& rng)
+    : config_(config),
+      head_dim_(config.dim / config.heads),
+      qkv_(config.dim, 3 * config.dim, rng),
+      proj_(config.dim, config.dim, rng) {
+  if (config_.dim % config_.heads != 0) {
+    throw InvalidArgument("attention dim must be divisible by heads");
+  }
+  if (config_.max_rel_distance > 0) {
+    rel_bias_ = Param(Tensor(
+        {config_.heads,
+         static_cast<std::size_t>(2 * config_.max_rel_distance + 1)}));
+  }
+}
+
+std::vector<Param*> MultiHeadAttention::params() {
+  std::vector<Param*> out;
+  for (Param* p : qkv_.params()) out.push_back(p);
+  for (Param* p : proj_.params()) out.push_back(p);
+  if (config_.max_rel_distance > 0) out.push_back(&rel_bias_);
+  return out;
+}
+
+std::size_t MultiHeadAttention::rel_bucket(std::size_t i, std::size_t j) const {
+  const int d = static_cast<int>(j) - static_cast<int>(i);
+  const int clipped =
+      std::max(-config_.max_rel_distance, std::min(config_.max_rel_distance, d));
+  return static_cast<std::size_t>(clipped + config_.max_rel_distance);
+}
+
+float MultiHeadAttention::rel_bias(std::size_t head, std::size_t i,
+                                   std::size_t j) const {
+  if (config_.max_rel_distance <= 0) return 0.0F;
+  return rel_bias_.value.at(head, rel_bucket(i, j));
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) {
+  const std::size_t t_len = x.dim(0);
+  const std::size_t dim = config_.dim;
+  cached_qkv_ = qkv_.forward(x);  // [T, 3D]
+
+  cached_attn_ = Tensor({config_.heads * t_len, t_len});
+  Tensor context({t_len, dim});
+  const float scale = 1.0F / std::sqrt(static_cast<float>(head_dim_));
+
+  for (std::size_t h = 0; h < config_.heads; ++h) {
+    const std::size_t q_off = h * head_dim_;
+    const std::size_t k_off = dim + h * head_dim_;
+    const std::size_t v_off = 2 * dim + h * head_dim_;
+
+    for (std::size_t i = 0; i < t_len; ++i) {
+      float* attn_row = cached_attn_.data() + (h * t_len + i) * t_len;
+      const std::size_t limit = config_.causal ? i + 1 : t_len;
+      float max_score = -1e30F;
+      for (std::size_t j = 0; j < limit; ++j) {
+        float score = 0.0F;
+        const float* q = cached_qkv_.data() + i * 3 * dim + q_off;
+        const float* k = cached_qkv_.data() + j * 3 * dim + k_off;
+        for (std::size_t c = 0; c < head_dim_; ++c) score += q[c] * k[c];
+        score = score * scale + rel_bias(h, i, j);
+        attn_row[j] = score;
+        if (score > max_score) max_score = score;
+      }
+      float denom = 0.0F;
+      for (std::size_t j = 0; j < limit; ++j) {
+        attn_row[j] = std::exp(attn_row[j] - max_score);
+        denom += attn_row[j];
+      }
+      for (std::size_t j = 0; j < limit; ++j) attn_row[j] /= denom;
+      for (std::size_t j = limit; j < t_len; ++j) attn_row[j] = 0.0F;
+
+      float* ctx = context.data() + i * dim + h * head_dim_;
+      for (std::size_t j = 0; j < limit; ++j) {
+        const float w = attn_row[j];
+        const float* v = cached_qkv_.data() + j * 3 * dim + v_off;
+        for (std::size_t c = 0; c < head_dim_; ++c) ctx[c] += w * v[c];
+      }
+    }
+  }
+  return proj_.forward(context);
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& grad_out) {
+  const Tensor grad_context = proj_.backward(grad_out);  // [T, D]
+  const std::size_t t_len = grad_context.dim(0);
+  const std::size_t dim = config_.dim;
+  const float scale = 1.0F / std::sqrt(static_cast<float>(head_dim_));
+
+  Tensor grad_qkv({t_len, 3 * dim});
+
+  for (std::size_t h = 0; h < config_.heads; ++h) {
+    const std::size_t q_off = h * head_dim_;
+    const std::size_t k_off = dim + h * head_dim_;
+    const std::size_t v_off = 2 * dim + h * head_dim_;
+
+    for (std::size_t i = 0; i < t_len; ++i) {
+      const float* attn_row = cached_attn_.data() + (h * t_len + i) * t_len;
+      const float* g_ctx = grad_context.data() + i * dim + h * head_dim_;
+      const std::size_t limit = config_.causal ? i + 1 : t_len;
+
+      // grad wrt attention weights, and V accumulation.
+      float dot_sum = 0.0F;  // sum_j attn_j * g_attn_j (softmax backward)
+      std::vector<float> g_attn(limit);
+      for (std::size_t j = 0; j < limit; ++j) {
+        const float* v = cached_qkv_.data() + j * 3 * dim + v_off;
+        float g = 0.0F;
+        for (std::size_t c = 0; c < head_dim_; ++c) g += g_ctx[c] * v[c];
+        g_attn[j] = g;
+        dot_sum += attn_row[j] * g;
+        // dV
+        float* gv = grad_qkv.data() + j * 3 * dim + v_off;
+        for (std::size_t c = 0; c < head_dim_; ++c) {
+          gv[c] += attn_row[j] * g_ctx[c];
+        }
+      }
+      // softmax backward -> score grads -> Q/K/bias grads.
+      const float* q = cached_qkv_.data() + i * 3 * dim + q_off;
+      float* gq = grad_qkv.data() + i * 3 * dim + q_off;
+      for (std::size_t j = 0; j < limit; ++j) {
+        const float g_score = attn_row[j] * (g_attn[j] - dot_sum);
+        const float* k = cached_qkv_.data() + j * 3 * dim + k_off;
+        float* gk = grad_qkv.data() + j * 3 * dim + k_off;
+        for (std::size_t c = 0; c < head_dim_; ++c) {
+          gq[c] += g_score * scale * k[c];
+          gk[c] += g_score * scale * q[c];
+        }
+        if (config_.max_rel_distance > 0) {
+          rel_bias_.grad.at(h, rel_bucket(i, j)) += g_score;
+        }
+      }
+    }
+  }
+  return qkv_.backward(grad_qkv);
+}
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,50 @@
+// Multi-head self-attention over a [T, D] sequence.
+//
+// One implementation serves all four attention consumers:
+//   * SCSGuard         — bidirectional, no bias;
+//   * GPT-2 blocks     — causal mask;
+//   * T5 blocks        — bidirectional + learned relative-position bias
+//                        (clipped-distance buckets, one bias per head);
+//   * ViT blocks       — bidirectional over patch tokens.
+#pragma once
+
+#include "ml/nn/linear.hpp"
+
+namespace phishinghook::ml::nn {
+
+struct AttentionConfig {
+  std::size_t dim = 64;
+  std::size_t heads = 4;
+  bool causal = false;
+  /// 0 disables relative position bias; otherwise distances are clipped to
+  /// [-max_rel_distance, max_rel_distance] and each bucket gets a learned
+  /// per-head bias (the T5 mechanism, simplified to linear buckets).
+  int max_rel_distance = 0;
+};
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention() = default;
+  MultiHeadAttention(AttentionConfig config, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params();
+
+ private:
+  float rel_bias(std::size_t head, std::size_t i, std::size_t j) const;
+  std::size_t rel_bucket(std::size_t i, std::size_t j) const;
+
+  AttentionConfig config_;
+  std::size_t head_dim_ = 0;
+  Linear qkv_;    // [D] -> [3D]
+  Linear proj_;   // [D] -> [D]
+  Param rel_bias_;  // [heads, 2*max_rel+1] when enabled
+
+  // forward caches
+  Tensor cached_qkv_;   // [T, 3D]
+  Tensor cached_attn_;  // [heads*T, T] softmax weights
+};
+
+}  // namespace phishinghook::ml::nn

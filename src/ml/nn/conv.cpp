@@ -1,0 +1,285 @@
+#include "ml/nn/conv.hpp"
+
+#include <cmath>
+
+#include "ml/nn/activations.hpp"
+
+namespace phishinghook::ml::nn {
+
+Conv2d::Conv2d(Conv2dConfig config, common::Rng& rng)
+    : config_(config),
+      weight_(Tensor::randn(
+          {config.out_channels, config.in_channels, config.kernel,
+           config.kernel},
+          std::sqrt(2.0F / static_cast<float>(config.in_channels *
+                                              config.kernel * config.kernel)),
+          rng)),
+      bias_(Tensor({config.out_channels})) {}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 3 || x.dim(0) != config_.in_channels) {
+    throw InvalidArgument("Conv2d::forward expects [in_channels, H, W]");
+  }
+  cached_input_ = x;
+  const std::size_t h_in = x.dim(1), w_in = x.dim(2);
+  const std::size_t h_out = out_side(h_in), w_out = out_side(w_in);
+  const std::size_t k = config_.kernel;
+  Tensor y({config_.out_channels, h_out, w_out});
+
+  for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+    for (std::size_t oh = 0; oh < h_out; ++oh) {
+      for (std::size_t ow = 0; ow < w_out; ++ow) {
+        float acc = bias_.value[oc];
+        for (std::size_t ic = 0; ic < config_.in_channels; ++ic) {
+          for (std::size_t kh = 0; kh < k; ++kh) {
+            const std::ptrdiff_t ih =
+                static_cast<std::ptrdiff_t>(oh * config_.stride + kh) -
+                static_cast<std::ptrdiff_t>(config_.padding);
+            if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h_in)) continue;
+            for (std::size_t kw = 0; kw < k; ++kw) {
+              const std::ptrdiff_t iw =
+                  static_cast<std::ptrdiff_t>(ow * config_.stride + kw) -
+                  static_cast<std::ptrdiff_t>(config_.padding);
+              if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(w_in)) continue;
+              acc += weight_.value[((oc * config_.in_channels + ic) * k + kh) * k + kw] *
+                     x.at3(ic, static_cast<std::size_t>(ih),
+                           static_cast<std::size_t>(iw));
+            }
+          }
+        }
+        y.at3(oc, oh, ow) = acc;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t h_in = x.dim(1), w_in = x.dim(2);
+  const std::size_t h_out = grad_out.dim(1), w_out = grad_out.dim(2);
+  const std::size_t k = config_.kernel;
+  Tensor grad_in({config_.in_channels, h_in, w_in});
+
+  for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+    for (std::size_t oh = 0; oh < h_out; ++oh) {
+      for (std::size_t ow = 0; ow < w_out; ++ow) {
+        const float g = grad_out.at3(oc, oh, ow);
+        bias_.grad[oc] += g;
+        for (std::size_t ic = 0; ic < config_.in_channels; ++ic) {
+          for (std::size_t kh = 0; kh < k; ++kh) {
+            const std::ptrdiff_t ih =
+                static_cast<std::ptrdiff_t>(oh * config_.stride + kh) -
+                static_cast<std::ptrdiff_t>(config_.padding);
+            if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h_in)) continue;
+            for (std::size_t kw = 0; kw < k; ++kw) {
+              const std::ptrdiff_t iw =
+                  static_cast<std::ptrdiff_t>(ow * config_.stride + kw) -
+                  static_cast<std::ptrdiff_t>(config_.padding);
+              if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(w_in)) continue;
+              const std::size_t widx =
+                  ((oc * config_.in_channels + ic) * k + kh) * k + kw;
+              weight_.grad[widx] +=
+                  g * x.at3(ic, static_cast<std::size_t>(ih),
+                            static_cast<std::size_t>(iw));
+              grad_in.at3(ic, static_cast<std::size_t>(ih),
+                          static_cast<std::size_t>(iw)) +=
+                  g * weight_.value[widx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+DepthwiseConv2d::DepthwiseConv2d(std::size_t channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t padding,
+                                 common::Rng& rng)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(Tensor::randn(
+          {channels, kernel, kernel},
+          std::sqrt(2.0F / static_cast<float>(kernel * kernel)), rng)),
+      bias_(Tensor({channels})) {}
+
+Tensor DepthwiseConv2d::forward(const Tensor& x) {
+  if (x.rank() != 3 || x.dim(0) != channels_) {
+    throw InvalidArgument("DepthwiseConv2d expects [channels, H, W]");
+  }
+  cached_input_ = x;
+  const std::size_t h_in = x.dim(1), w_in = x.dim(2);
+  const std::size_t h_out = (h_in + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::size_t w_out = (w_in + 2 * padding_ - kernel_) / stride_ + 1;
+  Tensor y({channels_, h_out, w_out});
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    for (std::size_t oh = 0; oh < h_out; ++oh) {
+      for (std::size_t ow = 0; ow < w_out; ++ow) {
+        float acc = bias_.value[c];
+        for (std::size_t kh = 0; kh < kernel_; ++kh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride_ + kh) -
+              static_cast<std::ptrdiff_t>(padding_);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h_in)) continue;
+          for (std::size_t kw = 0; kw < kernel_; ++kw) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride_ + kw) -
+                static_cast<std::ptrdiff_t>(padding_);
+            if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(w_in)) continue;
+            acc += weight_.value[(c * kernel_ + kh) * kernel_ + kw] *
+                   x.at3(c, static_cast<std::size_t>(ih),
+                         static_cast<std::size_t>(iw));
+          }
+        }
+        y.at3(c, oh, ow) = acc;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t h_in = x.dim(1), w_in = x.dim(2);
+  const std::size_t h_out = grad_out.dim(1), w_out = grad_out.dim(2);
+  Tensor grad_in({channels_, h_in, w_in});
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    for (std::size_t oh = 0; oh < h_out; ++oh) {
+      for (std::size_t ow = 0; ow < w_out; ++ow) {
+        const float g = grad_out.at3(c, oh, ow);
+        bias_.grad[c] += g;
+        for (std::size_t kh = 0; kh < kernel_; ++kh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride_ + kh) -
+              static_cast<std::ptrdiff_t>(padding_);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h_in)) continue;
+          for (std::size_t kw = 0; kw < kernel_; ++kw) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride_ + kw) -
+                static_cast<std::ptrdiff_t>(padding_);
+            if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(w_in)) continue;
+            const std::size_t widx = (c * kernel_ + kh) * kernel_ + kw;
+            weight_.grad[widx] += g * x.at3(c, static_cast<std::size_t>(ih),
+                                            static_cast<std::size_t>(iw));
+            grad_in.at3(c, static_cast<std::size_t>(ih),
+                        static_cast<std::size_t>(iw)) +=
+                g * weight_.value[widx];
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  const std::size_t c = x.dim(0);
+  const std::size_t area = x.dim(1) * x.dim(2);
+  Tensor y({1, c});
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    float sum = 0.0F;
+    const float* base = x.data() + ch * area;
+    for (std::size_t i = 0; i < area; ++i) sum += base[i];
+    y.at(0, ch) = sum / static_cast<float>(area);
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) const {
+  Tensor grad_in(cached_shape_);
+  const std::size_t c = cached_shape_[0];
+  const std::size_t area = cached_shape_[1] * cached_shape_[2];
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float g = grad_out.at(0, ch) / static_cast<float>(area);
+    float* base = grad_in.data() + ch * area;
+    for (std::size_t i = 0; i < area; ++i) base[i] = g;
+  }
+  return grad_in;
+}
+
+Eca::Eca(std::size_t channels, std::size_t kernel, common::Rng& rng)
+    : channels_(channels),
+      kernel_(kernel),
+      weight_(Tensor::randn({kernel},
+                            std::sqrt(1.0F / static_cast<float>(kernel)),
+                            rng)) {
+  if (kernel % 2 == 0) throw InvalidArgument("ECA kernel must be odd");
+}
+
+Tensor Eca::forward(const Tensor& x) {
+  cached_input_ = x;
+  const std::size_t area = x.dim(1) * x.dim(2);
+  cached_pool_.assign(channels_, 0.0F);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float* base = x.data() + c * area;
+    float sum = 0.0F;
+    for (std::size_t i = 0; i < area; ++i) sum += base[i];
+    cached_pool_[c] = sum / static_cast<float>(area);
+  }
+  // 1-D conv across the channel axis (zero padded), then sigmoid.
+  cached_gate_.assign(channels_, 0.0F);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float acc = 0.0F;
+    for (std::size_t k = 0; k < kernel_; ++k) {
+      const std::ptrdiff_t src =
+          static_cast<std::ptrdiff_t>(c) + static_cast<std::ptrdiff_t>(k) - half;
+      if (src < 0 || src >= static_cast<std::ptrdiff_t>(channels_)) continue;
+      acc += weight_.value[k] * cached_pool_[static_cast<std::size_t>(src)];
+    }
+    cached_gate_[c] = sigmoidf(acc);
+  }
+  Tensor y = x;
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float* base = y.data() + c * area;
+    for (std::size_t i = 0; i < area; ++i) base[i] *= cached_gate_[c];
+  }
+  return y;
+}
+
+Tensor Eca::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t area = x.dim(1) * x.dim(2);
+  Tensor grad_in = grad_out;
+  std::vector<float> grad_gate(channels_, 0.0F);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float* go = grad_out.data() + c * area;
+    const float* base = x.data() + c * area;
+    float* gi = grad_in.data() + c * area;
+    float acc = 0.0F;
+    for (std::size_t i = 0; i < area; ++i) {
+      acc += go[i] * base[i];
+      gi[i] = go[i] * cached_gate_[c];
+    }
+    grad_gate[c] = acc;
+  }
+  // Through the sigmoid and the 1-D conv back to pooled means and weights.
+  std::vector<float> grad_pool(channels_, 0.0F);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float s = cached_gate_[c];
+    const float g_pre = grad_gate[c] * s * (1.0F - s);
+    for (std::size_t k = 0; k < kernel_; ++k) {
+      const std::ptrdiff_t src =
+          static_cast<std::ptrdiff_t>(c) + static_cast<std::ptrdiff_t>(k) - half;
+      if (src < 0 || src >= static_cast<std::ptrdiff_t>(channels_)) continue;
+      weight_.grad[k] += g_pre * cached_pool_[static_cast<std::size_t>(src)];
+      grad_pool[static_cast<std::size_t>(src)] += g_pre * weight_.value[k];
+    }
+  }
+  // Pooled means back to the feature map.
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float g = grad_pool[c] / static_cast<float>(area);
+    float* gi = grad_in.data() + c * area;
+    for (std::size_t i = 0; i < area; ++i) gi[i] += g;
+  }
+  return grad_in;
+}
+
+}  // namespace phishinghook::ml::nn

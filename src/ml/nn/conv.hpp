@@ -1,0 +1,87 @@
+// Convolutional layers for the vision models ([C, H, W] single-sample
+// tensors): standard and depthwise 2-D convolutions, global average
+// pooling, and the ECA (Efficient Channel Attention) module of
+// ECA+EfficientNet.
+#pragma once
+
+#include "ml/nn/tensor.hpp"
+
+namespace phishinghook::ml::nn {
+
+struct Conv2dConfig {
+  std::size_t in_channels = 3;
+  std::size_t out_channels = 8;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+};
+
+class Conv2d {
+ public:
+  Conv2d() = default;
+  Conv2d(Conv2dConfig config, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+
+  std::size_t out_side(std::size_t in_side) const {
+    return (in_side + 2 * config_.padding - config_.kernel) / config_.stride + 1;
+  }
+
+ private:
+  Conv2dConfig config_;
+  Param weight_;  // [out, in, k, k]
+  Param bias_;    // [out]
+  Tensor cached_input_;
+};
+
+/// Depthwise conv: one k x k filter per channel (EfficientNet's MBConv).
+class DepthwiseConv2d {
+ public:
+  DepthwiseConv2d() = default;
+  DepthwiseConv2d(std::size_t channels, std::size_t kernel, std::size_t stride,
+                  std::size_t padding, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+
+ private:
+  std::size_t channels_ = 0, kernel_ = 0, stride_ = 0, padding_ = 0;
+  Param weight_;  // [c, k, k]
+  Param bias_;    // [c]
+  Tensor cached_input_;
+};
+
+/// [C, H, W] -> [1, C]: spatial mean per channel.
+class GlobalAvgPool {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out) const;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Efficient Channel Attention (Wang et al., CVPR 2020): global average
+/// pool -> 1-D conv of width `kernel` across the channel axis -> sigmoid ->
+/// channel-wise rescale of the input feature map.
+class Eca {
+ public:
+  Eca() = default;
+  Eca(std::size_t channels, std::size_t kernel, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+  std::vector<Param*> params() { return {&weight_}; }
+
+ private:
+  std::size_t channels_ = 0, kernel_ = 0;
+  Param weight_;  // [kernel]
+  Tensor cached_input_;
+  std::vector<float> cached_pool_;  // per-channel means
+  std::vector<float> cached_gate_;  // sigmoid outputs
+};
+
+}  // namespace phishinghook::ml::nn

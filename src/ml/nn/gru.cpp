@@ -1,0 +1,127 @@
+#include "ml/nn/gru.hpp"
+
+#include <cmath>
+
+#include "ml/nn/activations.hpp"
+
+namespace phishinghook::ml::nn {
+
+Gru::Gru(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng)
+    : input_(input_dim),
+      hidden_(hidden_dim),
+      w_(Tensor::randn({3 * hidden_dim, input_dim},
+                       std::sqrt(1.0F / static_cast<float>(input_dim)), rng)),
+      u_(Tensor::randn({3 * hidden_dim, hidden_dim},
+                       std::sqrt(1.0F / static_cast<float>(hidden_dim)), rng)),
+      b_(Tensor({3 * hidden_dim})) {}
+
+std::vector<Param*> Gru::params() { return {&w_, &u_, &b_}; }
+
+Tensor Gru::forward(const Tensor& x) {
+  const std::size_t t_len = x.dim(0);
+  cached_x_ = x;
+  cached_h_ = Tensor({t_len + 1, hidden_});
+  cached_z_ = Tensor({t_len, hidden_});
+  cached_r_ = Tensor({t_len, hidden_});
+  cached_n_ = Tensor({t_len, hidden_});
+  cached_un_ = Tensor({t_len, hidden_});
+
+  std::vector<float> gates(3 * hidden_);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const float* xt = x.data() + t * input_;
+    const float* h_prev = cached_h_.data() + t * hidden_;
+    // gates = W x_t + b; plus U h_{t-1} for z and r rows; U_n h kept apart.
+    for (std::size_t g = 0; g < 3 * hidden_; ++g) {
+      float acc = b_.value[g];
+      const float* w_row = w_.value.data() + g * input_;
+      for (std::size_t i = 0; i < input_; ++i) acc += w_row[i] * xt[i];
+      gates[g] = acc;
+    }
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      float uz = 0.0F, ur = 0.0F, un = 0.0F;
+      const float* uz_row = u_.value.data() + j * hidden_;
+      const float* ur_row = u_.value.data() + (hidden_ + j) * hidden_;
+      const float* un_row = u_.value.data() + (2 * hidden_ + j) * hidden_;
+      for (std::size_t i = 0; i < hidden_; ++i) {
+        uz += uz_row[i] * h_prev[i];
+        ur += ur_row[i] * h_prev[i];
+        un += un_row[i] * h_prev[i];
+      }
+      const float z = sigmoidf(gates[j] + uz);
+      const float r = sigmoidf(gates[hidden_ + j] + ur);
+      const float n = std::tanh(gates[2 * hidden_ + j] + r * un);
+      cached_z_.at(t, j) = z;
+      cached_r_.at(t, j) = r;
+      cached_n_.at(t, j) = n;
+      cached_un_.at(t, j) = un;
+      cached_h_.at(t + 1, j) = (1.0F - z) * n + z * h_prev[j];
+    }
+  }
+  // Return h_1..h_T as [T, H].
+  Tensor out({t_len, hidden_});
+  std::copy(cached_h_.data() + hidden_, cached_h_.data() + (t_len + 1) * hidden_,
+            out.data());
+  return out;
+}
+
+Tensor Gru::backward(const Tensor& grad_out) {
+  const std::size_t t_len = cached_x_.dim(0);
+  Tensor grad_x({t_len, input_});
+  std::vector<float> grad_h(hidden_, 0.0F);        // dL/dh_t (accumulated)
+  std::vector<float> grad_h_prev(hidden_, 0.0F);
+
+  for (std::size_t t = t_len; t-- > 0;) {
+    const float* h_prev = cached_h_.data() + t * hidden_;
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      grad_h[j] += grad_out.at(t, j);
+    }
+    std::fill(grad_h_prev.begin(), grad_h_prev.end(), 0.0F);
+
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      const float z = cached_z_.at(t, j);
+      const float r = cached_r_.at(t, j);
+      const float n = cached_n_.at(t, j);
+      const float un = cached_un_.at(t, j);
+      const float gh = grad_h[j];
+
+      const float dn = gh * (1.0F - z);
+      const float dz = gh * (h_prev[j] - n);
+      grad_h_prev[j] += gh * z;
+
+      const float dn_pre = dn * (1.0F - n * n);       // tanh'
+      const float dr = dn_pre * un;
+      const float dun = dn_pre * r;
+      const float dz_pre = dz * z * (1.0F - z);       // sigmoid'
+      const float dr_pre = dr * r * (1.0F - r);
+
+      // Parameter grads + input grads + h_prev grads for each gate row.
+      const float pre[3] = {dz_pre, dr_pre, dn_pre};
+      for (int gate = 0; gate < 3; ++gate) {
+        const std::size_t row = static_cast<std::size_t>(gate) * hidden_ + j;
+        const float g = pre[gate];
+        b_.grad[row] += g;
+        float* wg = w_.grad.data() + row * input_;
+        const float* xt = cached_x_.data() + t * input_;
+        const float* w_row = w_.value.data() + row * input_;
+        float* gx = grad_x.data() + t * input_;
+        for (std::size_t i = 0; i < input_; ++i) {
+          wg[i] += g * xt[i];
+          gx[i] += g * w_row[i];
+        }
+        // U-grad: z,r gates use full U h_prev; n gate's U-product was
+        // computed pre-r-gate, so its upstream is dun, not dn_pre.
+        const float gu = gate == 2 ? dun : g;
+        float* ug = u_.grad.data() + row * hidden_;
+        const float* u_row = u_.value.data() + row * hidden_;
+        for (std::size_t i = 0; i < hidden_; ++i) {
+          ug[i] += gu * h_prev[i];
+          grad_h_prev[i] += gu * u_row[i];
+        }
+      }
+    }
+    grad_h = grad_h_prev;
+  }
+  return grad_x;
+}
+
+}  // namespace phishinghook::ml::nn

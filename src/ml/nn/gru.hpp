@@ -1,0 +1,43 @@
+// Gated Recurrent Unit over a [T, D] sequence (SCSGuard's sequence model).
+//
+// Standard GRU cell:
+//   z_t = sigmoid(W_z x_t + U_z h_{t-1} + b_z)
+//   r_t = sigmoid(W_r x_t + U_r h_{t-1} + b_r)
+//   n_t = tanh   (W_n x_t + r_t * (U_n h_{t-1}) + b_n)
+//   h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+// Full backpropagation through time.
+#pragma once
+
+#include "ml/nn/linear.hpp"
+
+namespace phishinghook::ml::nn {
+
+class Gru {
+ public:
+  Gru() = default;
+  Gru(std::size_t input_dim, std::size_t hidden_dim, common::Rng& rng);
+
+  /// Returns all hidden states [T, H]; the caller typically uses the last
+  /// row as the sequence summary.
+  Tensor forward(const Tensor& x);
+
+  /// grad_out is [T, H] (zero rows where the loss does not touch h_t).
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params();
+  std::size_t hidden_dim() const { return hidden_; }
+
+ private:
+  std::size_t input_ = 0, hidden_ = 0;
+  Param w_;  // [3H, D]  (z, r, n rows)
+  Param u_;  // [3H, H]
+  Param b_;  // [3H]
+
+  // forward caches
+  Tensor cached_x_;       // [T, D]
+  Tensor cached_h_;       // [T+1, H] with h_0 = 0 in row 0
+  Tensor cached_z_, cached_r_, cached_n_;  // [T, H]
+  Tensor cached_un_;      // [T, H]: U_n h_{t-1} (pre r-gate)
+};
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,133 @@
+#include "ml/nn/linear.hpp"
+
+#include <cmath>
+
+namespace phishinghook::ml::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, common::Rng& rng)
+    : in_(in),
+      out_(out),
+      weight_(Tensor::randn({out, in},
+                            std::sqrt(2.0F / static_cast<float>(in)), rng)),
+      bias_(Tensor({out})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw InvalidArgument("Linear::forward expects [T, in]");
+  }
+  cached_input_ = x;
+  const std::size_t t_len = x.dim(0);
+  Tensor y({t_len, out_});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t o = 0; o < out_; ++o) {
+      float acc = bias_.value[o];
+      const float* w = weight_.value.data() + o * in_;
+      const float* xin = x.data() + t * in_;
+      for (std::size_t i = 0; i < in_; ++i) acc += w[i] * xin[i];
+      y.at(t, o) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const std::size_t t_len = cached_input_.dim(0);
+  Tensor grad_in({t_len, in_});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const float* go = grad_out.data() + t * out_;
+    const float* xin = cached_input_.data() + t * in_;
+    float* gi = grad_in.data() + t * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = go[o];
+      bias_.grad[o] += g;
+      float* wg = weight_.grad.data() + o * in_;
+      const float* w = weight_.value.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        wg[i] += g * xin[i];
+        gi[i] += g * w[i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, common::Rng& rng)
+    : vocab_(vocab),
+      dim_(dim),
+      weight_(Tensor::randn({vocab, dim}, 0.02F, rng)) {}
+
+Tensor Embedding::forward(const std::vector<std::size_t>& ids) {
+  cached_ids_ = ids;
+  Tensor out({ids.size(), dim_});
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    if (ids[t] >= vocab_) throw InvalidArgument("Embedding id out of range");
+    const float* row = weight_.value.data() + ids[t] * dim_;
+    float* dst = out.data() + t * dim_;
+    std::copy(row, row + dim_, dst);
+  }
+  return out;
+}
+
+void Embedding::backward(const Tensor& grad_out) {
+  for (std::size_t t = 0; t < cached_ids_.size(); ++t) {
+    float* wg = weight_.grad.data() + cached_ids_[t] * dim_;
+    const float* go = grad_out.data() + t * dim_;
+    for (std::size_t i = 0; i < dim_; ++i) wg[i] += go[i];
+  }
+}
+
+LayerNorm::LayerNorm(std::size_t dim)
+    : dim_(dim), gamma_(Tensor({dim}, 1.0F)), beta_(Tensor({dim})) {}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  const std::size_t t_len = x.dim(0);
+  cached_norm_ = Tensor({t_len, dim_});
+  cached_inv_std_.assign(t_len, 0.0F);
+  Tensor y({t_len, dim_});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const float* row = x.data() + t * dim_;
+    float mean = 0.0F;
+    for (std::size_t i = 0; i < dim_; ++i) mean += row[i];
+    mean /= static_cast<float>(dim_);
+    float var = 0.0F;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float d = row[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(dim_);
+    const float inv_std = 1.0F / std::sqrt(var + 1e-5F);
+    cached_inv_std_[t] = inv_std;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float norm = (row[i] - mean) * inv_std;
+      cached_norm_.at(t, i) = norm;
+      y.at(t, i) = norm * gamma_.value[i] + beta_.value[i];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  const std::size_t t_len = grad_out.dim(0);
+  Tensor grad_in({t_len, dim_});
+  const float inv_n = 1.0F / static_cast<float>(dim_);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    // d/dx of layernorm: gamma-scaled grad, centered and de-projected.
+    float sum_g = 0.0F;
+    float sum_gn = 0.0F;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float g = grad_out.at(t, i) * gamma_.value[i];
+      sum_g += g;
+      sum_gn += g * cached_norm_.at(t, i);
+      gamma_.grad[i] += grad_out.at(t, i) * cached_norm_.at(t, i);
+      beta_.grad[i] += grad_out.at(t, i);
+    }
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const float g = grad_out.at(t, i) * gamma_.value[i];
+      grad_in.at(t, i) = cached_inv_std_[t] *
+                         (g - inv_n * sum_g - cached_norm_.at(t, i) * inv_n * sum_gn);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,74 @@
+// Core dense layers: Linear, Embedding, LayerNorm.
+//
+// Layers follow one contract: forward(x) caches what backward needs;
+// backward(grad_out) accumulates parameter gradients and returns grad_in.
+// Sequence inputs are [T, D] (single sample; minibatches accumulate grads
+// across samples before the optimizer step).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/nn/tensor.hpp"
+
+namespace phishinghook::ml::nn {
+
+/// y = x W^T + b, applied row-wise on [T, in] -> [T, out].
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::size_t in, std::size_t out, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_ = 0, out_ = 0;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_input_;
+};
+
+/// Token embedding: ids [T] -> [T, D].
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(std::size_t vocab, std::size_t dim, common::Rng& rng);
+
+  Tensor forward(const std::vector<std::size_t>& ids);
+  void backward(const Tensor& grad_out);
+
+  std::vector<Param*> params() { return {&weight_}; }
+  std::size_t dim() const { return dim_; }
+  std::size_t vocab() const { return vocab_; }
+
+ private:
+  std::size_t vocab_ = 0, dim_ = 0;
+  Param weight_;  // [vocab, dim]
+  std::vector<std::size_t> cached_ids_;
+};
+
+/// LayerNorm over the last dimension of [T, D].
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  explicit LayerNorm(std::size_t dim);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params() { return {&gamma_, &beta_}; }
+
+ private:
+  std::size_t dim_ = 0;
+  Param gamma_, beta_;
+  Tensor cached_norm_;           // normalized activations
+  std::vector<float> cached_inv_std_;
+};
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,84 @@
+#include "ml/nn/loss.hpp"
+
+#include <cmath>
+
+namespace phishinghook::ml::nn {
+
+std::vector<float> softmax(const Tensor& logits) {
+  std::vector<float> out(logits.size());
+  float max_logit = -1e30F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (logits[i] > max_logit) max_logit = logits[i];
+  }
+  float denom = 0.0F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    denom += out[i];
+  }
+  for (float& v : out) v /= denom;
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::size_t target) {
+  if (target >= logits.size()) {
+    throw InvalidArgument("cross-entropy target out of range");
+  }
+  const std::vector<float> probs = softmax(logits);
+  LossResult result;
+  result.loss = -std::log(std::max(probs[target], 1e-12F));
+  result.grad = Tensor(logits.shape());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    result.grad[i] = probs[i] - (i == target ? 1.0F : 0.0F);
+  }
+  return result;
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Param*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.push_back(Tensor::zeros_like(p->value));
+    v_.push_back(Tensor::zeros_like(p->value));
+  }
+}
+
+void AdamOptimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+void AdamOptimizer::step() {
+  ++t_;
+  // Optional global gradient clipping.
+  if (config_.clip_norm > 0.0F) {
+    double norm_sq = 0.0;
+    for (Param* p : params_) {
+      for (std::size_t i = 0; i < p->grad.size(); ++i) {
+        norm_sq += static_cast<double>(p->grad[i]) * p->grad[i];
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.clip_norm) {
+      const float factor = config_.clip_norm / static_cast<float>(norm);
+      for (Param* p : params_) p->grad.scale_(factor);
+    }
+  }
+
+  const float bc1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param* p = params_[pi];
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      float g = p->grad[i] + config_.weight_decay * p->value[i];
+      m[i] = config_.beta1 * m[i] + (1.0F - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0F - config_.beta2) * g * g;
+      p->value[i] -= config_.learning_rate * (m[i] / bc1) /
+                     (std::sqrt(v[i] / bc2) + config_.eps);
+    }
+  }
+  zero_grad();
+}
+
+}  // namespace phishinghook::ml::nn

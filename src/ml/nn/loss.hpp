@@ -1,0 +1,45 @@
+// Softmax cross-entropy on a logit row, and the Adam optimizer.
+#pragma once
+
+#include "ml/nn/tensor.hpp"
+
+namespace phishinghook::ml::nn {
+
+/// Softmax probabilities of a [1, K] (or [K]) logit tensor.
+std::vector<float> softmax(const Tensor& logits);
+
+/// Cross-entropy loss and its gradient wrt the logits for integer `target`.
+struct LossResult {
+  float loss = 0.0F;
+  Tensor grad;  // same shape as logits
+};
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::size_t target);
+
+struct AdamConfig {
+  float learning_rate = 1e-3F;
+  float beta1 = 0.9F;
+  float beta2 = 0.999F;
+  float eps = 1e-8F;
+  float weight_decay = 0.0F;
+  float clip_norm = 5.0F;  ///< global gradient-norm clip; 0 disables
+};
+
+/// Adam over a fixed parameter set.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(std::vector<Param*> params, AdamConfig config = {});
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  void zero_grad();
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,46 @@
+#include "ml/nn/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace phishinghook::ml::nn {
+
+namespace {
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, float scale,
+                     common::Rng& rng) {
+  Tensor out(std::move(shape));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(rng.normal()) * scale;
+  }
+  return out;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  if (shape_size(shape) != data_.size()) {
+    throw InvalidArgument("Tensor::reshaped size mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::add_(const Tensor& other) {
+  if (other.size() != size()) throw InvalidArgument("Tensor::add_ size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale_(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,81 @@
+// Minimal dense float tensor for the neural models.
+//
+// The NN layer implements explicit forward/backward per layer (no taped
+// autograd); Tensor is deliberately small: flat float storage plus a shape,
+// with 2-D ([rows, cols]) and 3-D ([channels, height, width]) accessors.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace phishinghook::ml::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0F);
+
+  static Tensor zeros_like(const Tensor& other) {
+    return Tensor(other.shape());
+  }
+
+  /// He/Glorot-style init: N(0, scale).
+  static Tensor randn(std::vector<std::size_t> shape, float scale,
+                      common::Rng& rng);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t rank() const { return shape_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessors ([rows, cols]).
+  float& at(std::size_t r, std::size_t c) { return data_[r * shape_[1] + c]; }
+  float at(std::size_t r, std::size_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 3-D accessors ([c, h, w]).
+  float& at3(std::size_t c, std::size_t h, std::size_t w) {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+  float at3(std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Reinterprets the flat data under a new shape of equal size.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+
+  /// Element-wise += (shapes must match).
+  void add_(const Tensor& other);
+  /// Element-wise scale.
+  void scale_(float factor);
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// A trainable parameter: value + accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(Tensor::zeros_like(value)) {}
+  Param() = default;
+
+  void zero_grad() { grad.fill(0.0F); }
+};
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,84 @@
+#include "ml/nn/transformer.hpp"
+
+namespace phishinghook::ml::nn {
+
+FeedForward::FeedForward(std::size_t dim, common::Rng& rng)
+    : fc1_(dim, 4 * dim, rng), fc2_(4 * dim, dim, rng) {}
+
+Tensor FeedForward::forward(const Tensor& x) {
+  return fc2_.forward(gelu_.forward(fc1_.forward(x)));
+}
+
+Tensor FeedForward::backward(const Tensor& grad_out) {
+  return fc1_.backward(gelu_.backward(fc2_.backward(grad_out)));
+}
+
+std::vector<Param*> FeedForward::params() {
+  std::vector<Param*> out;
+  for (Param* p : fc1_.params()) out.push_back(p);
+  for (Param* p : fc2_.params()) out.push_back(p);
+  return out;
+}
+
+TransformerBlock::TransformerBlock(AttentionConfig attention, common::Rng& rng)
+    : ln1_(attention.dim),
+      ln2_(attention.dim),
+      attn_(attention, rng),
+      ffn_(attention.dim, rng) {}
+
+Tensor TransformerBlock::forward(const Tensor& x) {
+  Tensor h = x;
+  h.add_(attn_.forward(ln1_.forward(x)));
+  Tensor out = h;
+  out.add_(ffn_.forward(ln2_.forward(h)));
+  return out;
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_out) {
+  // out = h + ffn(ln2(h)); h = x + attn(ln1(x))
+  Tensor grad_h = grad_out;
+  grad_h.add_(ln2_.backward(ffn_.backward(grad_out)));
+  Tensor grad_x = grad_h;
+  grad_x.add_(ln1_.backward(attn_.backward(grad_h)));
+  return grad_x;
+}
+
+std::vector<Param*> TransformerBlock::params() {
+  std::vector<Param*> out;
+  for (Param* p : ln1_.params()) out.push_back(p);
+  for (Param* p : attn_.params()) out.push_back(p);
+  for (Param* p : ln2_.params()) out.push_back(p);
+  for (Param* p : ffn_.params()) out.push_back(p);
+  return out;
+}
+
+PositionalEmbedding::PositionalEmbedding(std::size_t max_len, std::size_t dim,
+                                         common::Rng& rng)
+    : max_len_(max_len),
+      dim_(dim),
+      weight_(Tensor::randn({max_len, dim}, 0.02F, rng)) {}
+
+Tensor PositionalEmbedding::forward(const Tensor& x) {
+  const std::size_t t_len = x.dim(0);
+  if (t_len > max_len_) {
+    throw InvalidArgument("sequence longer than positional table");
+  }
+  cached_len_ = t_len;
+  Tensor out = x;
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      out.at(t, i) += weight_.value.at(t, i);
+    }
+  }
+  return out;
+}
+
+void PositionalEmbedding::backward(const Tensor& grad_out) {
+  for (std::size_t t = 0; t < cached_len_; ++t) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      weight_.grad.at(t, i) += grad_out.at(t, i);
+    }
+  }
+}
+
+}  // namespace phishinghook::ml::nn

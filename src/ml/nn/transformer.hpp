@@ -1,0 +1,58 @@
+// Transformer building blocks: position-wise FFN and the pre-LN block
+// (x += Attn(LN(x)); x += FFN(LN(x))) shared by GPT-2, T5 and ViT.
+#pragma once
+
+#include "ml/nn/activations.hpp"
+#include "ml/nn/attention.hpp"
+
+namespace phishinghook::ml::nn {
+
+/// Linear(dim -> 4 dim) -> GELU -> Linear(4 dim -> dim).
+class FeedForward {
+ public:
+  FeedForward() = default;
+  FeedForward(std::size_t dim, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+  std::vector<Param*> params();
+
+ private:
+  Linear fc1_, fc2_;
+  Gelu gelu_;
+};
+
+/// Pre-LayerNorm transformer block with residual connections.
+class TransformerBlock {
+ public:
+  TransformerBlock() = default;
+  TransformerBlock(AttentionConfig attention, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+  std::vector<Param*> params();
+
+ private:
+  LayerNorm ln1_, ln2_;
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+};
+
+/// Learned absolute positional embeddings added to a [T, D] sequence
+/// (GPT-2 / ViT style; T5 relies on the attention's relative bias instead).
+class PositionalEmbedding {
+ public:
+  PositionalEmbedding() = default;
+  PositionalEmbedding(std::size_t max_len, std::size_t dim, common::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  void backward(const Tensor& grad_out);
+  std::vector<Param*> params() { return {&weight_}; }
+
+ private:
+  std::size_t max_len_ = 0, dim_ = 0;
+  Param weight_;  // [max_len, dim]
+  std::size_t cached_len_ = 0;
+};
+
+}  // namespace phishinghook::ml::nn

@@ -1,0 +1,71 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+namespace phishinghook::ml {
+
+RandomForestClassifier::RandomForestClassifier(RandomForestConfig config)
+    : config_(config) {}
+
+void RandomForestClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) {
+    throw InvalidArgument("RandomForest::fit size mismatch");
+  }
+  trees_.clear();
+  n_features_ = x.cols();
+  common::Rng rng(config_.seed);
+
+  const std::size_t max_features =
+      config_.max_features > 0
+          ? config_.max_features
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::sqrt(static_cast<double>(x.cols()))));
+
+  for (int t = 0; t < config_.n_trees; ++t) {
+    // Bootstrap as integer sample weights (identical distribution to
+    // resampling rows, cheaper on memory).
+    std::vector<double> weights(x.rows(), 0.0);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      weights[rng.next_below(x.rows())] += 1.0;
+    }
+    DecisionTreeConfig tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.max_features = max_features;
+    tree_config.seed = rng.next_u64();
+    DecisionTreeClassifier tree(tree_config);
+    tree.fit_weighted(x, y, weights);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForestClassifier::predict_proba(
+    const Matrix& x) const {
+  if (trees_.empty()) throw StateError("RandomForest::predict before fit");
+  std::vector<double> out(x.rows(), 0.0);
+  for (const DecisionTreeClassifier& tree : trees_) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out[r] += tree.predict_row(x.row(r));
+    }
+  }
+  for (double& p : out) p /= static_cast<double>(trees_.size());
+  return out;
+}
+
+std::vector<double> RandomForestClassifier::feature_importances() const {
+  if (trees_.empty()) throw StateError("RandomForest importances before fit");
+  std::vector<double> out(n_features_, 0.0);
+  for (const DecisionTreeClassifier& tree : trees_) {
+    const auto imp = tree.feature_importances();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += imp[i];
+  }
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml

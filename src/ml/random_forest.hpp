@@ -1,0 +1,41 @@
+// Random Forest — the paper's best-performing model overall (Table II) and
+// the subject of the SHAP interpretability study (Fig. 9).
+//
+// Bootstrap-aggregated CART trees with per-split feature subsampling;
+// probability is the mean of the trees' leaf fractions.
+#pragma once
+
+#include "ml/decision_tree.hpp"
+
+namespace phishinghook::ml {
+
+struct RandomForestConfig {
+  int n_trees = 100;
+  int max_depth = 14;
+  std::size_t min_samples_leaf = 1;
+  /// Per-split feature pool; 0 = sqrt(d) (the scikit-learn default).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 7;
+};
+
+class RandomForestClassifier final : public TabularClassifier {
+ public:
+  explicit RandomForestClassifier(RandomForestConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "Random Forest"; }
+
+  /// Trained trees (TreeSHAP input).
+  const std::vector<DecisionTreeClassifier>& trees() const { return trees_; }
+
+  /// Mean gini importances over trees (normalized).
+  std::vector<double> feature_importances() const;
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTreeClassifier> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace phishinghook::ml

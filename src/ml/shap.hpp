@@ -1,0 +1,48 @@
+// SHAP values (Lundberg & Lee, NeurIPS 2017) — the interpretability tool
+// behind the paper's Fig. 9.
+//
+// Two estimators:
+//  * TreeSHAP — the exact polynomial-time algorithm for tree ensembles
+//    (SHAP's own backend for tree models); applied to our Random Forest by
+//    averaging per-tree attributions, since the forest's output is the mean
+//    of its trees.
+//  * Sampling SHAP — a Monte-Carlo permutation estimator usable with any
+//    predict function, against a background dataset.
+//
+// Both satisfy local accuracy: sum(phi) + expected_value == f(x) (exactly
+// for TreeSHAP, in expectation for the sampler).
+#pragma once
+
+#include <functional>
+
+#include "ml/random_forest.hpp"
+
+namespace phishinghook::ml {
+
+/// Per-feature attributions for one sample.
+struct ShapExplanation {
+  std::vector<double> values;   ///< phi_i per feature
+  double expected_value = 0.0;  ///< E[f] over the training distribution
+};
+
+/// Exact TreeSHAP for a single tree (leaf `value`, cover in `weight`).
+ShapExplanation tree_shap(const std::vector<TreeNode>& nodes,
+                          std::span<const double> x, std::size_t n_features);
+
+/// TreeSHAP for a Random Forest: the mean of the member trees' attributions.
+ShapExplanation tree_shap(const RandomForestClassifier& forest,
+                          std::span<const double> x);
+
+/// TreeSHAP for every row of `x` against `forest`; returns one explanation
+/// per row (the Fig. 9 beeswarm data).
+std::vector<ShapExplanation> tree_shap_all(const RandomForestClassifier& forest,
+                                           const Matrix& x);
+
+/// Monte-Carlo permutation Shapley for an arbitrary model. `predict` maps a
+/// feature row to a scalar output; `background` supplies reference rows.
+ShapExplanation sampling_shap(
+    const std::function<double(std::span<const double>)>& predict,
+    std::span<const double> x, const Matrix& background, int permutations,
+    std::uint64_t seed);
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,137 @@
+#include "ml/svm.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace phishinghook::ml {
+
+SvmClassifier::SvmClassifier(SvmConfig config) : config_(config) {}
+
+std::vector<double> SvmClassifier::transform(
+    std::span<const double> row) const {
+  std::vector<double> z(mean_.size());
+  for (std::size_t c = 0; c < z.size(); ++c) {
+    z[c] = (row[c] - mean_[c]) / stddev_[c];
+  }
+  if (config_.kernel == SvmKernel::kLinear) return z;
+
+  std::vector<double> phi(rff_w_.size());
+  const double scale = std::sqrt(2.0 / static_cast<double>(rff_w_.size()));
+  for (std::size_t f = 0; f < rff_w_.size(); ++f) {
+    double dot = rff_b_[f];
+    const auto& w = rff_w_[f];
+    for (std::size_t c = 0; c < z.size(); ++c) dot += w[c] * z[c];
+    phi[f] = scale * std::cos(dot);
+  }
+  return phi;
+}
+
+void SvmClassifier::fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw InvalidArgument("SVM::fit size mismatch");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  common::Rng rng(config_.seed);
+
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += x.at(r, c);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double delta = x.at(r, c) - mean_[c];
+      stddev_[c] += delta * delta;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;
+  }
+
+  std::size_t dim = d;
+  if (config_.kernel == SvmKernel::kRbf) {
+    // Standardized features make pairwise distances ~ 2d, so a width an
+    // order of magnitude below 1/d keeps the kernel in its informative
+    // regime on these histogram dimensionalities.
+    const double gamma =
+        config_.gamma > 0.0 ? config_.gamma : 0.1 / static_cast<double>(d);
+    rff_w_.assign(config_.rff_features, std::vector<double>(d));
+    rff_b_.assign(config_.rff_features, 0.0);
+    const double omega_scale = std::sqrt(2.0 * gamma);
+    for (std::size_t f = 0; f < config_.rff_features; ++f) {
+      for (std::size_t c = 0; c < d; ++c) {
+        rff_w_[f][c] = omega_scale * rng.normal();
+      }
+      rff_b_[f] = rng.uniform(0.0, 2.0 * M_PI);
+    }
+    dim = config_.rff_features;
+  }
+
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+
+  // Primal hinge-loss SVM solved with full-batch Adam. The classic Pegasos
+  // 1/(lambda t) schedule is unstable at the small lambdas these count
+  // features need; Adam on the same objective (mean hinge + lambda/2 |w|^2)
+  // converges to the identical optimum far more reliably.
+  const std::size_t passes = static_cast<std::size_t>(config_.epochs) * 5;
+  std::vector<std::vector<double>> features(n);
+  for (std::size_t i = 0; i < n; ++i) features[i] = transform(x.row(i));
+
+  std::vector<double> m_w(dim, 0.0), v_w(dim, 0.0), grad(dim, 0.0);
+  double m_b = 0.0, v_b = 0.0;
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8, lr = 0.05;
+  for (std::size_t step = 1; step <= passes; ++step) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& phi = features[i];
+      const double label = y[i] != 0 ? 1.0 : -1.0;
+      double margin = bias_;
+      for (std::size_t c = 0; c < dim; ++c) margin += weights_[c] * phi[c];
+      if (label * margin < 1.0) {  // hinge subgradient
+        for (std::size_t c = 0; c < dim; ++c) grad[c] -= label * phi[c];
+        grad_b -= label;
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t c = 0; c < dim; ++c) {
+      grad[c] = grad[c] * inv_n + config_.lambda * weights_[c];
+    }
+    grad_b *= inv_n;
+
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+    for (std::size_t c = 0; c < dim; ++c) {
+      m_w[c] = beta1 * m_w[c] + (1 - beta1) * grad[c];
+      v_w[c] = beta2 * v_w[c] + (1 - beta2) * grad[c] * grad[c];
+      weights_[c] -= lr * (m_w[c] / bc1) / (std::sqrt(v_w[c] / bc2) + eps);
+    }
+    m_b = beta1 * m_b + (1 - beta1) * grad_b;
+    v_b = beta2 * v_b + (1 - beta2) * grad_b * grad_b;
+    bias_ -= lr * (m_b / bc1) / (std::sqrt(v_b / bc2) + eps);
+  }
+}
+
+double SvmClassifier::decision_function(std::span<const double> row) const {
+  if (weights_.empty()) throw StateError("SVM::predict before fit");
+  const auto phi = transform(row);
+  double margin = bias_;
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    margin += weights_[c] * phi[c];
+  }
+  return margin;
+}
+
+std::vector<double> SvmClassifier::predict_proba(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double margin = decision_function(x.row(r));
+    out[r] = 1.0 / (1.0 + std::exp(-config_.platt_scale * margin));
+  }
+  return out;
+}
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,53 @@
+// Support Vector Machine (HSC category).
+//
+// Primal hinge-loss solver (Pegasos: stochastic sub-gradient descent with
+// the 1/(lambda*t) step schedule). Two feature maps:
+//   * linear — on the standardized inputs;
+//   * RBF    — approximated with random Fourier features (Rahimi-Recht),
+//     which keeps training linear-time while behaving like scikit-learn's
+//     RBF-kernel SVC on these histogram features.
+// predict_proba applies a Platt-style sigmoid to the margin.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace phishinghook::ml {
+
+enum class SvmKernel { kLinear, kRbf };
+
+struct SvmConfig {
+  SvmKernel kernel = SvmKernel::kRbf;
+  double lambda = 1e-4;       ///< Pegasos regularization
+  int epochs = 40;            ///< passes over the data
+  double gamma = 0.0;         ///< RBF width; 0 = 0.1/d heuristic
+  std::size_t rff_features = 512;  ///< random Fourier feature count
+  double platt_scale = 2.0;   ///< margin->probability sharpness
+  std::uint64_t seed = 13;
+};
+
+class SvmClassifier final : public TabularClassifier {
+ public:
+  explicit SvmClassifier(SvmConfig config = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& x) const override;
+  std::string name() const override { return "SVM"; }
+
+  /// Signed margin for one (raw) row.
+  double decision_function(std::span<const double> row) const;
+
+ private:
+  std::vector<double> transform(std::span<const double> row) const;
+
+  SvmConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> mean_, stddev_;
+  // RFF projection (kernel == kRbf): z(x) = sqrt(2/D) cos(Wx + b).
+  std::vector<std::vector<double>> rff_w_;
+  std::vector<double> rff_b_;
+};
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,32 @@
+#include "stats/cliffs_delta.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::stats {
+
+double cliffs_delta(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) {
+    throw phishinghook::InvalidArgument("Cliff's delta needs non-empty samples");
+  }
+  long dominance = 0;
+  for (double x : a) {
+    for (double y : b) {
+      if (x > y) ++dominance;
+      else if (x < y) --dominance;
+    }
+  }
+  return static_cast<double>(dominance) /
+         (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+std::string_view cliffs_delta_magnitude(double delta) {
+  const double magnitude = std::fabs(delta);
+  if (magnitude < 0.147) return "negligible";
+  if (magnitude < 0.33) return "small";
+  if (magnitude < 0.474) return "medium";
+  return "large";
+}
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,17 @@
+// Cliff's delta (1993): the ordinal effect size the paper reports alongside
+// the scalability post hoc analysis (Fig. 6 discussion).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace phishinghook::stats {
+
+/// delta = (#{a > b} - #{a < b}) / (|A| |B|), in [-1, 1].
+double cliffs_delta(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Conventional magnitude labels (Romano et al. thresholds):
+/// negligible < 0.147 <= small < 0.33 <= medium < 0.474 <= large.
+std::string_view cliffs_delta_magnitude(double delta);
+
+}  // namespace phishinghook::stats

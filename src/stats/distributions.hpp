@@ -1,0 +1,27 @@
+// Probability distributions used by the hypothesis tests: standard normal
+// CDF / quantile (AS 241-quality approximation) and the chi-square survival
+// function via the regularized incomplete gamma function.
+#pragma once
+
+namespace phishinghook::stats {
+
+/// Standard normal CDF Phi(z).
+double normal_cdf(double z);
+
+/// Upper-tail probability P(Z > z).
+double normal_sf(double z);
+
+/// Normal quantile Phi^{-1}(p), p in (0, 1) (Acklam's algorithm, relative
+/// error < 1.15e-9 — ample for test coefficients).
+double normal_quantile(double p);
+
+/// Regularized lower incomplete gamma P(a, x).
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Chi-square survival function P(X > x) with `df` degrees of freedom.
+double chi_square_sf(double x, double df);
+
+}  // namespace phishinghook::stats

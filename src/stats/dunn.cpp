@@ -1,0 +1,72 @@
+#include "stats/dunn.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "stats/distributions.hpp"
+#include "stats/holm.hpp"
+#include "stats/ranks.hpp"
+
+namespace phishinghook::stats {
+
+double DunnResult::significant_fraction(double alpha) const {
+  if (pairs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const DunnPair& pair : pairs) {
+    if (pair.p_adjusted < alpha) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(pairs.size());
+}
+
+DunnResult dunn_test(const std::vector<std::vector<double>>& groups) {
+  if (groups.size() < 2) {
+    throw phishinghook::InvalidArgument("Dunn's test needs >= 2 groups");
+  }
+  std::vector<double> pooled;
+  for (const auto& group : groups) {
+    if (group.empty()) {
+      throw phishinghook::InvalidArgument("Dunn's test group is empty");
+    }
+    pooled.insert(pooled.end(), group.begin(), group.end());
+  }
+  const double n_total = static_cast<double>(pooled.size());
+  const std::vector<double> all_ranks = ranks_with_ties(pooled);
+
+  std::vector<double> mean_rank(groups.size(), 0.0);
+  std::size_t offset = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t i = 0; i < groups[g].size(); ++i) {
+      mean_rank[g] += all_ranks[offset + i];
+    }
+    mean_rank[g] /= static_cast<double>(groups[g].size());
+    offset += groups[g].size();
+  }
+
+  const double tie_term = tie_correction_term(pooled) / (12.0 * (n_total - 1.0));
+  const double base_var = n_total * (n_total + 1.0) / 12.0 - tie_term;
+
+  DunnResult result;
+  std::vector<double> raw_p;
+  for (std::size_t a = 0; a < groups.size(); ++a) {
+    for (std::size_t b = a + 1; b < groups.size(); ++b) {
+      const double se = std::sqrt(
+          base_var * (1.0 / static_cast<double>(groups[a].size()) +
+                      1.0 / static_cast<double>(groups[b].size())));
+      DunnPair pair;
+      pair.group_a = a;
+      pair.group_b = b;
+      pair.z = (mean_rank[a] - mean_rank[b]) / se;
+      pair.p_value = 2.0 * normal_sf(std::fabs(pair.z));
+      if (pair.p_value > 1.0) pair.p_value = 1.0;
+      raw_p.push_back(pair.p_value);
+      result.pairs.push_back(pair);
+    }
+  }
+  const std::vector<double> adjusted = holm_bonferroni(raw_p);
+  for (std::size_t i = 0; i < result.pairs.size(); ++i) {
+    result.pairs[i].p_adjusted = adjusted[i];
+  }
+  return result;
+}
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,31 @@
+// Dunn's test (1964): the nonparametric pairwise multiple-comparison
+// procedure the paper applies after a rejected Kruskal-Wallis (Fig. 4),
+// with Holm-Bonferroni correction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace phishinghook::stats {
+
+struct DunnPair {
+  std::size_t group_a = 0;
+  std::size_t group_b = 0;
+  double z = 0.0;
+  double p_value = 1.0;
+  double p_adjusted = 1.0;
+};
+
+struct DunnResult {
+  std::vector<DunnPair> pairs;  ///< all (a < b) pairs, in lexicographic order
+
+  /// Fraction of pairs with p_adjusted < alpha.
+  double significant_fraction(double alpha = 0.05) const;
+};
+
+/// Z = (Rbar_a - Rbar_b) / sqrt( (N(N+1)/12 - T) * (1/n_a + 1/n_b) ), with
+/// the tie correction T = sum(t^3 - t)/(12(N-1)); two-sided p from the
+/// standard normal, Holm-adjusted across all pairs.
+DunnResult dunn_test(const std::vector<std::vector<double>>& groups);
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,44 @@
+#include "stats/friedman.hpp"
+
+#include "common/errors.hpp"
+#include "stats/distributions.hpp"
+#include "stats/ranks.hpp"
+
+namespace phishinghook::stats {
+
+FriedmanResult friedman_test(const std::vector<std::vector<double>>& data) {
+  if (data.size() < 2) {
+    throw phishinghook::InvalidArgument("Friedman test needs >= 2 blocks");
+  }
+  const std::size_t k = data.front().size();
+  if (k < 2) {
+    throw phishinghook::InvalidArgument("Friedman test needs >= 2 treatments");
+  }
+  for (const auto& block : data) {
+    if (block.size() != k) {
+      throw phishinghook::InvalidArgument("Friedman blocks must be equal-sized");
+    }
+  }
+  const double n = static_cast<double>(data.size());
+  const double kd = static_cast<double>(k);
+
+  FriedmanResult result;
+  result.mean_ranks.assign(k, 0.0);
+  for (const auto& block : data) {
+    const std::vector<double> r = ranks_with_ties(block);
+    for (std::size_t j = 0; j < k; ++j) result.mean_ranks[j] += r[j];
+  }
+  for (double& r : result.mean_ranks) r /= n;
+
+  double sum_sq = 0.0;
+  for (double r : result.mean_ranks) {
+    const double centered = r - (kd + 1.0) / 2.0;
+    sum_sq += centered * centered;
+  }
+  result.chi_square = 12.0 * n / (kd * (kd + 1.0)) * sum_sq;
+  result.df = kd - 1.0;
+  result.p_value = chi_square_sf(result.chi_square, result.df);
+  return result;
+}
+
+}  // namespace phishinghook::stats

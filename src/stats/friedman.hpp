@@ -1,0 +1,24 @@
+// Friedman test (1937): nonparametric repeated-measures comparison over
+// blocks x treatments — the first stage of the critical difference diagram
+// (Fig. 6), following Demsar's methodology.
+#pragma once
+
+#include <vector>
+
+namespace phishinghook::stats {
+
+struct FriedmanResult {
+  double chi_square = 0.0;
+  double p_value = 1.0;
+  double df = 0.0;
+  /// Mean rank per treatment (1 = best when higher values rank higher is
+  /// false; ranks are assigned ascending, so larger observations get larger
+  /// ranks).
+  std::vector<double> mean_ranks;
+};
+
+/// `data[block][treatment]`; every block must have the same number of
+/// treatments (>= 2), and there must be >= 2 blocks.
+FriedmanResult friedman_test(const std::vector<std::vector<double>>& data);
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,27 @@
+#include "stats/holm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace phishinghook::stats {
+
+std::vector<double> holm_bonferroni(const std::vector<double>& p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p_values[a] < p_values[b];
+  });
+
+  std::vector<double> adjusted(m, 0.0);
+  double running_max = 0.0;
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    const std::size_t idx = order[rank];
+    const double scaled = p_values[idx] * static_cast<double>(m - rank);
+    running_max = std::max(running_max, scaled);
+    adjusted[idx] = std::min(1.0, running_max);
+  }
+  return adjusted;
+}
+
+}  // namespace phishinghook::stats

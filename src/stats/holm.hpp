@@ -1,0 +1,15 @@
+// Holm-Bonferroni step-down adjustment for multiple comparisons — applied
+// by the paper to the Kruskal-Wallis p-values (Table III) and to every
+// Dunn's-test pair (Fig. 4).
+#pragma once
+
+#include <vector>
+
+namespace phishinghook::stats {
+
+/// Adjusted p-values, same order as the input. Monotonicity is enforced
+/// (each adjusted p is at least the previous one in significance order) and
+/// values are clipped to 1.
+std::vector<double> holm_bonferroni(const std::vector<double>& p_values);
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,49 @@
+#include "stats/kruskal_wallis.hpp"
+
+#include "common/errors.hpp"
+#include "stats/distributions.hpp"
+#include "stats/ranks.hpp"
+
+namespace phishinghook::stats {
+
+KruskalWallisResult kruskal_wallis(
+    const std::vector<std::vector<double>>& groups) {
+  if (groups.size() < 2) {
+    throw phishinghook::InvalidArgument("Kruskal-Wallis needs >= 2 groups");
+  }
+  std::vector<double> pooled;
+  for (const auto& group : groups) {
+    if (group.empty()) {
+      throw phishinghook::InvalidArgument("Kruskal-Wallis group is empty");
+    }
+    pooled.insert(pooled.end(), group.begin(), group.end());
+  }
+  const double n = static_cast<double>(pooled.size());
+  const std::vector<double> all_ranks = ranks_with_ties(pooled);
+
+  // Per-group rank sums.
+  double h = 0.0;
+  std::size_t offset = 0;
+  for (const auto& group : groups) {
+    double rank_sum = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      rank_sum += all_ranks[offset + i];
+    }
+    offset += group.size();
+    h += rank_sum * rank_sum / static_cast<double>(group.size());
+  }
+  h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+  // Tie correction.
+  const double ties = tie_correction_term(pooled);
+  const double correction = 1.0 - ties / (n * n * n - n);
+  if (correction > 0.0) h /= correction;
+
+  KruskalWallisResult result;
+  result.h = h;
+  result.df = static_cast<double>(groups.size() - 1);
+  result.p_value = chi_square_sf(h, result.df);
+  return result;
+}
+
+}  // namespace phishinghook::stats

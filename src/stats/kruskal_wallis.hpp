@@ -1,0 +1,20 @@
+// Kruskal-Wallis H test (the paper's Table III): nonparametric comparison
+// of k independent groups' medians, with tie correction and a chi-square
+// approximation for the p-value.
+#pragma once
+
+#include <vector>
+
+namespace phishinghook::stats {
+
+struct KruskalWallisResult {
+  double h = 0.0;
+  double p_value = 1.0;
+  double df = 0.0;
+};
+
+/// `groups` holds one observation vector per group; requires >= 2 non-empty
+/// groups.
+KruskalWallisResult kruskal_wallis(const std::vector<std::vector<double>>& groups);
+
+}  // namespace phishinghook::stats

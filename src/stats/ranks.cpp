@@ -1,0 +1,69 @@
+#include "stats/ranks.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::stats {
+
+std::vector<double> ranks_with_ties(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double tie_correction_term(const std::vector<double>& values) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    total += t * t * t - t;
+    i = j + 1;
+  }
+  return total;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) throw phishinghook::InvalidArgument("mean of empty set");
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double sample_variance(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    throw phishinghook::InvalidArgument("variance needs >= 2 observations");
+  }
+  const double m = mean(values);
+  double total = 0.0;
+  for (double v : values) total += (v - m) * (v - m);
+  return total / static_cast<double>(values.size() - 1);
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) throw phishinghook::InvalidArgument("median of empty set");
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,22 @@
+// Rank utilities shared by the nonparametric tests: mid-ranks with tie
+// handling, and the tie-correction factor for rank-test variances.
+#pragma once
+
+#include <vector>
+
+namespace phishinghook::stats {
+
+/// 1-based ranks of `values`; tied observations receive the average of the
+/// ranks they span (mid-ranks).
+std::vector<double> ranks_with_ties(const std::vector<double>& values);
+
+/// Sum over tie groups of (t^3 - t) — the standard correction term used by
+/// Kruskal-Wallis and Dunn.
+double tie_correction_term(const std::vector<double>& values);
+
+/// Simple descriptive helpers.
+double mean(const std::vector<double>& values);
+double sample_variance(const std::vector<double>& values);
+double median(std::vector<double> values);
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,119 @@
+#include "stats/shapiro_wilk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "stats/distributions.hpp"
+
+namespace phishinghook::stats {
+
+namespace {
+
+double poly(const double* coeffs, int order, double x) {
+  // coeffs[0] + coeffs[1] x + ... (ascending powers)
+  double value = coeffs[order - 1];
+  for (int i = order - 2; i >= 0; --i) value = value * x + coeffs[i];
+  return value;
+}
+
+}  // namespace
+
+ShapiroWilkResult shapiro_wilk(std::vector<double> sample) {
+  const std::size_t n = sample.size();
+  if (n < 3 || n > 5000) {
+    throw phishinghook::InvalidArgument(
+        "Shapiro-Wilk requires 3 <= n <= 5000, got " + std::to_string(n));
+  }
+  std::sort(sample.begin(), sample.end());
+  if (sample.front() == sample.back()) {
+    throw phishinghook::InvalidArgument("Shapiro-Wilk on a constant sample");
+  }
+
+  // Expected normal order statistics m and normalized coefficients c.
+  std::vector<double> m(n);
+  double m_norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = normal_quantile((static_cast<double>(i + 1) - 0.375) /
+                           (static_cast<double>(n) + 0.25));
+    m_norm_sq += m[i] * m[i];
+  }
+  const double rsn = 1.0 / std::sqrt(static_cast<double>(n));  // u
+
+  std::vector<double> a(n, 0.0);
+  if (n == 3) {
+    a[0] = -std::sqrt(0.5);
+    a[2] = std::sqrt(0.5);
+  } else {
+    // Royston's polynomial corrections (coefficients in ascending powers).
+    static const double c1[] = {0.0, 0.221157, -0.147981, -2.071190,
+                                4.434685, -2.706056};
+    static const double c2[] = {0.0, 0.042981, -0.293762, -1.752461,
+                                5.682633, -3.582633};
+    const double cn = m[n - 1] / std::sqrt(m_norm_sq);
+    const double cn1 = m[n - 2] / std::sqrt(m_norm_sq);
+    const double an = cn + poly(c1, 6, rsn);
+    if (n <= 5) {
+      const double phi = (m_norm_sq - 2.0 * m[n - 1] * m[n - 1]) /
+                         (1.0 - 2.0 * an * an);
+      a[n - 1] = an;
+      a[0] = -an;
+      for (std::size_t i = 1; i + 1 < n; ++i) a[i] = m[i] / std::sqrt(phi);
+    } else {
+      const double an1 = cn1 + poly(c2, 6, rsn);
+      const double phi =
+          (m_norm_sq - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2]) /
+          (1.0 - 2.0 * an * an - 2.0 * an1 * an1);
+      a[n - 1] = an;
+      a[n - 2] = an1;
+      a[0] = -an;
+      a[1] = -an1;
+      for (std::size_t i = 2; i + 2 < n; ++i) a[i] = m[i] / std::sqrt(phi);
+    }
+  }
+
+  // W statistic.
+  double x_mean = 0.0;
+  for (double v : sample) x_mean += v;
+  x_mean /= static_cast<double>(n);
+  double numerator = 0.0;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    numerator += a[i] * sample[i];
+    ss += (sample[i] - x_mean) * (sample[i] - x_mean);
+  }
+  ShapiroWilkResult result;
+  result.w = numerator * numerator / ss;
+  if (result.w > 1.0) result.w = 1.0;
+
+  // P-value transformations (Royston 1995).
+  const double nd = static_cast<double>(n);
+  if (n == 3) {
+    const double p = 6.0 / M_PI *
+                     (std::asin(std::sqrt(result.w)) - std::asin(std::sqrt(0.75)));
+    result.p_value = std::clamp(p, 0.0, 1.0);
+    return result;
+  }
+  double z;
+  if (n <= 11) {
+    const double gamma = -2.273 + 0.459 * nd;
+    const double w1 = -std::log(gamma - std::log1p(-result.w));
+    static const double c3[] = {0.5440, -0.39978, 0.025054, -6.714e-4};
+    static const double c4[] = {1.3822, -0.77857, 0.062767, -0.0020322};
+    const double mu = poly(c3, 4, nd);
+    const double sigma = std::exp(poly(c4, 4, nd));
+    z = (w1 - mu) / sigma;
+  } else {
+    const double ln_n = std::log(nd);
+    const double w1 = std::log1p(-result.w);
+    static const double c5[] = {-1.5861, -0.31082, -0.083751, 0.0038915};
+    static const double c6[] = {-0.4803, -0.082676, 0.0030302};
+    const double mu = poly(c5, 4, ln_n);
+    const double sigma = std::exp(poly(c6, 3, ln_n));
+    z = (w1 - mu) / sigma;
+  }
+  result.p_value = normal_sf(z);
+  return result;
+}
+
+}  // namespace phishinghook::stats

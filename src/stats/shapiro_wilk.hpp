@@ -1,0 +1,21 @@
+// Shapiro-Wilk normality test (Royston's AS R94 / 1995 algorithm).
+//
+// The PAM's first step: normality of each model-metric distribution decides
+// whether the group comparison uses parametric or nonparametric tests
+// (the paper found 20/52 pairs non-normal and chose Kruskal-Wallis).
+#pragma once
+
+#include <vector>
+
+namespace phishinghook::stats {
+
+struct ShapiroWilkResult {
+  double w = 0.0;        ///< the W statistic in (0, 1]
+  double p_value = 1.0;  ///< null: the sample is normal
+};
+
+/// Requires 3 <= n <= 5000; throws InvalidArgument otherwise or when the
+/// sample is constant.
+ShapiroWilkResult shapiro_wilk(std::vector<double> sample);
+
+}  // namespace phishinghook::stats

@@ -1,0 +1,67 @@
+#include "stats/wilcoxon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "stats/distributions.hpp"
+#include "stats/ranks.hpp"
+
+namespace phishinghook::stats {
+
+WilcoxonResult wilcoxon_signed_rank(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw phishinghook::InvalidArgument("Wilcoxon requires paired samples");
+  }
+  std::vector<double> diffs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  WilcoxonResult result;
+  result.effective_n = diffs.size();
+  if (diffs.empty()) return result;  // identical samples: p = 1
+
+  std::vector<double> abs_diffs(diffs.size());
+  for (std::size_t i = 0; i < diffs.size(); ++i) abs_diffs[i] = std::fabs(diffs[i]);
+  const std::vector<double> r = ranks_with_ties(abs_diffs);
+
+  double w_plus = 0.0, w_minus = 0.0;
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    if (diffs[i] > 0.0) w_plus += r[i];
+    else w_minus += r[i];
+  }
+  result.w = std::min(w_plus, w_minus);
+  const std::size_t n = diffs.size();
+
+  if (n <= 16) {
+    // Exact: enumerate all 2^n sign assignments of the observed ranks and
+    // count those with min(W+, W-) <= observed (two-sided by symmetry).
+    const std::size_t total = std::size_t{1} << n;
+    const double rank_total = static_cast<double>(n * (n + 1)) / 2.0;
+    std::size_t at_most = 0;
+    for (std::size_t mask = 0; mask < total; ++mask) {
+      double wp = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (std::size_t{1} << i)) wp += r[i];
+      }
+      const double stat = std::min(wp, rank_total - wp);
+      if (stat <= result.w + 1e-12) ++at_most;
+    }
+    result.p_value = std::min(
+        1.0, static_cast<double>(at_most) / static_cast<double>(total));
+  } else {
+    const double nd = static_cast<double>(n);
+    const double mean_w = nd * (nd + 1.0) / 4.0;
+    const double tie_term = tie_correction_term(abs_diffs);
+    const double var_w =
+        nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie_term / 48.0;
+    const double z =
+        (result.w - mean_w + 0.5) / std::sqrt(var_w);  // continuity corr.
+    result.p_value = std::min(1.0, 2.0 * normal_cdf(z));
+  }
+  return result;
+}
+
+}  // namespace phishinghook::stats

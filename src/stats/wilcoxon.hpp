@@ -1,0 +1,24 @@
+// Wilcoxon signed-rank test for paired samples — the second stage of the
+// critical difference analysis (Fig. 6): pairwise model comparisons after a
+// rejected Friedman test.
+#pragma once
+
+#include <vector>
+
+namespace phishinghook::stats {
+
+struct WilcoxonResult {
+  double w = 0.0;        ///< min(W+, W-)
+  double p_value = 1.0;  ///< two-sided
+  /// Number of non-zero differences actually tested.
+  std::size_t effective_n = 0;
+};
+
+/// Exact two-sided p for effective n <= 16 (full enumeration of sign
+/// assignments), normal approximation with tie correction above that. Zero
+/// differences are dropped (Wilcoxon's original treatment). With no nonzero
+/// differences the result is p = 1.
+WilcoxonResult wilcoxon_signed_rank(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+}  // namespace phishinghook::stats

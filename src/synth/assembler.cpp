@@ -1,0 +1,94 @@
+#include "synth/assembler.hpp"
+
+#include "common/errors.hpp"
+
+namespace phishinghook::synth {
+
+Assembler& Assembler::op(Op opcode) {
+  code_.push_back(evm::op_byte(opcode));
+  return *this;
+}
+
+Assembler& Assembler::raw(std::uint8_t byte) {
+  code_.push_back(byte);
+  return *this;
+}
+
+Assembler& Assembler::raw_bytes(std::span<const std::uint8_t> bytes) {
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+  return *this;
+}
+
+Assembler& Assembler::push(const U256& value) {
+  const unsigned width = value.byte_length();
+  if (width == 0) {
+    code_.push_back(evm::op_byte(Op::kPush0));
+    return *this;
+  }
+  code_.push_back(evm::push_opcode_for_size(width));
+  const auto be = value.to_bytes_be();
+  code_.insert(code_.end(), be.end() - width, be.end());
+  return *this;
+}
+
+Assembler& Assembler::push_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty() || bytes.size() > 32) {
+    throw InvalidArgument("push_bytes takes 1..32 bytes");
+  }
+  code_.push_back(evm::push_opcode_for_size(bytes.size()));
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+  return *this;
+}
+
+Assembler& Assembler::push_selector(std::uint32_t selector) {
+  code_.push_back(evm::op_byte(Op::kPush4));
+  for (int i = 3; i >= 0; --i) {
+    code_.push_back(static_cast<std::uint8_t>(selector >> (8 * i)));
+  }
+  return *this;
+}
+
+Label Assembler::make_label() {
+  label_offsets_.push_back(-1);
+  return Label{label_offsets_.size() - 1};
+}
+
+Assembler& Assembler::bind(Label label) {
+  if (label_offsets_.at(label.id) != -1) {
+    throw StateError("label bound twice");
+  }
+  label_offsets_[label.id] = static_cast<std::ptrdiff_t>(code_.size());
+  return op(Op::kJumpdest);
+}
+
+Assembler& Assembler::push_label(Label label) {
+  code_.push_back(evm::op_byte(Op::kPush2));
+  fixups_.push_back(Fixup{code_.size(), label.id});
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Assembler& Assembler::jump(Label label) {
+  push_label(label);
+  return op(Op::kJump);
+}
+
+Assembler& Assembler::jump_if(Label label) {
+  push_label(label);
+  return op(Op::kJumpi);
+}
+
+Bytecode Assembler::build() const {
+  std::vector<std::uint8_t> out = code_;
+  for (const Fixup& fixup : fixups_) {
+    const std::ptrdiff_t target = label_offsets_.at(fixup.label);
+    if (target < 0) throw StateError("jump to unbound label");
+    if (target > 0xFFFF) throw StateError("label offset exceeds PUSH2 range");
+    out[fixup.at] = static_cast<std::uint8_t>(target >> 8);
+    out[fixup.at + 1] = static_cast<std::uint8_t>(target & 0xFF);
+  }
+  return Bytecode(std::move(out));
+}
+
+}  // namespace phishinghook::synth

@@ -1,0 +1,82 @@
+// A small EVM assembler.
+//
+// The synthetic corpus must be *real* EVM code — dispatchers that branch,
+// drains that CALL, proxies that DELEGATECALL — so the generator builds
+// bytecode through this assembler rather than concatenating opaque byte
+// strings. Labels are resolved in a second pass (forward references emit a
+// fixed-width PUSH2 that is patched in build()), which is also how solc lays
+// out jump targets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "evm/bytecode.hpp"
+#include "evm/opcodes.hpp"
+#include "evm/uint256.hpp"
+
+namespace phishinghook::synth {
+
+using evm::Bytecode;
+using evm::Op;
+using evm::U256;
+
+/// Opaque jump-target handle.
+struct Label {
+  std::size_t id = 0;
+};
+
+class Assembler {
+ public:
+  /// Appends a single opcode byte.
+  Assembler& op(Op opcode);
+
+  /// Appends a raw byte (used for metadata trailers and INVALID padding).
+  Assembler& raw(std::uint8_t byte);
+
+  /// Appends raw bytes verbatim.
+  Assembler& raw_bytes(std::span<const std::uint8_t> bytes);
+
+  /// PUSHn with the minimal width holding `value` (PUSH0 for zero).
+  Assembler& push(const U256& value);
+  Assembler& push(std::uint64_t value) { return push(U256(value)); }
+
+  /// PUSHn with exactly `bytes.size()` immediate bytes (1..32).
+  Assembler& push_bytes(std::span<const std::uint8_t> bytes);
+
+  /// PUSH4 of a function selector — the dispatcher building block.
+  Assembler& push_selector(std::uint32_t selector);
+
+  /// Fresh unbound label.
+  Label make_label();
+
+  /// Binds `label` to the current position and emits JUMPDEST.
+  Assembler& bind(Label label);
+
+  /// PUSH2 <label>; patched to the label's offset in build().
+  Assembler& push_label(Label label);
+
+  /// push_label + JUMP / JUMPI.
+  Assembler& jump(Label label);
+  Assembler& jump_if(Label label);
+
+  /// Current byte offset (next instruction position).
+  std::size_t offset() const { return code_.size(); }
+
+  /// Resolves labels and returns the finished bytecode. Throws StateError if
+  /// any referenced label was never bound or lies beyond 0xFFFF.
+  Bytecode build() const;
+
+ private:
+  struct Fixup {
+    std::size_t at = 0;     // position of the PUSH2 immediate
+    std::size_t label = 0;  // label id
+  };
+
+  std::vector<std::uint8_t> code_;
+  std::vector<std::ptrdiff_t> label_offsets_;  // -1 while unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace phishinghook::synth

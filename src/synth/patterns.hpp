@@ -1,0 +1,162 @@
+// Bytecode fragments shared by the synthetic contract templates.
+//
+// Benign fragments mirror what solc emits for everyday Solidity: the
+// free-memory-pointer prelude, selector dispatchers, checked (SafeMath-era)
+// arithmetic, mapping-slot hashing, Transfer events, and explicit gas checks
+// before external calls. Phishing fragments implement the attack patterns
+// described in the paper's §II: full-balance sweeps to a hard-coded owner,
+// tx.origin gating, approval harvesting via crafted transferFrom calldata,
+// and fast exits via SELFDESTRUCT.
+//
+// Every fragment documents its net stack effect; templates compose them so
+// the result executes cleanly on the interpreter.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "evm/address.hpp"
+#include "synth/assembler.hpp"
+
+namespace phishinghook::synth {
+
+using common::Rng;
+using evm::Address;
+
+// --- shared scaffolding ------------------------------------------------------
+
+/// PUSH1 0x80 PUSH1 0x40 MSTORE — the canonical solc prelude (the paper's
+/// §III disassembly example). Stack: -.
+void emit_prelude(Assembler& a);
+
+/// Reverts if msg.value != 0 (non-payable guard solc puts on most
+/// functions). Stack: -.
+void emit_callvalue_guard(Assembler& a);
+
+/// Emits `REVERT(0,0)`. Stack: -.
+void emit_revert(Assembler& a);
+
+/// Emits `RETURN` of the 32-byte word on top of the stack (via scratch
+/// memory at 0x80). Stack: -1.
+void emit_return_word(Assembler& a);
+
+/// Emits `RETURN(0,0)` (empty successful return). Stack: -.
+void emit_return_empty(Assembler& a);
+
+/// Stores the selector of calldata on the stack:
+/// CALLDATALOAD(0) >> 0xE0. Stack: +1.
+void emit_load_selector(Assembler& a);
+
+/// solc-style CBOR metadata trailer: INVALID, an ipfs-hash-like payload of
+/// random bytes, the solc version stamp and the 2-byte length suffix.
+/// Executable code must have ended before this is emitted.
+void emit_metadata_trailer(Assembler& a, Rng& rng);
+
+// --- benign (compiler-shaped) fragments -------------------------------------
+
+/// keccak(caller ++ slot): the storage slot of mapping(address=>x)[caller].
+/// Leaves the slot on the stack. Stack: +1.
+void emit_mapping_slot_for_caller(Assembler& a, std::uint64_t slot);
+
+/// Checked addition of the two top words (solc 0.8 overflow panic =>
+/// revert). Stack: -1 (consumes two, leaves sum).
+void emit_checked_add(Assembler& a);
+
+/// Checked subtraction top = second - top, reverting on underflow.
+/// Stack: -1.
+void emit_checked_sub(Assembler& a);
+
+/// Emits a Transfer(address,address,uint256)-shaped LOG3 with the amount on
+/// top of the stack. Stack: -1.
+void emit_transfer_event(Assembler& a, Rng& rng);
+
+/// GAS >= threshold check before an external interaction; reverts when the
+/// remaining gas is too low. This is the "well-structured contracts manage
+/// gas explicitly" pattern the paper's SHAP analysis surfaces (Fig. 9).
+/// Stack: -.
+void emit_gas_check(Assembler& a, std::uint64_t min_gas);
+
+/// A guarded external CALL to the address in `target` with no value and no
+/// data, checking the success flag and reverting on failure. Stack: -.
+void emit_safe_external_call(Assembler& a, const Address& target);
+
+/// SLOAD(slot) and return it. Terminates the function body. Stack: -.
+void emit_getter_body(Assembler& a, std::uint64_t slot);
+
+/// A read-modify-write on balances[caller] with checked arithmetic and an
+/// event — the body shape of ERC-20 transfer-like functions.
+/// Terminates with RETURN(bool true). Stack: -.
+void emit_token_move_body(Assembler& a, Rng& rng, std::uint64_t slot);
+
+/// Reentrancy-guard + gas-checked withdraw body (vault template).
+/// Terminates. Stack: -.
+void emit_vault_withdraw_body(Assembler& a, Rng& rng, std::uint64_t guard_slot);
+
+/// Benign filler: a few arithmetic/memory ops with no net stack effect,
+/// shaped like inlined pure helpers. Stack: -.
+void emit_benign_filler(Assembler& a, Rng& rng, int complexity);
+
+/// A *legitimate* full-balance sweep: treasuries and payment splitters move
+/// SELFBALANCE to a cold wallet read from storage, with gas discipline, a
+/// success check and an event. Shares its opcode profile with the drain
+/// patterns below — by design: no single opcode (SELFBALANCE, CALL) may
+/// separate the classes (paper Fig. 3). Terminates. Stack: -.
+void emit_cold_sweep_body(Assembler& a, Rng& rng, std::uint64_t wallet_slot);
+
+// --- phishing fragments ------------------------------------------------------
+
+/// Sends the whole contract balance to `owner` with no success check — the
+/// fund-drain signature. Drain kits hardcode a generous gas constant more
+/// often than they read GAS (they do not manage gas at all), which is what
+/// makes *low* GAS usage a phishing tell (paper Fig. 9). Stack: -.
+void emit_sweep_balance(Assembler& a, const Address& owner, Rng& rng);
+
+/// Branches to `continue_label` only when tx.origin == owner; otherwise
+/// falls through. tx.origin gating is a classic scam-contract tell.
+/// Stack: -.
+void emit_origin_gate(Assembler& a, const Address& owner, Label continue_label);
+
+/// Crafts transferFrom(victim=CALLER, to=owner, amount) calldata in memory
+/// and CALLs `token` with it — approval harvesting: the victim signed an
+/// "approve" earlier on a fake dApp, and this sweeps the allowance.
+/// Stack: -.
+void emit_approval_harvest(Assembler& a, const Address& token,
+                           const Address& owner);
+
+/// SELFDESTRUCT to `owner` — the rug-pull fast exit. Terminates. Stack: -.
+void emit_selfdestruct_exit(Assembler& a, const Address& owner);
+
+/// A "claim reward" body: emits a bait event, then sweeps. Terminates with
+/// an empty RETURN so wallets render success. Stack: -.
+void emit_fake_claim_body(Assembler& a, Rng& rng, const Address& owner);
+
+/// The evolved drain (late-window attack pattern): structurally identical
+/// to the benign cold-storage sweep — gas discipline, success check,
+/// bookkeeping SSTORE, Transfer event — except the destination is the
+/// campaign's hard-coded owner wallet rather than a configured cold wallet.
+/// Detectors trained on early months largely miss it, producing the
+/// temporal decay of Fig. 8. Terminates. Stack: -.
+void emit_stealth_drain_body(Assembler& a, Rng& rng, const Address& owner);
+
+/// Camouflage: prepends benign-looking machinery to a phishing body with
+/// per-fragment probability `obfuscation` — mapping-slot reads (SHA3 +
+/// CALLDATALOAD), checked arithmetic, explicit gas checks, filler, fake
+/// bookkeeping writes and events: exactly the fragments the classifiers key
+/// on. This is the knob whose monthly drift drives Fig. 8's decay.
+/// Stack: -.
+void emit_camouflage(Assembler& a, Rng& rng, double obfuscation);
+
+// --- well-known byte strings --------------------------------------------------
+
+/// ERC-1167 minimal proxy runtime for `implementation` — 45 bytes,
+/// bit-identical across clones of one implementation; the source of the
+/// paper's 5x duplicate rate.
+Bytecode minimal_proxy_runtime(const Address& implementation);
+
+/// A plausible 4-byte selector (uniform random, excluding 0).
+std::uint32_t random_selector(Rng& rng);
+
+/// A random 20-byte address (campaign owner wallets, token targets...).
+Address random_address(Rng& rng);
+
+}  // namespace phishinghook::synth

@@ -1,0 +1,134 @@
+// Simulated chain: months, deployments, crawl and label service.
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "chain/explorer.hpp"
+#include "synth/assembler.hpp"
+
+namespace phishinghook::chain {
+namespace {
+
+using synth::Assembler;
+using evm::Op;
+
+TEST(Month, LabelsAcrossTheStudyWindow) {
+  EXPECT_EQ(Month{0}.label(), "2023-10");
+  EXPECT_EQ(Month{3}.label(), "2024-01");
+  EXPECT_EQ(Month{12}.label(), "2024-10");
+  EXPECT_THROW(Month{13}.label(), InvalidArgument);
+  EXPECT_THROW((Month{-1}.label()), InvalidArgument);
+}
+
+TEST(Month, TimestampsAreMonotoneAndMonthSized) {
+  for (int m = 0; m + 1 < Month::kCount; ++m) {
+    const std::uint64_t delta =
+        Month{m + 1}.start_timestamp() - Month{m}.start_timestamp();
+    EXPECT_GE(delta, 28u * 86400u) << Month{m}.label();
+    EXPECT_LE(delta, 31u * 86400u) << Month{m}.label();
+  }
+  // 2024-02 (leap year) has 29 days.
+  EXPECT_EQ(Month{5}.start_timestamp() - Month{4}.start_timestamp(),
+            29u * 86400u);
+}
+
+TEST(ChainStore, AdvanceUpdatesBlockContext) {
+  ChainStore chain;
+  const std::uint64_t block0 = chain.head_block();
+  chain.advance_to(Month{2});
+  EXPECT_GT(chain.head_block(), block0);
+  EXPECT_EQ(chain.head_timestamp(), Month{2}.start_timestamp());
+  EXPECT_EQ(chain.state().block().timestamp, chain.head_timestamp());
+  EXPECT_THROW(chain.advance_to(Month{1}), InvalidArgument);
+}
+
+TEST(ChainStore, RegisterContractRecordsProvenance) {
+  ChainStore chain;
+  chain.advance_to(Month{4});
+  Assembler a;
+  a.op(Op::kStop);
+  const Address deployer =
+      Address::from_hex("0x00000000000000000000000000000000000000aa");
+  const ContractRecord& record = chain.register_contract(deployer, a.build());
+  EXPECT_EQ(record.month, (Month{4}));
+  EXPECT_EQ(record.deployer, deployer);
+  EXPECT_FALSE(record.address.is_zero());
+  EXPECT_EQ(chain.find(record.address)->block_number, record.block_number);
+  EXPECT_EQ(chain.contracts().size(), 1u);
+}
+
+TEST(ChainStore, ContractsBetweenFiltersByMonth) {
+  ChainStore chain;
+  const Address deployer =
+      Address::from_hex("0x00000000000000000000000000000000000000aa");
+  Assembler a;
+  a.op(Op::kStop);
+  const auto code = a.build();
+  chain.register_contract(deployer, code);  // month 0
+  chain.advance_to(Month{5});
+  chain.register_contract(deployer, code);
+  chain.register_contract(deployer, code);
+  EXPECT_EQ(chain.contracts_between(Month{0}, Month{0}).size(), 1u);
+  EXPECT_EQ(chain.contracts_between(Month{5}, Month{12}).size(), 2u);
+  EXPECT_EQ(chain.contracts_between(Month{0}, Month{12}).size(), 3u);
+  EXPECT_TRUE(chain.contracts_between(Month{1}, Month{4}).empty());
+}
+
+TEST(Explorer, EthGetCodeMatchesDeployedCode) {
+  ChainStore chain;
+  Assembler a;
+  a.push(0x2A).op(Op::kPop).op(Op::kStop);
+  const Address deployer =
+      Address::from_hex("0x00000000000000000000000000000000000000aa");
+  const ContractRecord& record = chain.register_contract(deployer, a.build());
+  const Explorer explorer(chain);
+  EXPECT_EQ(explorer.eth_get_code(record.address), a.build().to_hex());
+  // Unknown accounts answer "0x" like a real JSON-RPC node.
+  EXPECT_EQ(explorer.eth_get_code(Address()), "0x");
+}
+
+TEST(Explorer, PhishHackFlagging) {
+  ChainStore chain;
+  Explorer explorer(chain);
+  const Address a =
+      Address::from_hex("0x00000000000000000000000000000000000000ab");
+  EXPECT_FALSE(explorer.is_flagged_phishing(a));
+  explorer.flag(a, ContractFlag::kPhishHack);
+  EXPECT_TRUE(explorer.is_flagged_phishing(a));
+  EXPECT_EQ(explorer.flag_of(a), ContractFlag::kPhishHack);
+  explorer.flag(a, ContractFlag::kNone);
+  EXPECT_FALSE(explorer.is_flagged_phishing(a));
+}
+
+TEST(Explorer, CrawlReturnsWindowAddresses) {
+  ChainStore chain;
+  Assembler a;
+  a.op(Op::kStop);
+  const Address deployer =
+      Address::from_hex("0x00000000000000000000000000000000000000aa");
+  chain.register_contract(deployer, a.build());
+  chain.advance_to(Month{6});
+  chain.register_contract(deployer, a.build());
+  const Explorer explorer(chain);
+  EXPECT_EQ(explorer.crawl(Month{0}, Month{12}).size(), 2u);
+  EXPECT_EQ(explorer.crawl(Month{6}, Month{6}).size(), 1u);
+}
+
+TEST(State, ExecuteTransactionBumpsNonce) {
+  ChainStore chain;
+  const Address sender =
+      Address::from_hex("0x00000000000000000000000000000000000000aa");
+  chain.state().set_balance(sender, evm::U256(1000));
+  evm::Message msg;
+  msg.caller = sender;
+  msg.origin = sender;
+  msg.code_address = Address();  // pure transfer to the zero address
+  msg.storage_address = Address();
+  msg.value = evm::U256(10);
+  const auto result = chain.state().execute_transaction(msg);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(chain.state().find(sender)->nonce, 1u);
+  EXPECT_EQ(chain.state().get_balance(sender), evm::U256(990));
+}
+
+}  // namespace
+}  // namespace phishinghook::chain

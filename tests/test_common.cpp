@@ -1,0 +1,148 @@
+// Unit tests for the common support layer: hex codec, RNG, CSV, strings.
+#include <gtest/gtest.h>
+
+#include "common/csv.hpp"
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace phishinghook {
+namespace {
+
+using common::CsvWriter;
+using common::hex_decode;
+using common::hex_encode;
+using common::hex_encode_prefixed;
+using common::is_hex;
+using common::parse_csv;
+using common::Rng;
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x60, 0x80, 0x60, 0x40, 0x52};
+  EXPECT_EQ(hex_encode(bytes), "6080604052");
+  EXPECT_EQ(hex_encode_prefixed(bytes), "0x6080604052");
+  EXPECT_EQ(hex_decode("0x6080604052"), bytes);
+  EXPECT_EQ(hex_decode("6080604052"), bytes);
+  EXPECT_EQ(hex_decode("0X6080604052"), bytes);
+}
+
+TEST(Hex, EmptyAndCase) {
+  EXPECT_TRUE(hex_decode("0x").empty());
+  EXPECT_TRUE(hex_decode("").empty());
+  EXPECT_EQ(hex_decode("AbCd"), (std::vector<std::uint8_t>{0xAB, 0xCD}));
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(hex_decode("0x123"), ParseError);   // odd length
+  EXPECT_THROW(hex_decode("zz"), ParseError);      // non-hex
+  EXPECT_FALSE(is_hex("0x123"));
+  EXPECT_FALSE(is_hex("xyz1"));
+  EXPECT_TRUE(is_hex("0xdeadBEEF"));
+  EXPECT_TRUE(is_hex(""));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, UniformDoublesInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  auto perm = common::random_permutation(50, rng);
+  std::sort(perm.begin(), perm.end());
+  for (std::size_t i = 0; i < perm.size(); ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(Csv, EscapeAndParseRoundTrip) {
+  CsvWriter writer;
+  writer.write_row({"a", "with,comma", "with\"quote", "multi\nline"});
+  writer.write_row({"1", "2", "3", "4"});
+  const auto table = parse_csv(writer.str());
+  ASSERT_EQ(table.header.size(), 4u);
+  EXPECT_EQ(table.header[1], "with,comma");
+  EXPECT_EQ(table.header[2], "with\"quote");
+  EXPECT_EQ(table.header[3], "multi\nline");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][3], "4");
+}
+
+TEST(Csv, ColumnLookup) {
+  const auto table = parse_csv("pc,mnemonic\n0,PUSH1\n");
+  EXPECT_EQ(table.column("mnemonic"), 1u);
+  EXPECT_THROW(table.column("missing"), NotFound);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"unterminated"), ParseError);
+}
+
+TEST(Strings, SplitJoinTrim) {
+  EXPECT_EQ(common::split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(common::join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(common::trim("  hi\t"), "hi");
+  EXPECT_EQ(common::to_lower("AbC"), "abc");
+  EXPECT_TRUE(common::starts_with("0x1234", "0x"));
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(common::format_fixed(93.634, 2), "93.63");
+  EXPECT_EQ(common::pad_left("7", 3), "  7");
+  EXPECT_EQ(common::pad_right("7", 3), "7  ");
+  EXPECT_EQ(common::format_scientific(7.35e-70, 2), "7.35e-70");
+}
+
+}  // namespace
+}  // namespace phishinghook

@@ -1,0 +1,114 @@
+// Dataset builder: the crawl -> scrape -> BEM -> dedup -> balance pipeline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/dataset_builder.hpp"
+
+namespace phishinghook::synth {
+namespace {
+
+DatasetConfig small_config(std::uint64_t seed = 42) {
+  DatasetConfig config;
+  config.target_size = 120;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DatasetBuilder, BalancedAndDeduplicated) {
+  const BuiltDataset dataset = DatasetBuilder(small_config()).build();
+  EXPECT_EQ(dataset.phishing_count(), dataset.benign_count());
+  EXPECT_GE(dataset.samples.size(), 100u);
+
+  // Bit-exact dedup: all code hashes unique within each class.
+  std::set<std::string> phishing_hashes, benign_hashes;
+  for (const LabeledContract& sample : dataset.samples) {
+    const std::string key = evm::hash_to_hex(sample.code.code_hash());
+    auto& bucket = sample.phishing ? phishing_hashes : benign_hashes;
+    EXPECT_TRUE(bucket.insert(key).second) << "duplicate in final dataset";
+  }
+}
+
+TEST(DatasetBuilder, DuplicateRateNearPaperRatio) {
+  const BuiltDataset dataset = DatasetBuilder(small_config()).build();
+  // Paper: 17,455 raw -> 3,458 unique (ratio ~ 5.05).
+  const double ratio = static_cast<double>(dataset.raw_phishing) /
+                       static_cast<double>(dataset.unique_phishing);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 9.0);
+}
+
+TEST(DatasetBuilder, DeterministicInSeed) {
+  const BuiltDataset a = DatasetBuilder(small_config(7)).build();
+  const BuiltDataset b = DatasetBuilder(small_config(7)).build();
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].code.bytes(), b.samples[i].code.bytes());
+    EXPECT_EQ(a.samples[i].phishing, b.samples[i].phishing);
+  }
+  const BuiltDataset c = DatasetBuilder(small_config(8)).build();
+  EXPECT_NE(evm::hash_to_hex(a.samples[0].code.code_hash()),
+            evm::hash_to_hex(c.samples[0].code.code_hash()));
+}
+
+TEST(DatasetBuilder, MonthlyProfileSumsToOne) {
+  double total = 0.0;
+  for (double p : DatasetBuilder::monthly_profile()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DatasetBuilder, PhishingVolumeFollowsProfileShape) {
+  const BuiltDataset dataset = DatasetBuilder(small_config()).build();
+  // The peak month of the profile must carry more raw deployments than the
+  // first month (Fig. 2's rise).
+  EXPECT_GT(dataset.phishing_per_month[7], dataset.phishing_per_month[0]);
+  std::size_t total = 0;
+  for (std::size_t c : dataset.phishing_per_month) total += c;
+  EXPECT_EQ(total, dataset.raw_phishing);
+}
+
+TEST(DatasetBuilder, LabelsComeFromTheExplorer) {
+  const BuiltDataset dataset = DatasetBuilder(small_config()).build();
+  for (const LabeledContract& sample : dataset.samples) {
+    EXPECT_EQ(dataset.explorer->is_flagged_phishing(sample.address),
+              sample.phishing);
+  }
+}
+
+TEST(DatasetBuilder, TemporalVariantMatchesBenignToPhishing) {
+  DatasetConfig config = small_config();
+  config.match_benign_temporal = true;
+  const BuiltDataset dataset = DatasetBuilder(config).build();
+  // With matched temporal distributions, early months contain benign
+  // samples too (so the Fig. 8 monthly test sets are two-class).
+  const TemporalSplit split = temporal_split(dataset.samples);
+  EXPECT_FALSE(split.train.empty());
+  int two_class_months = 0;
+  for (const auto& month_set : split.monthly_tests) {
+    bool has_phishing = false, has_benign = false;
+    for (const LabeledContract* sample : month_set) {
+      (sample->phishing ? has_phishing : has_benign) = true;
+    }
+    if (has_phishing && has_benign) ++two_class_months;
+  }
+  EXPECT_GE(two_class_months, 6);
+}
+
+TEST(TemporalSplit, PartitionsByMonth) {
+  const BuiltDataset dataset = DatasetBuilder(small_config()).build();
+  const TemporalSplit split = temporal_split(dataset.samples);
+  std::size_t total = split.train.size();
+  for (const auto& test : split.monthly_tests) total += test.size();
+  EXPECT_EQ(total, dataset.samples.size());
+  for (const LabeledContract* sample : split.train) {
+    EXPECT_LE(sample->month.index, 3);
+  }
+  for (std::size_t m = 0; m < split.monthly_tests.size(); ++m) {
+    for (const LabeledContract* sample : split.monthly_tests[m]) {
+      EXPECT_EQ(sample->month.index, static_cast<int>(m) + 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phishinghook::synth

@@ -1,0 +1,102 @@
+// FeatureBinner: the quantization layer under LightGBM and CatBoost.
+//
+// Includes the regression test for a real bug found during the Table II
+// calibration: the fit() scratch vector was shrunk by unique() and never
+// re-grown, so every feature after the first low-cardinality one was binned
+// through a truncated window — silently degrading both histogram GBDTs to
+// ~73% accuracy while the exact-greedy XGBoost scored 93% on the same data.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/gbdt_common.hpp"
+
+namespace phishinghook::ml::gbdt {
+namespace {
+
+TEST(FeatureBinner, SingleFeatureQuantiles) {
+  Matrix x(100, 1);
+  for (std::size_t r = 0; r < 100; ++r) x.at(r, 0) = static_cast<double>(r);
+  FeatureBinner binner;
+  binner.fit(x, 10);
+  EXPECT_GE(binner.bins(0), 8);
+  EXPECT_LE(binner.bins(0), 10);
+  // Bins are monotone in the value.
+  std::uint8_t prev = 0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    const std::uint8_t b = binner.bin(0, x.at(r, 0));
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(FeatureBinner, ConstantFeatureGetsOneBin) {
+  Matrix x(50, 2);
+  for (std::size_t r = 0; r < 50; ++r) {
+    x.at(r, 0) = 7.0;                        // constant
+    x.at(r, 1) = static_cast<double>(r % 5);  // 5 distinct values
+  }
+  FeatureBinner binner;
+  binner.fit(x, 16);
+  EXPECT_EQ(binner.bins(0), 1);
+  EXPECT_EQ(binner.bins(1), 5);
+}
+
+TEST(FeatureBinner, LowCardinalityFeatureDoesNotPoisonLaterOnes) {
+  // Regression: feature 0 has 2 distinct values; features 1.. must still be
+  // binned over their full value range.
+  common::Rng rng(5);
+  Matrix x(200, 4);
+  for (std::size_t r = 0; r < 200; ++r) {
+    x.at(r, 0) = static_cast<double>(r % 2);
+    for (std::size_t f = 1; f < 4; ++f) {
+      x.at(r, f) = rng.uniform(0.0, 1000.0);
+    }
+  }
+  FeatureBinner binner;
+  binner.fit(x, 32);
+  EXPECT_EQ(binner.bins(0), 2);
+  for (std::size_t f = 1; f < 4; ++f) {
+    EXPECT_GE(binner.bins(f), 24) << "feature " << f << " lost its range";
+  }
+  // Values near the top of the range must land in high bins.
+  for (std::size_t f = 1; f < 4; ++f) {
+    EXPECT_GT(binner.bin(f, 999.0), binner.bins(f) / 2);
+  }
+}
+
+TEST(FeatureBinner, TransformShapesAndDeterminism) {
+  common::Rng rng(7);
+  Matrix x(30, 3);
+  for (std::size_t r = 0; r < 30; ++r) {
+    for (std::size_t f = 0; f < 3; ++f) x.at(r, f) = rng.normal();
+  }
+  FeatureBinner binner;
+  binner.fit(x, 16);
+  const auto a = binner.transform(x);
+  const auto b = binner.transform(x);
+  EXPECT_EQ(a.size(), 90u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FeatureBinner, RejectsBadBinCounts) {
+  Matrix x(4, 1);
+  FeatureBinner binner;
+  EXPECT_THROW(binner.fit(x, 1), InvalidArgument);
+  EXPECT_THROW(binner.fit(x, 300), InvalidArgument);
+}
+
+TEST(GradHess, LogisticDerivatives) {
+  // At score 0: p = 0.5; grad = 0.5 - label; hess = 0.25.
+  const auto gh0 = logistic_grad_hess(0.0, 1);
+  EXPECT_NEAR(gh0.grad, -0.5, 1e-12);
+  EXPECT_NEAR(gh0.hess, 0.25, 1e-12);
+  const auto gh1 = logistic_grad_hess(0.0, 0);
+  EXPECT_NEAR(gh1.grad, 0.5, 1e-12);
+  // Hessian floored away from zero at extreme scores.
+  const auto extreme = logistic_grad_hess(40.0, 1);
+  EXPECT_GT(extreme.hess, 0.0);
+  EXPECT_NEAR(extreme.grad, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace phishinghook::ml::gbdt

@@ -1,0 +1,106 @@
+// Hyperparameter search (the Optuna stand-in).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/hyper_search.hpp"
+#include "ml/knn.hpp"
+#include "ml/random_forest.hpp"
+
+namespace phishinghook::ml {
+namespace {
+
+struct Blob {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blob make_blobs(std::size_t n_per_class, std::size_t d, double separation,
+                std::uint64_t seed) {
+  common::Rng rng(seed);
+  Blob blob;
+  blob.x = Matrix(2 * n_per_class, d);
+  for (std::size_t i = 0; i < 2 * n_per_class; ++i) {
+    const int label = i < n_per_class ? 0 : 1;
+    blob.y.push_back(label);
+    for (std::size_t c = 0; c < d; ++c) {
+      blob.x.at(i, c) = rng.normal() + (label == 1 ? separation : 0.0);
+    }
+  }
+  return blob;
+}
+
+ClassifierFactory knn_factory() {
+  return [](const ParamAssignment& params) {
+    KnnConfig config;
+    config.k = static_cast<int>(params.at("k"));
+    return std::unique_ptr<TabularClassifier>(
+        std::make_unique<KnnClassifier>(config));
+  };
+}
+
+TEST(HyperSearch, GridEnumeratesFullProduct) {
+  const Blob blob = make_blobs(30, 3, 2.0, 1);
+  HyperSearchConfig config;
+  config.folds = 3;
+  const HyperSearch search(config);
+  const Trial best = search.grid_search(
+      knn_factory(), {{"k", {1.0, 3.0, 5.0, 7.0}}}, blob.x, blob.y);
+  EXPECT_GT(best.score, 0.85);
+  EXPECT_TRUE(best.params.contains("k"));
+}
+
+TEST(HyperSearch, GridFindsTheObviouslyBetterSetting) {
+  // Forest with 1 tree of depth 1 vs a real forest: grid must pick the
+  // latter on noisy data.
+  const Blob blob = make_blobs(40, 4, 1.2, 2);
+  const ClassifierFactory factory = [](const ParamAssignment& params) {
+    RandomForestConfig config;
+    config.n_trees = static_cast<int>(params.at("n_trees"));
+    config.max_depth = static_cast<int>(params.at("max_depth"));
+    return std::unique_ptr<TabularClassifier>(
+        std::make_unique<RandomForestClassifier>(config));
+  };
+  HyperSearchConfig config;
+  config.folds = 3;
+  const HyperSearch search(config);
+  const Trial best = search.grid_search(
+      factory, {{"n_trees", {1.0, 25.0}}, {"max_depth", {1.0, 8.0}}}, blob.x,
+      blob.y);
+  EXPECT_EQ(best.params.at("n_trees"), 25.0);
+}
+
+TEST(HyperSearch, RandomSearchStaysInSpace) {
+  const Blob blob = make_blobs(25, 3, 2.0, 3);
+  HyperSearchConfig config;
+  config.folds = 3;
+  const HyperSearch search(config);
+  const Trial best = search.random_search(
+      knn_factory(), {{"k", {1.0, 3.0, 5.0}}}, blob.x, blob.y, 5);
+  const double k = best.params.at("k");
+  EXPECT_TRUE(k == 1.0 || k == 3.0 || k == 5.0);
+  EXPECT_GT(best.score, 0.8);
+}
+
+TEST(HyperSearch, MaxTrialsBoundsGrid) {
+  const Blob blob = make_blobs(20, 2, 2.5, 4);
+  HyperSearchConfig config;
+  config.folds = 2;
+  config.max_trials = 2;
+  const HyperSearch search(config);
+  // 3x3 grid capped at 2 evaluations — must still return a valid trial.
+  const Trial best = search.grid_search(
+      knn_factory(), {{"k", {1.0, 3.0, 5.0}}, {"unused", {0.0, 1.0, 2.0}}},
+      blob.x, blob.y);
+  EXPECT_GE(best.score, 0.0);
+}
+
+TEST(HyperSearch, EmptyAxisRejected) {
+  const Blob blob = make_blobs(20, 2, 2.5, 5);
+  const HyperSearch search;
+  EXPECT_THROW(
+      search.grid_search(knn_factory(), {{"k", {}}}, blob.x, blob.y),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phishinghook::ml

@@ -1,0 +1,134 @@
+// ML core: matrix, metrics, stratified cross-validation.
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/matrix.hpp"
+#include "ml/metrics.hpp"
+
+namespace phishinghook::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = 7.0;
+  EXPECT_EQ(m.row(0)[1], 7.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), InvalidArgument);
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(Matrix, SelectRows) {
+  const Matrix m = Matrix::from_rows({{1.0}, {2.0}, {3.0}});
+  const std::vector<std::size_t> idx = {2, 0};
+  const Matrix sel = m.select_rows(idx);
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_EQ(sel.at(0, 0), 3.0);
+  EXPECT_EQ(sel.at(1, 0), 1.0);
+}
+
+TEST(Metrics, ConfusionAndDerived) {
+  const std::vector<int> truth = {1, 1, 1, 0, 0, 0, 0, 1};
+  const std::vector<int> pred = {1, 1, 0, 0, 0, 1, 0, 1};
+  const ConfusionMatrix cm = confusion(truth, pred);
+  EXPECT_EQ(cm.tp, 3u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 3u);
+  const Metrics m = compute_metrics(cm);
+  EXPECT_NEAR(m.accuracy, 6.0 / 8.0, 1e-12);
+  EXPECT_NEAR(m.precision, 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(m.recall, 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(m.f1, 0.75, 1e-12);
+}
+
+TEST(Metrics, DegenerateDenominators) {
+  // All-negative predictions: precision undefined -> 0, f1 -> 0.
+  const Metrics m = compute_metrics({1, 0}, {0, 0});
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_NEAR(m.accuracy, 0.5, 1e-12);
+}
+
+TEST(Metrics, MeanMetrics) {
+  Metrics a{1.0, 1.0, 1.0, 1.0};
+  Metrics b{0.0, 0.0, 0.0, 0.0};
+  const Metrics m = mean_metrics({a, b});
+  EXPECT_NEAR(m.accuracy, 0.5, 1e-12);
+}
+
+TEST(Metrics, ThresholdPredictions) {
+  EXPECT_EQ(threshold_predictions({0.2, 0.5, 0.9}),
+            (std::vector<int>{0, 1, 1}));
+}
+
+TEST(Metrics, AreaUnderTime) {
+  EXPECT_NEAR(area_under_time({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  EXPECT_NEAR(area_under_time({1.0, 0.0}), 0.5, 1e-12);
+  EXPECT_NEAR(area_under_time({0.8}), 0.8, 1e-12);
+  EXPECT_EQ(area_under_time({}), 0.0);
+}
+
+class KFoldProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KFoldProperty, PartitionInvariants) {
+  const int k = GetParam();
+  common::Rng rng(5);
+  std::vector<int> labels;
+  for (int i = 0; i < 101; ++i) labels.push_back(i % 2);
+  labels.push_back(1);  // slight imbalance
+
+  const auto folds = stratified_kfold(labels, k, rng);
+  ASSERT_EQ(folds.size(), static_cast<std::size_t>(k));
+
+  std::vector<int> seen(labels.size(), 0);
+  for (const Fold& fold : folds) {
+    for (std::size_t i : fold.test_indices) ++seen[i];
+    // train and test are disjoint and cover everything.
+    std::vector<bool> in_test(labels.size(), false);
+    for (std::size_t i : fold.test_indices) in_test[i] = true;
+    for (std::size_t i : fold.train_indices) EXPECT_FALSE(in_test[i]);
+    EXPECT_EQ(fold.train_indices.size() + fold.test_indices.size(),
+              labels.size());
+    // Stratification: test-set positive fraction within 15 points of 50%.
+    double positives = 0;
+    for (std::size_t i : fold.test_indices) positives += labels[i];
+    const double fraction = positives / static_cast<double>(fold.test_indices.size());
+    EXPECT_NEAR(fraction, 0.5, 0.15);
+  }
+  // Every sample is tested exactly once across folds.
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KFoldProperty, ::testing::Values(2, 3, 5, 10));
+
+TEST(KFold, RejectsBadK) {
+  common::Rng rng(1);
+  std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_THROW(stratified_kfold(labels, 1, rng), InvalidArgument);
+  EXPECT_THROW(stratified_kfold(labels, 5, rng), InvalidArgument);
+}
+
+TEST(Holdout, StratifiedFractions) {
+  common::Rng rng(2);
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(i < 50 ? 0 : 1);
+  const Fold fold = stratified_holdout(labels, 0.2, rng);
+  EXPECT_EQ(fold.test_indices.size(), 20u);
+  EXPECT_EQ(fold.train_indices.size(), 80u);
+  double positives = 0;
+  for (std::size_t i : fold.test_indices) positives += labels[i];
+  EXPECT_NEAR(positives / 20.0, 0.5, 1e-12);
+  EXPECT_THROW(stratified_holdout(labels, 0.0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phishinghook::ml

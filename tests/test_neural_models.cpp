@@ -1,0 +1,268 @@
+// Neural models (Vision / Language / VDM): each must learn an easy
+// synthetic task at tiny scale, and honor its structural contract
+// (windowing variants, ESCORT's frozen-transfer behaviour).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/models/eca_efficientnet.hpp"
+#include "ml/models/escort.hpp"
+#include "ml/models/scsguard.hpp"
+#include "ml/models/transformer_classifier.hpp"
+#include "ml/models/vit.hpp"
+
+namespace phishinghook::ml::models {
+namespace {
+
+using common::Rng;
+
+/// Token-sequence task: class 1 sequences contain token 7 often, class 0
+/// never. Trivially learnable by any sequence model.
+struct SequenceTask {
+  std::vector<TokenSequence> train, test;
+  std::vector<int> train_y, test_y;
+};
+
+SequenceTask make_sequence_task(std::size_t n, std::size_t len,
+                                std::uint64_t seed, std::size_t vocab = 32) {
+  Rng rng(seed);
+  SequenceTask task;
+  auto gen = [&](int label) {
+    TokenSequence seq(len);
+    for (auto& token : seq) {
+      token = 1 + rng.next_below(vocab - 2);
+      if (token == 7) token = 8;
+    }
+    if (label == 1) {
+      for (std::size_t i = 0; i < len; i += 3) seq[i] = 7;
+    }
+    return seq;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    task.train.push_back(gen(label));
+    task.train_y.push_back(label);
+  }
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    const int label = static_cast<int>(i % 2);
+    task.test.push_back(gen(label));
+    task.test_y.push_back(label);
+  }
+  return task;
+}
+
+double sequence_accuracy(SequenceClassifierModel& model, SequenceTask& task) {
+  model.fit(task.train, task.train_y);
+  const auto probs = model.predict_proba(task.test);
+  return compute_metrics(task.test_y, threshold_predictions(probs)).accuracy;
+}
+
+SequenceModelConfig tiny_config(std::uint64_t seed) {
+  SequenceModelConfig config;
+  config.vocab = 32;
+  config.dim = 16;
+  config.heads = 2;
+  config.layers = 1;
+  config.max_len = 24;
+  config.epochs = 6;
+  config.seed = seed;
+  config.learning_rate = 5e-3F;
+  return config;
+}
+
+TEST(ScsGuard, LearnsTokenMarkerTask) {
+  auto task = make_sequence_task(60, 24, 1);
+  ScsGuardModel model(tiny_config(11));
+  EXPECT_GE(sequence_accuracy(model, task), 0.85);
+}
+
+TEST(Gpt2, AlphaLearnsTokenMarkerTask) {
+  auto task = make_sequence_task(60, 24, 2);
+  auto config = gpt2_config(tiny_config(12), /*beta=*/false);
+  config.pretext_epochs = 1;
+  TransformerClassifier model(config, "GPT-2 test");
+  EXPECT_GE(sequence_accuracy(model, task), 0.85);
+}
+
+TEST(T5, AlphaLearnsTokenMarkerTask) {
+  auto task = make_sequence_task(60, 24, 3);
+  auto config = t5_config(tiny_config(13), /*beta=*/false);
+  config.pretext_epochs = 1;
+  TransformerClassifier model(config, "T5 test");
+  EXPECT_GE(sequence_accuracy(model, task), 0.85);
+}
+
+TEST(Gpt2, BetaSeesBeyondTheFirstWindow) {
+  // The marker only appears *after* position max_len: alpha (truncating)
+  // cannot see it; beta (sliding windows) can.
+  Rng rng(4);
+  const std::size_t len = 64;
+  auto make = [&](int label) {
+    TokenSequence seq(len);
+    for (auto& t : seq) {
+      t = 1 + rng.next_below(30);
+      if (t == 7) t = 8;
+    }
+    if (label == 1) {
+      for (std::size_t i = 40; i < len; i += 2) seq[i] = 7;
+    }
+    return seq;
+  };
+  std::vector<TokenSequence> train, test;
+  std::vector<int> train_y, test_y;
+  for (int i = 0; i < 80; ++i) {
+    train.push_back(make(i % 2));
+    train_y.push_back(i % 2);
+  }
+  for (int i = 0; i < 40; ++i) {
+    test.push_back(make(i % 2));
+    test_y.push_back(i % 2);
+  }
+
+  SequenceModelConfig base = tiny_config(14);
+  base.max_len = 24;
+  base.epochs = 8;
+
+  auto alpha_config = gpt2_config(base, false);
+  alpha_config.pretext_epochs = 0;
+  TransformerClassifier alpha(alpha_config, "alpha");
+  alpha.fit(train, train_y);
+  const double alpha_acc =
+      compute_metrics(test_y, threshold_predictions(alpha.predict_proba(test)))
+          .accuracy;
+
+  auto beta_config = gpt2_config(base, true);
+  beta_config.pretext_epochs = 0;
+  TransformerClassifier beta(beta_config, "beta");
+  beta.fit(train, train_y);
+  const double beta_acc =
+      compute_metrics(test_y, threshold_predictions(beta.predict_proba(test)))
+          .accuracy;
+
+  EXPECT_LE(alpha_acc, 0.65);  // marker invisible after truncation
+  EXPECT_GE(beta_acc, 0.8);
+}
+
+TEST(MakeWindows, AlphaTruncatesBetaCovers) {
+  TokenSequence tokens(100);
+  for (std::size_t i = 0; i < tokens.size(); ++i) tokens[i] = i;
+  const auto alpha = make_windows(tokens, 32, false);
+  ASSERT_EQ(alpha.size(), 1u);
+  EXPECT_EQ(alpha[0].size(), 32u);
+
+  const auto beta = make_windows(tokens, 32, true);
+  EXPECT_GT(beta.size(), 1u);
+  EXPECT_EQ(beta.back().back(), 99u);  // the tail is covered
+  // Windows never exceed max_len.
+  for (const auto& window : beta) EXPECT_LE(window.size(), 32u);
+
+  // Empty input yields one pad window.
+  const auto empty = make_windows({}, 32, true);
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0].size(), 1u);
+}
+
+/// Image task: class 1 has a bright square in the top-left corner.
+struct ImageTask {
+  std::vector<nn::Tensor> train, test;
+  std::vector<int> train_y, test_y;
+};
+
+ImageTask make_image_task(std::size_t n, std::size_t side, std::uint64_t seed) {
+  Rng rng(seed);
+  ImageTask task;
+  auto gen = [&](int label) {
+    nn::Tensor image({3, side, side});
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      image[i] = static_cast<float>(rng.next_double()) * 0.3F;
+    }
+    if (label == 1) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t h = 0; h < side / 2; ++h) {
+          for (std::size_t w = 0; w < side / 2; ++w) {
+            image.at3(c, h, w) = 0.9F;
+          }
+        }
+      }
+    }
+    return image;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    task.train.push_back(gen(static_cast<int>(i % 2)));
+    task.train_y.push_back(static_cast<int>(i % 2));
+  }
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    task.test.push_back(gen(static_cast<int>(i % 2)));
+    task.test_y.push_back(static_cast<int>(i % 2));
+  }
+  return task;
+}
+
+TEST(Vit, LearnsBrightCornerTask) {
+  auto task = make_image_task(60, 8, 5);
+  VitConfig config;
+  config.base.image_side = 8;
+  config.base.epochs = 20;
+  config.base.learning_rate = 5e-3F;
+  config.patch = 4;
+  config.dim = 16;
+  config.heads = 2;
+  config.layers = 1;
+  VitModel model(config);
+  model.fit(task.train, task.train_y);
+  const auto probs = model.predict_proba(task.test);
+  EXPECT_GE(
+      compute_metrics(task.test_y, threshold_predictions(probs)).accuracy,
+      0.9);
+}
+
+TEST(Vit, RejectsIndivisiblePatch) {
+  VitConfig config;
+  config.base.image_side = 10;
+  config.patch = 4;
+  EXPECT_THROW(VitModel{config}, InvalidArgument);
+}
+
+TEST(EcaEfficientNet, LearnsBrightCornerTask) {
+  auto task = make_image_task(60, 8, 6);
+  EcaEfficientNetConfig config;
+  config.base.image_side = 8;
+  config.base.epochs = 8;
+  EcaEfficientNetModel model(config);
+  model.fit(task.train, task.train_y);
+  const auto probs = model.predict_proba(task.test);
+  EXPECT_GE(
+      compute_metrics(task.test_y, threshold_predictions(probs)).accuracy,
+      0.9);
+}
+
+TEST(Escort, VulnerabilityClassesFromBytecodeStructure) {
+  EXPECT_EQ(EscortModel::vulnerability_class({0xF4, 0x01}), 0);  // delegatecall
+  EXPECT_EQ(EscortModel::vulnerability_class({0xFF, 0x60}), 2);  // selfdestruct
+  TokenSequence arithmetic_heavy(100, 0x01);
+  EXPECT_EQ(EscortModel::vulnerability_class(arithmetic_heavy), 1);
+  EXPECT_EQ(EscortModel::vulnerability_class({0x60, 0x60, 0x60}), 3);
+}
+
+TEST(Escort, TransferModeTrainsOnlyTheBranch) {
+  // After the two fit phases the model must produce valid probabilities and
+  // *some* decision function; its accuracy on a phishing-orthogonal task is
+  // expected to be weak (the paper's negative result) — asserted loosely
+  // here, precisely in the Table II bench.
+  auto task = make_sequence_task(40, 24, 7, /*vocab=*/250);
+  EscortConfig config;
+  config.max_len = 24;
+  config.pretrain_epochs = 2;
+  config.transfer_epochs = 2;
+  EscortModel model(config);
+  model.fit(task.train, task.train_y);
+  const auto probs = model.predict_proba(task.test);
+  ASSERT_EQ(probs.size(), task.test.size());
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace phishinghook::ml::models

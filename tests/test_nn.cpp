@@ -1,0 +1,379 @@
+// NN framework: finite-difference gradient checks for every layer.
+//
+// Each check builds a scalar loss L = sum(c .* forward(x)) with fixed random
+// coefficients c, computes analytic input/parameter gradients via
+// backward(), and compares against central differences. Float32 arithmetic
+// bounds the agreement to ~1e-2 relative.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "ml/nn/activations.hpp"
+#include "ml/nn/attention.hpp"
+#include "ml/nn/conv.hpp"
+#include "ml/nn/gru.hpp"
+#include "ml/nn/linear.hpp"
+#include "ml/nn/loss.hpp"
+#include "ml/nn/transformer.hpp"
+
+namespace phishinghook::ml::nn {
+namespace {
+
+using common::Rng;
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng,
+                     float scale = 1.0F) {
+  return Tensor::randn(std::move(shape), scale, rng);
+}
+
+/// Checks dL/dx for a layer via central differences.
+/// `forward` must be callable repeatedly (stateless wrt repeated calls).
+void check_input_gradient(
+    const std::function<Tensor(const Tensor&)>& forward,
+    const std::function<Tensor(const Tensor&)>& backward, Tensor x,
+    const Tensor& coeffs, double tolerance = 2e-2) {
+  auto loss = [&](const Tensor& input) {
+    const Tensor out = forward(input);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += static_cast<double>(out[i]) * coeffs[i];
+    }
+    return total;
+  };
+
+  (void)forward(x);  // populate caches
+  const Tensor analytic = backward(coeffs);
+
+  const float eps = 1e-2F;
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float original = x[i];
+    x[i] = original + eps;
+    const double up = loss(x);
+    x[i] = original - eps;
+    const double down = loss(x);
+    x[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double err = std::fabs(numeric - analytic[i]) /
+                       std::max(1.0, std::fabs(numeric));
+    max_err = std::max(max_err, err);
+  }
+  // Re-prime caches for the caller.
+  (void)forward(x);
+  EXPECT_LT(max_err, tolerance);
+}
+
+/// Checks dL/dtheta for one parameter of a layer.
+void check_param_gradient(const std::function<double()>& loss, Param& param,
+                          const std::function<void()>& run_backward,
+                          double tolerance = 2e-2) {
+  // Zero grads, run backward once to accumulate.
+  param.zero_grad();
+  run_backward();
+  const Tensor analytic = param.grad;
+
+  const float eps = 1e-2F;
+  double max_err = 0.0;
+  // Check a subset of coordinates to keep the test fast.
+  const std::size_t stride = std::max<std::size_t>(1, param.value.size() / 24);
+  for (std::size_t i = 0; i < param.value.size(); i += stride) {
+    const float original = param.value[i];
+    param.value[i] = original + eps;
+    const double up = loss();
+    param.value[i] = original - eps;
+    const double down = loss();
+    param.value[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double err = std::fabs(numeric - analytic[i]) /
+                       std::max(1.0, std::fabs(numeric));
+    max_err = std::max(max_err, err);
+  }
+  EXPECT_LT(max_err, tolerance);
+}
+
+TEST(NnGrad, Linear) {
+  Rng rng(1);
+  Linear layer(5, 3, rng);
+  Tensor x = random_tensor({4, 5}, rng);
+  const Tensor coeffs = random_tensor({4, 3}, rng);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs);
+  // Parameter gradient.
+  auto loss = [&] {
+    const Tensor out = layer.forward(x);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += static_cast<double>(out[i]) * coeffs[i];
+    }
+    return total;
+  };
+  for (Param* p : layer.params()) {
+    check_param_gradient(loss, *p, [&] {
+      (void)layer.forward(x);
+      (void)layer.backward(coeffs);
+    });
+  }
+}
+
+TEST(NnGrad, LayerNorm) {
+  Rng rng(2);
+  LayerNorm layer(6);
+  Tensor x = random_tensor({3, 6}, rng);
+  const Tensor coeffs = random_tensor({3, 6}, rng);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs);
+}
+
+TEST(NnGrad, Activations) {
+  Rng rng(3);
+  ReLU relu;
+  Gelu gelu;
+  Silu silu;
+  Tensor x = random_tensor({2, 7}, rng);
+  // Nudge values away from ReLU's kink at 0.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) < 0.05F) x[i] += 0.1F;
+  }
+  const Tensor coeffs = random_tensor({2, 7}, rng);
+  check_input_gradient([&](const Tensor& in) { return relu.forward(in); },
+                       [&](const Tensor& g) { return relu.backward(g); }, x,
+                       coeffs);
+  check_input_gradient([&](const Tensor& in) { return gelu.forward(in); },
+                       [&](const Tensor& g) { return gelu.backward(g); }, x,
+                       coeffs);
+  check_input_gradient([&](const Tensor& in) { return silu.forward(in); },
+                       [&](const Tensor& g) { return silu.backward(g); }, x,
+                       coeffs);
+}
+
+TEST(NnGrad, AttentionBidirectional) {
+  Rng rng(4);
+  AttentionConfig config;
+  config.dim = 8;
+  config.heads = 2;
+  MultiHeadAttention layer(config, rng);
+  Tensor x = random_tensor({5, 8}, rng, 0.5F);
+  const Tensor coeffs = random_tensor({5, 8}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs, 4e-2);
+}
+
+TEST(NnGrad, AttentionCausal) {
+  Rng rng(5);
+  AttentionConfig config;
+  config.dim = 8;
+  config.heads = 2;
+  config.causal = true;
+  MultiHeadAttention layer(config, rng);
+  Tensor x = random_tensor({5, 8}, rng, 0.5F);
+  const Tensor coeffs = random_tensor({5, 8}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs, 4e-2);
+}
+
+TEST(NnGrad, AttentionRelativeBias) {
+  Rng rng(6);
+  AttentionConfig config;
+  config.dim = 8;
+  config.heads = 2;
+  config.max_rel_distance = 3;
+  MultiHeadAttention layer(config, rng);
+  Tensor x = random_tensor({5, 8}, rng, 0.5F);
+  const Tensor coeffs = random_tensor({5, 8}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs, 4e-2);
+  // The relative-bias parameter must receive gradients.
+  Param* bias = layer.params().back();
+  bias->zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(coeffs);
+  double grad_mass = 0.0;
+  for (std::size_t i = 0; i < bias->grad.size(); ++i) {
+    grad_mass += std::fabs(bias->grad[i]);
+  }
+  EXPECT_GT(grad_mass, 0.0);
+}
+
+TEST(NnGrad, TransformerBlock) {
+  Rng rng(7);
+  AttentionConfig config;
+  config.dim = 8;
+  config.heads = 2;
+  TransformerBlock block(config, rng);
+  Tensor x = random_tensor({4, 8}, rng, 0.5F);
+  const Tensor coeffs = random_tensor({4, 8}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return block.forward(in); },
+                       [&](const Tensor& g) { return block.backward(g); }, x,
+                       coeffs, 5e-2);
+}
+
+TEST(NnGrad, Gru) {
+  Rng rng(8);
+  Gru layer(6, 5, rng);
+  Tensor x = random_tensor({4, 6}, rng, 0.5F);
+  const Tensor coeffs = random_tensor({4, 5}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs, 4e-2);
+  // Parameter gradients through time.
+  auto loss = [&] {
+    const Tensor out = layer.forward(x);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += static_cast<double>(out[i]) * coeffs[i];
+    }
+    return total;
+  };
+  for (Param* p : layer.params()) {
+    check_param_gradient(loss, *p,
+                         [&] {
+                           (void)layer.forward(x);
+                           (void)layer.backward(coeffs);
+                         },
+                         4e-2);
+  }
+}
+
+TEST(NnGrad, Conv2d) {
+  Rng rng(9);
+  Conv2dConfig config;
+  config.in_channels = 2;
+  config.out_channels = 3;
+  config.kernel = 3;
+  config.stride = 2;
+  config.padding = 1;
+  Conv2d layer(config, rng);
+  Tensor x = random_tensor({2, 6, 6}, rng, 0.5F);
+  const std::size_t out_side = layer.out_side(6);
+  const Tensor coeffs = random_tensor({3, out_side, out_side}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs, 3e-2);
+}
+
+TEST(NnGrad, DepthwiseConv2d) {
+  Rng rng(10);
+  DepthwiseConv2d layer(3, 3, 1, 1, rng);
+  Tensor x = random_tensor({3, 5, 5}, rng, 0.5F);
+  const Tensor coeffs = random_tensor({3, 5, 5}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs, 3e-2);
+}
+
+TEST(NnGrad, Eca) {
+  Rng rng(11);
+  Eca layer(4, 3, rng);
+  Tensor x = random_tensor({4, 4, 4}, rng, 0.5F);
+  const Tensor coeffs = random_tensor({4, 4, 4}, rng, 0.5F);
+  check_input_gradient([&](const Tensor& in) { return layer.forward(in); },
+                       [&](const Tensor& g) { return layer.backward(g); }, x,
+                       coeffs, 4e-2);
+  EXPECT_THROW(Eca(4, 2, rng), InvalidArgument);  // even kernel
+}
+
+TEST(NnGrad, GlobalAvgPool) {
+  Rng rng(12);
+  GlobalAvgPool pool;
+  Tensor x = random_tensor({3, 4, 4}, rng);
+  const Tensor coeffs = random_tensor({1, 3}, rng);
+  check_input_gradient([&](const Tensor& in) { return pool.forward(in); },
+                       [&](const Tensor& g) { return pool.backward(g); }, x,
+                       coeffs);
+}
+
+TEST(NnGrad, SoftmaxCrossEntropy) {
+  Rng rng(13);
+  Tensor logits = random_tensor({1, 4}, rng);
+  const auto result = softmax_cross_entropy(logits, 2);
+  // Numeric check of the loss gradient.
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float original = logits[i];
+    logits[i] = original + eps;
+    const float up = softmax_cross_entropy(logits, 2).loss;
+    logits[i] = original - eps;
+    const float down = softmax_cross_entropy(logits, 2).loss;
+    logits[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(numeric, result.grad[i], 2e-2);
+  }
+  // Probabilities sum to 1; loss positive.
+  const auto probs = softmax(logits);
+  double total = 0.0;
+  for (float p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-5);
+  EXPECT_GT(result.loss, 0.0F);
+  EXPECT_THROW(softmax_cross_entropy(logits, 9), InvalidArgument);
+}
+
+TEST(Nn, EmbeddingForwardBackward) {
+  Rng rng(14);
+  Embedding embedding(10, 4, rng);
+  const std::vector<std::size_t> ids = {3, 7, 3};
+  const Tensor out = embedding.forward(ids);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{3, 4}));
+  // Rows 0 and 2 are the same embedding row.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out.at(0, i), out.at(2, i));
+
+  Tensor grad({3, 4}, 1.0F);
+  embedding.params()[0]->zero_grad();
+  embedding.backward(grad);
+  // Token 3 appears twice -> gradient 2 per dim; token 7 once; others 0.
+  const Tensor& g = embedding.params()[0]->grad;
+  EXPECT_EQ(g.at(3, 0), 2.0F);
+  EXPECT_EQ(g.at(7, 0), 1.0F);
+  EXPECT_EQ(g.at(0, 0), 0.0F);
+  EXPECT_THROW(embedding.forward({11}), InvalidArgument);
+}
+
+TEST(Nn, AdamConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 with Adam: loss gradient = 2 (w - target).
+  Rng rng(15);
+  Param w(random_tensor({8}, rng));
+  Tensor target = random_tensor({8}, rng);
+  AdamConfig config;
+  config.learning_rate = 0.05F;
+  AdamOptimizer optimizer({&w}, config);
+  for (int step = 0; step < 400; ++step) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      w.grad[i] = 2.0F * (w.value[i] - target[i]);
+    }
+    optimizer.step();
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(w.value[i], target[i], 1e-2);
+  }
+}
+
+TEST(Nn, GradClippingBoundsNorm) {
+  Param w(Tensor({4}, 0.0F));
+  AdamConfig config;
+  config.clip_norm = 1.0F;
+  config.learning_rate = 1.0F;
+  AdamOptimizer optimizer({&w}, config);
+  for (std::size_t i = 0; i < 4; ++i) w.grad[i] = 100.0F;
+  optimizer.step();  // must not explode
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(std::fabs(w.value[i]), 2.0F);
+  }
+}
+
+TEST(Nn, TensorReshapeAndErrors) {
+  Tensor t({2, 6});
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_THROW(t.reshaped({5, 5}), InvalidArgument);
+  Tensor other({13});
+  EXPECT_THROW(t.add_(other), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace phishinghook::ml::nn
