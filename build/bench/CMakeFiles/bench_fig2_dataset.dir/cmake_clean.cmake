@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dataset.dir/bench_fig2_dataset.cpp.o"
+  "CMakeFiles/bench_fig2_dataset.dir/bench_fig2_dataset.cpp.o.d"
+  "bench_fig2_dataset"
+  "bench_fig2_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dunn.dir/bench_fig4_dunn.cpp.o"
+  "CMakeFiles/bench_fig4_dunn.dir/bench_fig4_dunn.cpp.o.d"
+  "bench_fig4_dunn"
+  "bench_fig4_dunn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dunn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_scalability.cpp" "bench/CMakeFiles/bench_fig5_scalability.dir/bench_fig5_scalability.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_scalability.dir/bench_fig5_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/phook_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phook_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/phook_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/phook_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/phook_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/phook_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/phook_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/phook_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cdd.dir/bench_fig6_cdd.cpp.o"
+  "CMakeFiles/bench_fig6_cdd.dir/bench_fig6_cdd.cpp.o.d"
+  "bench_fig6_cdd"
+  "bench_fig6_cdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

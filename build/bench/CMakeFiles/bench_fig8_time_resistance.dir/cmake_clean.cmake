@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_time_resistance.dir/bench_fig8_time_resistance.cpp.o"
+  "CMakeFiles/bench_fig8_time_resistance.dir/bench_fig8_time_resistance.cpp.o.d"
+  "bench_fig8_time_resistance"
+  "bench_fig8_time_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_time_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_shap.dir/bench_fig9_shap.cpp.o"
+  "CMakeFiles/bench_fig9_shap.dir/bench_fig9_shap.cpp.o.d"
+  "bench_fig9_shap"
+  "bench_fig9_shap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

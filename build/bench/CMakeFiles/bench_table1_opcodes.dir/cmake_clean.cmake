@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_opcodes.dir/bench_table1_opcodes.cpp.o"
+  "CMakeFiles/bench_table1_opcodes.dir/bench_table1_opcodes.cpp.o.d"
+  "bench_table1_opcodes"
+  "bench_table1_opcodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_opcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_kruskal.dir/bench_table3_kruskal.cpp.o"
+  "CMakeFiles/bench_table3_kruskal.dir/bench_table3_kruskal.cpp.o.d"
+  "bench_table3_kruskal"
+  "bench_table3_kruskal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_kruskal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

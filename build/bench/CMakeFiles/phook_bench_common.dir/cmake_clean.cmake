@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phook_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/phook_bench_common.dir/bench_common.cpp.o.d"
+  "libphook_bench_common.a"
+  "libphook_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phook_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_scanner.dir/contract_scanner.cpp.o"
+  "CMakeFiles/contract_scanner.dir/contract_scanner.cpp.o.d"
+  "contract_scanner"
+  "contract_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

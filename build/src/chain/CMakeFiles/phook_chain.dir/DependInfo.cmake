@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/chain_store.cpp" "src/chain/CMakeFiles/phook_chain.dir/chain_store.cpp.o" "gcc" "src/chain/CMakeFiles/phook_chain.dir/chain_store.cpp.o.d"
+  "/root/repo/src/chain/explorer.cpp" "src/chain/CMakeFiles/phook_chain.dir/explorer.cpp.o" "gcc" "src/chain/CMakeFiles/phook_chain.dir/explorer.cpp.o.d"
+  "/root/repo/src/chain/state.cpp" "src/chain/CMakeFiles/phook_chain.dir/state.cpp.o" "gcc" "src/chain/CMakeFiles/phook_chain.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evm/CMakeFiles/phook_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/phook_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

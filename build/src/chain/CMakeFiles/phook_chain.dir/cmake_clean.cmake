@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phook_chain.dir/chain_store.cpp.o"
+  "CMakeFiles/phook_chain.dir/chain_store.cpp.o.d"
+  "CMakeFiles/phook_chain.dir/explorer.cpp.o"
+  "CMakeFiles/phook_chain.dir/explorer.cpp.o.d"
+  "CMakeFiles/phook_chain.dir/state.cpp.o"
+  "CMakeFiles/phook_chain.dir/state.cpp.o.d"
+  "libphook_chain.a"
+  "libphook_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phook_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phook_common.dir/csv.cpp.o"
+  "CMakeFiles/phook_common.dir/csv.cpp.o.d"
+  "CMakeFiles/phook_common.dir/env.cpp.o"
+  "CMakeFiles/phook_common.dir/env.cpp.o.d"
+  "CMakeFiles/phook_common.dir/hex.cpp.o"
+  "CMakeFiles/phook_common.dir/hex.cpp.o.d"
+  "CMakeFiles/phook_common.dir/logging.cpp.o"
+  "CMakeFiles/phook_common.dir/logging.cpp.o.d"
+  "CMakeFiles/phook_common.dir/rng.cpp.o"
+  "CMakeFiles/phook_common.dir/rng.cpp.o.d"
+  "CMakeFiles/phook_common.dir/strings.cpp.o"
+  "CMakeFiles/phook_common.dir/strings.cpp.o.d"
+  "libphook_common.a"
+  "libphook_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phook_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phook_core.dir/bdm.cpp.o"
+  "CMakeFiles/phook_core.dir/bdm.cpp.o.d"
+  "CMakeFiles/phook_core.dir/bem.cpp.o"
+  "CMakeFiles/phook_core.dir/bem.cpp.o.d"
+  "CMakeFiles/phook_core.dir/experiment.cpp.o"
+  "CMakeFiles/phook_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/phook_core.dir/features.cpp.o"
+  "CMakeFiles/phook_core.dir/features.cpp.o.d"
+  "CMakeFiles/phook_core.dir/model_registry.cpp.o"
+  "CMakeFiles/phook_core.dir/model_registry.cpp.o.d"
+  "CMakeFiles/phook_core.dir/pam.cpp.o"
+  "CMakeFiles/phook_core.dir/pam.cpp.o.d"
+  "CMakeFiles/phook_core.dir/report.cpp.o"
+  "CMakeFiles/phook_core.dir/report.cpp.o.d"
+  "libphook_core.a"
+  "libphook_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phook_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

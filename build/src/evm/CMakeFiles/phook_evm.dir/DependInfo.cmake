@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evm/address.cpp" "src/evm/CMakeFiles/phook_evm.dir/address.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/address.cpp.o.d"
+  "/root/repo/src/evm/bytecode.cpp" "src/evm/CMakeFiles/phook_evm.dir/bytecode.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/bytecode.cpp.o.d"
+  "/root/repo/src/evm/disassembler.cpp" "src/evm/CMakeFiles/phook_evm.dir/disassembler.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/disassembler.cpp.o.d"
+  "/root/repo/src/evm/interpreter.cpp" "src/evm/CMakeFiles/phook_evm.dir/interpreter.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/evm/keccak.cpp" "src/evm/CMakeFiles/phook_evm.dir/keccak.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/keccak.cpp.o.d"
+  "/root/repo/src/evm/memory.cpp" "src/evm/CMakeFiles/phook_evm.dir/memory.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/memory.cpp.o.d"
+  "/root/repo/src/evm/opcodes.cpp" "src/evm/CMakeFiles/phook_evm.dir/opcodes.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/opcodes.cpp.o.d"
+  "/root/repo/src/evm/trace.cpp" "src/evm/CMakeFiles/phook_evm.dir/trace.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/trace.cpp.o.d"
+  "/root/repo/src/evm/uint256.cpp" "src/evm/CMakeFiles/phook_evm.dir/uint256.cpp.o" "gcc" "src/evm/CMakeFiles/phook_evm.dir/uint256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/phook_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phook_evm.dir/address.cpp.o"
+  "CMakeFiles/phook_evm.dir/address.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/bytecode.cpp.o"
+  "CMakeFiles/phook_evm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/disassembler.cpp.o"
+  "CMakeFiles/phook_evm.dir/disassembler.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/interpreter.cpp.o"
+  "CMakeFiles/phook_evm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/keccak.cpp.o"
+  "CMakeFiles/phook_evm.dir/keccak.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/memory.cpp.o"
+  "CMakeFiles/phook_evm.dir/memory.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/opcodes.cpp.o"
+  "CMakeFiles/phook_evm.dir/opcodes.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/trace.cpp.o"
+  "CMakeFiles/phook_evm.dir/trace.cpp.o.d"
+  "CMakeFiles/phook_evm.dir/uint256.cpp.o"
+  "CMakeFiles/phook_evm.dir/uint256.cpp.o.d"
+  "libphook_evm.a"
+  "libphook_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phook_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/catboost.cpp" "src/ml/CMakeFiles/phook_ml.dir/catboost.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/catboost.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/phook_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/phook_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gbdt_common.cpp" "src/ml/CMakeFiles/phook_ml.dir/gbdt_common.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/gbdt_common.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/ml/CMakeFiles/phook_ml.dir/gradient_boosting.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/hyper_search.cpp" "src/ml/CMakeFiles/phook_ml.dir/hyper_search.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/hyper_search.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/phook_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/lightgbm.cpp" "src/ml/CMakeFiles/phook_ml.dir/lightgbm.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/lightgbm.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/ml/CMakeFiles/phook_ml.dir/logistic_regression.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/phook_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/phook_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/models/eca_efficientnet.cpp" "src/ml/CMakeFiles/phook_ml.dir/models/eca_efficientnet.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/models/eca_efficientnet.cpp.o.d"
+  "/root/repo/src/ml/models/escort.cpp" "src/ml/CMakeFiles/phook_ml.dir/models/escort.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/models/escort.cpp.o.d"
+  "/root/repo/src/ml/models/scsguard.cpp" "src/ml/CMakeFiles/phook_ml.dir/models/scsguard.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/models/scsguard.cpp.o.d"
+  "/root/repo/src/ml/models/sequence_model.cpp" "src/ml/CMakeFiles/phook_ml.dir/models/sequence_model.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/models/sequence_model.cpp.o.d"
+  "/root/repo/src/ml/models/transformer_classifier.cpp" "src/ml/CMakeFiles/phook_ml.dir/models/transformer_classifier.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/models/transformer_classifier.cpp.o.d"
+  "/root/repo/src/ml/models/vit.cpp" "src/ml/CMakeFiles/phook_ml.dir/models/vit.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/models/vit.cpp.o.d"
+  "/root/repo/src/ml/nn/activations.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/activations.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/ml/nn/attention.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/attention.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/ml/nn/conv.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/conv.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/ml/nn/gru.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/gru.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/gru.cpp.o.d"
+  "/root/repo/src/ml/nn/linear.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/linear.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/ml/nn/loss.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/loss.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/ml/nn/tensor.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/ml/nn/transformer.cpp" "src/ml/CMakeFiles/phook_ml.dir/nn/transformer.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/nn/transformer.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/phook_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/shap.cpp" "src/ml/CMakeFiles/phook_ml.dir/shap.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/shap.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/phook_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/phook_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/phook_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphook_ml.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for phook_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/cliffs_delta.cpp" "src/stats/CMakeFiles/phook_stats.dir/cliffs_delta.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/cliffs_delta.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/phook_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/dunn.cpp" "src/stats/CMakeFiles/phook_stats.dir/dunn.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/dunn.cpp.o.d"
+  "/root/repo/src/stats/friedman.cpp" "src/stats/CMakeFiles/phook_stats.dir/friedman.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/friedman.cpp.o.d"
+  "/root/repo/src/stats/holm.cpp" "src/stats/CMakeFiles/phook_stats.dir/holm.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/holm.cpp.o.d"
+  "/root/repo/src/stats/kruskal_wallis.cpp" "src/stats/CMakeFiles/phook_stats.dir/kruskal_wallis.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/kruskal_wallis.cpp.o.d"
+  "/root/repo/src/stats/ranks.cpp" "src/stats/CMakeFiles/phook_stats.dir/ranks.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/ranks.cpp.o.d"
+  "/root/repo/src/stats/shapiro_wilk.cpp" "src/stats/CMakeFiles/phook_stats.dir/shapiro_wilk.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/shapiro_wilk.cpp.o.d"
+  "/root/repo/src/stats/wilcoxon.cpp" "src/stats/CMakeFiles/phook_stats.dir/wilcoxon.cpp.o" "gcc" "src/stats/CMakeFiles/phook_stats.dir/wilcoxon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/phook_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phook_stats.dir/cliffs_delta.cpp.o"
+  "CMakeFiles/phook_stats.dir/cliffs_delta.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/distributions.cpp.o"
+  "CMakeFiles/phook_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/dunn.cpp.o"
+  "CMakeFiles/phook_stats.dir/dunn.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/friedman.cpp.o"
+  "CMakeFiles/phook_stats.dir/friedman.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/holm.cpp.o"
+  "CMakeFiles/phook_stats.dir/holm.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/kruskal_wallis.cpp.o"
+  "CMakeFiles/phook_stats.dir/kruskal_wallis.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/ranks.cpp.o"
+  "CMakeFiles/phook_stats.dir/ranks.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/shapiro_wilk.cpp.o"
+  "CMakeFiles/phook_stats.dir/shapiro_wilk.cpp.o.d"
+  "CMakeFiles/phook_stats.dir/wilcoxon.cpp.o"
+  "CMakeFiles/phook_stats.dir/wilcoxon.cpp.o.d"
+  "libphook_stats.a"
+  "libphook_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phook_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

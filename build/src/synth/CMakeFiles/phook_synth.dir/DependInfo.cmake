@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/assembler.cpp" "src/synth/CMakeFiles/phook_synth.dir/assembler.cpp.o" "gcc" "src/synth/CMakeFiles/phook_synth.dir/assembler.cpp.o.d"
+  "/root/repo/src/synth/contract_synthesizer.cpp" "src/synth/CMakeFiles/phook_synth.dir/contract_synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/phook_synth.dir/contract_synthesizer.cpp.o.d"
+  "/root/repo/src/synth/dataset_builder.cpp" "src/synth/CMakeFiles/phook_synth.dir/dataset_builder.cpp.o" "gcc" "src/synth/CMakeFiles/phook_synth.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/synth/patterns.cpp" "src/synth/CMakeFiles/phook_synth.dir/patterns.cpp.o" "gcc" "src/synth/CMakeFiles/phook_synth.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/phook_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/phook_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/phook_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phook_synth.dir/assembler.cpp.o"
+  "CMakeFiles/phook_synth.dir/assembler.cpp.o.d"
+  "CMakeFiles/phook_synth.dir/contract_synthesizer.cpp.o"
+  "CMakeFiles/phook_synth.dir/contract_synthesizer.cpp.o.d"
+  "CMakeFiles/phook_synth.dir/dataset_builder.cpp.o"
+  "CMakeFiles/phook_synth.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/phook_synth.dir/patterns.cpp.o"
+  "CMakeFiles/phook_synth.dir/patterns.cpp.o.d"
+  "libphook_synth.a"
+  "libphook_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phook_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classical_models.dir/test_classical_models.cpp.o"
+  "CMakeFiles/test_classical_models.dir/test_classical_models.cpp.o.d"
+  "test_classical_models"
+  "test_classical_models.pdb"
+  "test_classical_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classical_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evm_units.dir/test_evm_units.cpp.o"
+  "CMakeFiles/test_evm_units.dir/test_evm_units.cpp.o.d"
+  "test_evm_units"
+  "test_evm_units.pdb"
+  "test_evm_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evm_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

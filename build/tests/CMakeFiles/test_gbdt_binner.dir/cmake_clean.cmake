@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbdt_binner.dir/test_gbdt_binner.cpp.o"
+  "CMakeFiles/test_gbdt_binner.dir/test_gbdt_binner.cpp.o.d"
+  "test_gbdt_binner"
+  "test_gbdt_binner.pdb"
+  "test_gbdt_binner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbdt_binner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpreter_semantics.dir/test_interpreter_semantics.cpp.o"
+  "CMakeFiles/test_interpreter_semantics.dir/test_interpreter_semantics.cpp.o.d"
+  "test_interpreter_semantics"
+  "test_interpreter_semantics.pdb"
+  "test_interpreter_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpreter_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

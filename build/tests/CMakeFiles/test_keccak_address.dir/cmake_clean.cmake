@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keccak_address.dir/test_keccak_address.cpp.o"
+  "CMakeFiles/test_keccak_address.dir/test_keccak_address.cpp.o.d"
+  "test_keccak_address"
+  "test_keccak_address.pdb"
+  "test_keccak_address[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keccak_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neural_models.dir/test_neural_models.cpp.o"
+  "CMakeFiles/test_neural_models.dir/test_neural_models.cpp.o.d"
+  "test_neural_models"
+  "test_neural_models.pdb"
+  "test_neural_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neural_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

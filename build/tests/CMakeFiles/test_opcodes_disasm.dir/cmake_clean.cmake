@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opcodes_disasm.dir/test_opcodes_disasm.cpp.o"
+  "CMakeFiles/test_opcodes_disasm.dir/test_opcodes_disasm.cpp.o.d"
+  "test_opcodes_disasm"
+  "test_opcodes_disasm.pdb"
+  "test_opcodes_disasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opcodes_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shap.dir/test_shap.cpp.o"
+  "CMakeFiles/test_shap.dir/test_shap.cpp.o.d"
+  "test_shap"
+  "test_shap.pdb"
+  "test_shap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

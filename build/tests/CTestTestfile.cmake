@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_uint256[1]_include.cmake")
+include("/root/repo/build/tests/test_keccak_address[1]_include.cmake")
+include("/root/repo/build/tests/test_opcodes_disasm[1]_include.cmake")
+include("/root/repo/build/tests/test_interpreter[1]_include.cmake")
+include("/root/repo/build/tests/test_chain[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_core[1]_include.cmake")
+include("/root/repo/build/tests/test_classical_models[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_shap[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_neural_models[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_hyper_search[1]_include.cmake")
+include("/root/repo/build/tests/test_evm_units[1]_include.cmake")
+include("/root/repo/build/tests/test_env_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_interpreter_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_gbdt_binner[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
