@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI driver: builds and tests the Release tree plus the ASan/UBSan variant.
+#
+#   ./ci.sh            # Release + address-sanitized builds, ctest on both
+#   ./ci.sh tsan       # additionally a TSan build running the threaded
+#                      #   serving suite (slow; racy code shows up here)
+#
+# Build trees live under build-ci-* so they never collide with a developer's
+# ./build. Any failure aborts the script (set -e) and leaves the offending
+# tree around for inspection.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+run_variant() {
+  local name="$1" sanitize="$2" ctest_args="${3:-}"
+  local dir="build-ci-${name}"
+  echo "=== ${name}: configure ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DPHISHINGHOOK_SANITIZE="${sanitize}" >/dev/null
+  echo "=== ${name}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  # shellcheck disable=SC2086
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${ctest_args})
+}
+
+run_variant release ""
+run_variant asan address
+
+if [[ "${1:-}" == "tsan" ]]; then
+  # TSan cannot be combined with ASan, and slows everything ~10x, so it
+  # only runs the serving suite — the code with actual cross-thread state.
+  run_variant tsan thread "-R test_serve"
+fi
+
+echo "=== ci.sh: all variants green ==="

@@ -29,8 +29,11 @@ bool Explorer::is_flagged_phishing(const Address& address) const {
 }
 
 std::vector<Address> Explorer::crawl(Month from, Month to) const {
+  const std::vector<const ContractRecord*> records =
+      chain_->contracts_between(from, to);
   std::vector<Address> out;
-  for (const ContractRecord* record : chain_->contracts_between(from, to)) {
+  out.reserve(records.size());
+  for (const ContractRecord* record : records) {
     out.push_back(record->address);
   }
   return out;

@@ -14,8 +14,8 @@
 #pragma once
 
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "chain/chain_store.hpp"
@@ -54,7 +54,9 @@ class Explorer {
 
  private:
   const ChainStore* chain_;
-  std::set<Address> phishing_;
+  // Hash set, not a tree: flag_of sits on the serving hot path (every
+  // label scrape and dataset build probes it per address).
+  std::unordered_set<Address> phishing_;
 };
 
 }  // namespace phishinghook::chain

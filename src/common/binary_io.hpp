@@ -1,0 +1,116 @@
+// Little binary (de)serialization helpers shared by the model-artifact
+// writer (`serve::artifact`) and the classifier save/load hooks.
+//
+// The format is deliberately dumb: fixed-width little-endian integers and
+// raw IEEE-754 bit patterns for doubles, so a saved model reproduces its
+// in-memory predictions *bit-identically* after a round trip. Streams are
+// checked after every read; a truncated or corrupt artifact surfaces as a
+// ParseError instead of garbage weights.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::common {
+
+// --- writers -----------------------------------------------------------------
+
+inline void write_u32(std::ostream& out, std::uint32_t value) {
+  std::uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+inline void write_u64(std::ostream& out, std::uint64_t value) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(bytes), 8);
+}
+
+inline void write_i32(std::ostream& out, std::int32_t value) {
+  write_u32(out, static_cast<std::uint32_t>(value));
+}
+
+/// Raw bit pattern — the round-trip is exact, not shortest-decimal.
+inline void write_double(std::ostream& out, double value) {
+  write_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+inline void write_string(std::ostream& out, const std::string& value) {
+  write_u64(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+inline void write_doubles(std::ostream& out, const std::vector<double>& values) {
+  write_u64(out, values.size());
+  for (double v : values) write_double(out, v);
+}
+
+// --- readers -----------------------------------------------------------------
+
+inline void check_stream(std::istream& in, const char* what) {
+  if (!in) throw ParseError(std::string("truncated artifact reading ") + what);
+}
+
+inline std::uint32_t read_u32(std::istream& in) {
+  std::uint8_t bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  check_stream(in, "u32");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  std::uint8_t bytes[8];
+  in.read(reinterpret_cast<char*>(bytes), 8);
+  check_stream(in, "u64");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+inline std::int32_t read_i32(std::istream& in) {
+  return static_cast<std::int32_t>(read_u32(in));
+}
+
+inline double read_double(std::istream& in) {
+  return std::bit_cast<double>(read_u64(in));
+}
+
+/// Bounded string read: `max_len` guards against a corrupt length prefix
+/// allocating gigabytes.
+inline std::string read_string(std::istream& in,
+                               std::uint64_t max_len = 1 << 20) {
+  const std::uint64_t len = read_u64(in);
+  if (len > max_len) throw ParseError("string length out of range");
+  std::string value(len, '\0');
+  in.read(value.data(), static_cast<std::streamsize>(len));
+  check_stream(in, "string");
+  return value;
+}
+
+inline std::vector<double> read_doubles(std::istream& in,
+                                        std::uint64_t max_len = 1 << 28) {
+  const std::uint64_t len = read_u64(in);
+  if (len > max_len) throw ParseError("double vector length out of range");
+  std::vector<double> values(len);
+  for (double& v : values) v = read_double(in);
+  return values;
+}
+
+}  // namespace phishinghook::common

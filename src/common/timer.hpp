@@ -3,6 +3,8 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace phishinghook::common {
 
@@ -23,6 +25,40 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII stopwatch: times a scope and hands the elapsed seconds to a sink on
+/// destruction. Lets latency accounting live at one call site
+/// (`ScopedTimer t([&](double s) { histogram.record(s * 1e6); });`)
+/// instead of hand-rolled start/stop pairs around every exit path.
+class ScopedTimer {
+ public:
+  using Sink = std::function<void(double seconds)>;
+
+  explicit ScopedTimer(Sink sink) : sink_(std::move(sink)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_) sink_(timer_.seconds());
+  }
+
+  /// Fires the sink now with the time so far and disarms the destructor.
+  void stop() {
+    if (sink_) {
+      sink_(timer_.seconds());
+      sink_ = nullptr;
+    }
+  }
+
+  /// Drops the sink without firing (e.g. on an error path that should not
+  /// pollute the latency histogram).
+  void cancel() { sink_ = nullptr; }
+
+ private:
+  Timer timer_;
+  Sink sink_;
 };
 
 }  // namespace phishinghook::common

@@ -22,6 +22,16 @@ void HistogramVocabulary::fit(const std::vector<const Bytecode*>& corpus) {
   }
 }
 
+HistogramVocabulary HistogramVocabulary::from_mnemonics(
+    std::vector<std::string> mnemonics) {
+  HistogramVocabulary vocabulary;
+  vocabulary.mnemonics_ = std::move(mnemonics);
+  for (std::size_t i = 0; i < vocabulary.mnemonics_.size(); ++i) {
+    vocabulary.index_.emplace(vocabulary.mnemonics_[i], i);
+  }
+  return vocabulary;
+}
+
 std::vector<double> HistogramVocabulary::transform(const Bytecode& code) const {
   std::vector<double> counts(mnemonics_.size(), 0.0);
   const evm::Disassembler disassembler;

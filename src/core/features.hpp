@@ -39,6 +39,10 @@ class HistogramVocabulary {
   /// Collects every mnemonic present in `corpus` (first-seen order).
   void fit(const std::vector<const Bytecode*>& corpus);
 
+  /// Restores a fitted vocabulary from its mnemonic list (artifact load
+  /// path). Order is the feature order.
+  static HistogramVocabulary from_mnemonics(std::vector<std::string> mnemonics);
+
   /// Count vector (length = vocabulary size); unseen mnemonics are dropped,
   /// as a scikit-learn CountVectorizer would.
   std::vector<double> transform(const Bytecode& code) const;

@@ -32,6 +32,13 @@ HistogramAdapter::HistogramAdapter(std::unique_ptr<ml::TabularClassifier> model,
                                    std::string name)
     : model_(std::move(model)), name_(std::move(name)) {}
 
+HistogramAdapter::HistogramAdapter(std::unique_ptr<ml::TabularClassifier> model,
+                                   std::string name,
+                                   HistogramVocabulary vocabulary)
+    : model_(std::move(model)),
+      name_(std::move(name)),
+      vocabulary_(std::move(vocabulary)) {}
+
 void HistogramAdapter::fit(const std::vector<const Bytecode*>& codes,
                            const std::vector<int>& labels) {
   vocabulary_.fit(codes);

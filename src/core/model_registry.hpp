@@ -47,6 +47,11 @@ class HistogramAdapter final : public PhishingClassifier {
   HistogramAdapter(std::unique_ptr<ml::TabularClassifier> model,
                    std::string name);
 
+  /// Restore path (artifact load): an already-fitted model plus its
+  /// vocabulary, skipping fit() entirely.
+  HistogramAdapter(std::unique_ptr<ml::TabularClassifier> model,
+                   std::string name, HistogramVocabulary vocabulary);
+
   void fit(const std::vector<const Bytecode*>& codes,
            const std::vector<int>& labels) override;
   std::vector<double> predict_proba(

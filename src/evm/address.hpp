@@ -3,7 +3,9 @@
 
 #include <array>
 #include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -59,3 +61,18 @@ Address derive_create2_address(const Address& sender, const U256& salt,
                                std::span<const std::uint8_t> init_code);
 
 }  // namespace phishinghook::evm
+
+/// Hash support so addresses can key unordered containers (the explorer's
+/// label set, serving-side indexes). FNV-1a over the 20 bytes — addresses
+/// are themselves keccak suffixes, but FNV keeps this independent of that.
+template <>
+struct std::hash<phishinghook::evm::Address> {
+  std::size_t operator()(const phishinghook::evm::Address& address) const {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (std::uint8_t b : address.bytes()) {
+      h ^= b;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+    return static_cast<std::size_t>(h);
+  }
+};

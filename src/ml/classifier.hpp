@@ -5,6 +5,7 @@
 // predict_proba returns P(phishing).
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,15 @@ class TabularClassifier {
   }
 
   virtual std::string name() const = 0;
+
+  /// Serializes the fitted model (a self-describing tagged record, see
+  /// serialize.cpp). Models without persistence support throw StateError;
+  /// the serving artifact path requires it.
+  virtual void save(std::ostream& out) const;
+
+  /// Reads back any classifier written by save(), dispatching on the tag.
+  /// Throws ParseError on unknown tags or corrupt payloads.
+  static std::unique_ptr<TabularClassifier> load(std::istream& in);
 };
 
 }  // namespace phishinghook::ml

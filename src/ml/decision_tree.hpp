@@ -48,6 +48,14 @@ class DecisionTreeClassifier final : public TabularClassifier {
   std::vector<double> predict_proba(const Matrix& x) const override;
   std::string name() const override { return "DecisionTree"; }
 
+  void save(std::ostream& out) const override;
+  static DecisionTreeClassifier load_from(std::istream& in);
+
+  /// Untagged node/importance payload — embedded per-tree by the Random
+  /// Forest artifact (which writes its own single tag).
+  void save_payload(std::ostream& out) const;
+  static DecisionTreeClassifier load_payload(std::istream& in);
+
   /// P(phishing) for a single row.
   double predict_row(std::span<const double> row) const;
 

@@ -27,6 +27,9 @@ class LogisticRegressionClassifier final : public TabularClassifier {
   std::vector<double> predict_proba(const Matrix& x) const override;
   std::string name() const override { return "Logistic Regression"; }
 
+  void save(std::ostream& out) const override;
+  static LogisticRegressionClassifier load_from(std::istream& in);
+
   const std::vector<double>& weights() const { return weights_; }
   double bias() const { return bias_; }
 

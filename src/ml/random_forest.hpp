@@ -26,6 +26,9 @@ class RandomForestClassifier final : public TabularClassifier {
   std::vector<double> predict_proba(const Matrix& x) const override;
   std::string name() const override { return "Random Forest"; }
 
+  void save(std::ostream& out) const override;
+  static RandomForestClassifier load_from(std::istream& in);
+
   /// Trained trees (TreeSHAP input).
   const std::vector<DecisionTreeClassifier>& trees() const { return trees_; }
 

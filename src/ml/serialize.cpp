@@ -1,0 +1,195 @@
+// Classifier persistence: the save()/load() hooks declared across the
+// tabular-model headers, gathered in one translation unit.
+//
+// Wire format: every classifier record is a tag string followed by an
+// untagged payload. `TabularClassifier::load` reads the tag and dispatches
+// to the matching `load_from`. Doubles travel as raw IEEE-754 bits, so a
+// loaded model reproduces the in-memory model's predict_proba
+// bit-identically — the guarantee the serving artifact relies on.
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/random_forest.hpp"
+
+namespace phishinghook::ml {
+
+namespace {
+
+constexpr const char* kTreeTag = "phook.dtree.v1";
+constexpr const char* kForestTag = "phook.rf.v1";
+constexpr const char* kLogRegTag = "phook.logreg.v1";
+
+// Caps for corrupt length prefixes: far above any model this repo trains,
+// far below an accidental multi-gigabyte allocation.
+constexpr std::uint64_t kMaxNodes = 1u << 26;
+constexpr std::uint64_t kMaxTrees = 1u << 16;
+
+using common::read_double;
+using common::read_doubles;
+using common::read_i32;
+using common::read_string;
+using common::read_u64;
+using common::write_double;
+using common::write_doubles;
+using common::write_i32;
+using common::write_string;
+using common::write_u64;
+
+}  // namespace
+
+void TabularClassifier::save(std::ostream&) const {
+  throw StateError(name() + ": persistence not supported");
+}
+
+std::unique_ptr<TabularClassifier> TabularClassifier::load(std::istream& in) {
+  const std::string tag = read_string(in, 64);
+  if (tag == kTreeTag) {
+    return std::make_unique<DecisionTreeClassifier>(
+        DecisionTreeClassifier::load_payload(in));
+  }
+  if (tag == kForestTag || tag == kLogRegTag) {
+    // load_from re-reads the tag itself, so rewind over it: tag string =
+    // u64 length + bytes.
+    in.seekg(-static_cast<std::streamoff>(8 + tag.size()), std::ios::cur);
+    if (tag == kForestTag) {
+      return std::make_unique<RandomForestClassifier>(
+          RandomForestClassifier::load_from(in));
+    }
+    return std::make_unique<LogisticRegressionClassifier>(
+        LogisticRegressionClassifier::load_from(in));
+  }
+  throw ParseError("unknown classifier tag '" + tag + "'");
+}
+
+// --- DecisionTreeClassifier ---------------------------------------------------
+
+void DecisionTreeClassifier::save_payload(std::ostream& out) const {
+  write_i32(out, config_.max_depth);
+  write_u64(out, config_.min_samples_leaf);
+  write_u64(out, config_.min_samples_split);
+  write_u64(out, config_.max_features);
+  write_u64(out, config_.seed);
+  write_u64(out, n_features_);
+  write_u64(out, nodes_.size());
+  for (const TreeNode& node : nodes_) {
+    write_i32(out, node.feature);
+    write_double(out, node.threshold);
+    write_i32(out, node.left);
+    write_i32(out, node.right);
+    write_double(out, node.value);
+    write_double(out, node.weight);
+  }
+  write_doubles(out, importances_);
+}
+
+DecisionTreeClassifier DecisionTreeClassifier::load_payload(std::istream& in) {
+  DecisionTreeConfig config;
+  config.max_depth = read_i32(in);
+  config.min_samples_leaf = read_u64(in);
+  config.min_samples_split = read_u64(in);
+  config.max_features = read_u64(in);
+  config.seed = read_u64(in);
+  DecisionTreeClassifier tree(config);
+  tree.n_features_ = read_u64(in);
+  const std::uint64_t n_nodes = read_u64(in);
+  if (n_nodes > kMaxNodes) throw ParseError("tree node count out of range");
+  tree.nodes_.resize(n_nodes);
+  for (TreeNode& node : tree.nodes_) {
+    node.feature = read_i32(in);
+    node.threshold = read_double(in);
+    node.left = read_i32(in);
+    node.right = read_i32(in);
+    node.value = read_double(in);
+    node.weight = read_double(in);
+  }
+  tree.importances_ = read_doubles(in);
+  return tree;
+}
+
+void DecisionTreeClassifier::save(std::ostream& out) const {
+  write_string(out, kTreeTag);
+  save_payload(out);
+}
+
+DecisionTreeClassifier DecisionTreeClassifier::load_from(std::istream& in) {
+  if (read_string(in, 64) != kTreeTag) {
+    throw ParseError("not a decision-tree record");
+  }
+  return load_payload(in);
+}
+
+// --- RandomForestClassifier ---------------------------------------------------
+
+void RandomForestClassifier::save(std::ostream& out) const {
+  if (trees_.empty()) throw StateError("RandomForest::save before fit");
+  write_string(out, kForestTag);
+  write_i32(out, config_.n_trees);
+  write_i32(out, config_.max_depth);
+  write_u64(out, config_.min_samples_leaf);
+  write_u64(out, config_.max_features);
+  write_u64(out, config_.seed);
+  write_u64(out, n_features_);
+  write_u64(out, trees_.size());
+  for (const DecisionTreeClassifier& tree : trees_) {
+    tree.save_payload(out);
+  }
+}
+
+RandomForestClassifier RandomForestClassifier::load_from(std::istream& in) {
+  if (read_string(in, 64) != kForestTag) {
+    throw ParseError("not a random-forest record");
+  }
+  RandomForestConfig config;
+  config.n_trees = read_i32(in);
+  config.max_depth = read_i32(in);
+  config.min_samples_leaf = read_u64(in);
+  config.max_features = read_u64(in);
+  config.seed = read_u64(in);
+  RandomForestClassifier forest(config);
+  forest.n_features_ = read_u64(in);
+  const std::uint64_t n_trees = read_u64(in);
+  if (n_trees > kMaxTrees) throw ParseError("forest tree count out of range");
+  forest.trees_.reserve(n_trees);
+  for (std::uint64_t t = 0; t < n_trees; ++t) {
+    forest.trees_.push_back(DecisionTreeClassifier::load_payload(in));
+  }
+  return forest;
+}
+
+// --- LogisticRegressionClassifier ---------------------------------------------
+
+void LogisticRegressionClassifier::save(std::ostream& out) const {
+  if (weights_.empty()) throw StateError("LogisticRegression::save before fit");
+  write_string(out, kLogRegTag);
+  write_double(out, config_.learning_rate);
+  write_double(out, config_.l2);
+  write_i32(out, config_.epochs);
+  write_u64(out, config_.seed);
+  write_doubles(out, weights_);
+  write_double(out, bias_);
+  write_doubles(out, mean_);
+  write_doubles(out, stddev_);
+}
+
+LogisticRegressionClassifier LogisticRegressionClassifier::load_from(
+    std::istream& in) {
+  if (read_string(in, 64) != kLogRegTag) {
+    throw ParseError("not a logistic-regression record");
+  }
+  LogisticRegressionConfig config;
+  config.learning_rate = read_double(in);
+  config.l2 = read_double(in);
+  config.epochs = read_i32(in);
+  config.seed = read_u64(in);
+  LogisticRegressionClassifier model(config);
+  model.weights_ = read_doubles(in);
+  model.bias_ = read_double(in);
+  model.mean_ = read_doubles(in);
+  model.stddev_ = read_doubles(in);
+  return model;
+}
+
+}  // namespace phishinghook::ml

@@ -1,0 +1,75 @@
+#include "serve/artifact.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.hpp"
+
+namespace phishinghook::serve {
+
+namespace {
+// A vocabulary larger than the full Shanghai opcode set by a wide margin
+// signals corruption, not a real model.
+constexpr std::uint64_t kMaxVocabulary = 1 << 16;
+}  // namespace
+
+void save_artifact(std::ostream& out, const core::HistogramAdapter& adapter) {
+  out.write(kArtifactMagic, sizeof(kArtifactMagic));
+  common::write_u32(out, kArtifactVersion);
+  common::write_string(out, adapter.name());
+  const auto& mnemonics = adapter.vocabulary().mnemonics();
+  common::write_u64(out, mnemonics.size());
+  for (const std::string& mnemonic : mnemonics) {
+    common::write_string(out, mnemonic);
+  }
+  adapter.model().save(out);
+  if (!out) throw Error("artifact write failed");
+}
+
+std::unique_ptr<core::HistogramAdapter> load_artifact(std::istream& in) {
+  char magic[sizeof(kArtifactMagic)];
+  in.read(magic, sizeof(magic));
+  common::check_stream(in, "magic");
+  if (!std::equal(std::begin(magic), std::end(magic),
+                  std::begin(kArtifactMagic))) {
+    throw ParseError("not a PhishingHook model artifact (bad magic)");
+  }
+  const std::uint32_t version = common::read_u32(in);
+  if (version != kArtifactVersion) {
+    throw ParseError("unsupported artifact version " +
+                     std::to_string(version));
+  }
+  std::string name = common::read_string(in);
+  const std::uint64_t vocab_size = common::read_u64(in);
+  if (vocab_size > kMaxVocabulary) {
+    throw ParseError("artifact vocabulary size out of range");
+  }
+  std::vector<std::string> mnemonics;
+  mnemonics.reserve(vocab_size);
+  for (std::uint64_t i = 0; i < vocab_size; ++i) {
+    mnemonics.push_back(common::read_string(in, 256));
+  }
+  std::unique_ptr<ml::TabularClassifier> model =
+      ml::TabularClassifier::load(in);
+  return std::make_unique<core::HistogramAdapter>(
+      std::move(model), std::move(name),
+      core::HistogramVocabulary::from_mnemonics(std::move(mnemonics)));
+}
+
+void save_artifact_file(const std::filesystem::path& path,
+                        const core::HistogramAdapter& adapter) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw NotFound("cannot open artifact for write: " + path.string());
+  save_artifact(out, adapter);
+}
+
+std::unique_ptr<core::HistogramAdapter> load_artifact_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw NotFound("cannot open artifact: " + path.string());
+  return load_artifact(in);
+}
+
+}  // namespace phishinghook::serve

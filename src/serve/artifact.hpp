@@ -1,0 +1,42 @@
+// Model artifact persistence — "train once, serve many".
+//
+// The seed pipeline retrains every detector from scratch in-process on each
+// start; a real-time scorer (§IV-F: users sign within seconds) cannot
+// afford that. An *artifact* is the fitted HSC detector frozen to disk: the
+// HistogramVocabulary (feature order) plus the inner TabularClassifier
+// (via the ml save/load hooks), under a magic header and format version.
+//
+// Guarantee: a saved-then-loaded artifact reproduces the in-memory model's
+// predict_proba *bit-identically* (doubles travel as raw IEEE-754 bits).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/model_registry.hpp"
+
+namespace phishinghook::serve {
+
+/// First bytes of every artifact. Version bumps on any layout change;
+/// readers reject versions they do not know.
+inline constexpr char kArtifactMagic[8] = {'P', 'H', 'O', 'O',
+                                           'K', 'M', 'D', 'L'};
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/// Writes `adapter` (vocabulary + fitted inner model) to `out`.
+/// Throws StateError if the inner model is unfitted or unsupported.
+void save_artifact(std::ostream& out, const core::HistogramAdapter& adapter);
+
+/// Reads an artifact back into a ready-to-score adapter.
+/// Throws ParseError on bad magic, unknown version, or corrupt payload.
+std::unique_ptr<core::HistogramAdapter> load_artifact(std::istream& in);
+
+/// File convenience wrappers (binary mode; NotFound if unreadable).
+void save_artifact_file(const std::filesystem::path& path,
+                        const core::HistogramAdapter& adapter);
+std::unique_ptr<core::HistogramAdapter> load_artifact_file(
+    const std::filesystem::path& path);
+
+}  // namespace phishinghook::serve

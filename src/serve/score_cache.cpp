@@ -1,0 +1,77 @@
+#include "serve/score_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::serve {
+
+ShardedScoreCache::ShardedScoreCache(std::size_t capacity, std::size_t shards) {
+  if (capacity == 0) throw InvalidArgument("score cache capacity must be > 0");
+  if (shards == 0) throw InvalidArgument("score cache needs >= 1 shard");
+  const std::size_t n = std::bit_ceil(shards);
+  shards_ = std::vector<Shard>(n);
+  shard_mask_ = n - 1;
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity / n);
+}
+
+std::size_t ShardedScoreCache::capacity() const {
+  return per_shard_capacity_ * shards_.size();
+}
+
+std::size_t ShardedScoreCache::shard_index(
+    const evm::Hash256& code_hash) const {
+  // Bytes 8..15: disjoint from the bytes the per-shard map hashes with, so
+  // confining keys to one shard does not also confine them to few buckets.
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(code_hash[8 + i]) << (8 * i);
+  }
+  return static_cast<std::size_t>(v) & shard_mask_;
+}
+
+std::optional<double> ShardedScoreCache::get(const evm::Hash256& code_hash) {
+  Shard& shard = shards_[shard_index(code_hash)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(code_hash);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->probability;
+}
+
+void ShardedScoreCache::put(const evm::Hash256& code_hash, double probability) {
+  Shard& shard = shards_[shard_index(code_hash)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(code_hash);
+  if (it != shard.index.end()) {
+    it->second->probability = probability;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{code_hash, probability});
+  shard.index.emplace(code_hash, shard.lru.begin());
+}
+
+CacheStats ShardedScoreCache::stats() const {
+  CacheStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace phishinghook::serve

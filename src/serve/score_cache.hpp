@@ -1,0 +1,96 @@
+// Sharded LRU score cache keyed on code hash.
+//
+// On-chain contracts are heavily duplicated (Fig. 2: ~5x raw:unique via
+// minimal-proxy armies and campaign redeploys), and the detector is a pure
+// function of the bytecode — so the Keccak code hash is a perfect cache
+// key and hits are the *common* case on live traffic. The cache is N-way
+// sharded by hash so concurrent engine workers rarely contend on the same
+// mutex; each shard is an intrusive-list LRU with its own lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/keccak.hpp"
+
+namespace phishinghook::serve {
+
+/// Aggregated counters across shards (see ShardedScoreCache::stats).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ShardedScoreCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each shard holds at least one entry). `shards` is rounded up to a
+  /// power of two so shard selection is a mask.
+  explicit ShardedScoreCache(std::size_t capacity, std::size_t shards = 16);
+
+  ShardedScoreCache(const ShardedScoreCache&) = delete;
+  ShardedScoreCache& operator=(const ShardedScoreCache&) = delete;
+
+  /// Probability previously stored for `code_hash`, refreshing its LRU
+  /// position; nullopt on miss. Counts a hit or a miss.
+  std::optional<double> get(const evm::Hash256& code_hash);
+
+  /// Inserts (or refreshes) a score, evicting the shard's least recently
+  /// used entry when the shard is full.
+  void put(const evm::Hash256& code_hash, double probability);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t capacity() const;
+
+  /// Counters summed over shards. Taken shard-by-shard (not atomically
+  /// across the whole cache), which is exact once traffic has quiesced.
+  CacheStats stats() const;
+
+  /// Which shard a hash maps to (exposed for the sharding tests).
+  std::size_t shard_index(const evm::Hash256& code_hash) const;
+
+ private:
+  struct Entry {
+    evm::Hash256 key;
+    double probability;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Map hash: the key is already a Keccak digest, so the leading 8 bytes
+  /// are uniform — no re-mixing needed. (Shard selection uses *different*
+  /// bytes; see shard_index.)
+  struct KeyHash {
+    std::size_t operator()(const evm::Hash256& h) const {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(h[i]) << (8 * i);
+      return static_cast<std::size_t>(v);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    LruList lru;  // front = most recent
+    std::unordered_map<evm::Hash256, LruList::iterator, KeyHash> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_;
+  std::size_t shard_mask_;
+};
+
+}  // namespace phishinghook::serve

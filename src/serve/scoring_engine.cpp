@@ -1,0 +1,194 @@
+#include "serve/scoring_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::serve {
+
+namespace {
+/// Map hash for within-batch dedup; leading digest bytes are uniform.
+struct DigestHash {
+  std::size_t operator()(const evm::Hash256& h) const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(h[i]) << (8 * i);
+    }
+    return static_cast<std::size_t>(v);
+  }
+};
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
+                             core::PhishingClassifier& detector,
+                             EngineConfig config)
+    : bem_(explorer),
+      detector_(&detector),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_shards) {
+  if (config_.workers == 0) throw InvalidArgument("engine needs >= 1 worker");
+  if (config_.max_batch == 0) throw InvalidArgument("max_batch must be > 0");
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ScoringEngine::~ScoringEngine() { shutdown(); }
+
+std::future<ScoreResult> ScoringEngine::submit(const evm::Address& address) {
+  Request request;
+  request.address = address;
+  std::future<ScoreResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw StateError("ScoringEngine::submit after shutdown");
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  metrics_.requests_submitted.fetch_add(1, kRelaxed);
+  return future;
+}
+
+std::vector<ScoreResult> ScoringEngine::score_all(
+    const std::vector<evm::Address>& addresses) {
+  std::vector<std::future<ScoreResult>> futures;
+  futures.reserve(addresses.size());
+  for (const evm::Address& address : addresses) {
+    futures.push_back(submit(address));
+  }
+  std::vector<ScoreResult> results;
+  results.reserve(futures.size());
+  for (std::future<ScoreResult>& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+void ScoringEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ScoringEngine::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch = next_batch();
+    if (batch.empty()) return;  // stopping and drained
+    process_batch(std::move(batch));
+  }
+}
+
+std::vector<ScoringEngine::Request> ScoringEngine::next_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // only reachable when stopping_
+    // Micro-batch: hold an under-full batch open briefly so closely spaced
+    // arrivals share one model invocation. Another worker may drain the
+    // queue while we wait, so re-check and go back to sleep if so.
+    if (queue_.size() < config_.max_batch && !stopping_) {
+      queue_cv_.wait_for(lock, std::chrono::microseconds(config_.max_wait_us),
+                         [this] {
+                           return stopping_ ||
+                                  queue_.size() >= config_.max_batch;
+                         });
+      if (queue_.empty()) continue;
+    }
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    std::vector<Request> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return batch;
+  }
+}
+
+void ScoringEngine::process_batch(std::vector<Request> batch) {
+  metrics_.batches.fetch_add(1, kRelaxed);
+  metrics_.batched_requests.fetch_add(batch.size(), kRelaxed);
+  common::ScopedTimer batch_timer(
+      [this](double s) { metrics_.batch_latency.record(s * 1e6); });
+
+  struct Slot {
+    evm::Bytecode code;
+    evm::Hash256 hash{};
+    double probability = 0.0;
+    bool cache_hit = false;
+    bool empty = false;
+  };
+  std::vector<Slot> slots(batch.size());
+
+  // Pull bytecode, probe the cache, and collapse duplicate code hashes so
+  // each unique miss costs exactly one model row.
+  std::unordered_map<evm::Hash256, std::size_t, DigestHash> miss_index;
+  std::vector<const evm::Bytecode*> miss_codes;
+  std::vector<std::vector<std::size_t>> miss_slots;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Slot& slot = slots[i];
+    slot.code = bem_.extract(batch[i].address).code;
+    if (slot.code.empty()) {
+      slot.empty = true;
+      metrics_.empty_code_requests.fetch_add(1, kRelaxed);
+      continue;
+    }
+    slot.hash = slot.code.code_hash();
+    if (const std::optional<double> cached = cache_.get(slot.hash)) {
+      slot.probability = *cached;
+      slot.cache_hit = true;
+      continue;
+    }
+    const auto [it, inserted] = miss_index.try_emplace(slot.hash,
+                                                       miss_codes.size());
+    if (inserted) {
+      miss_codes.push_back(&slot.code);
+      miss_slots.emplace_back();
+    }
+    miss_slots[it->second].push_back(i);
+  }
+
+  if (!miss_codes.empty()) {
+    std::vector<double> probabilities;
+    try {
+      probabilities = detector_->predict_proba(miss_codes);
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Request& request : batch) request.promise.set_exception(error);
+      return;
+    }
+    metrics_.model_invocations.fetch_add(1, kRelaxed);
+    metrics_.model_rows.fetch_add(miss_codes.size(), kRelaxed);
+    for (std::size_t u = 0; u < miss_codes.size(); ++u) {
+      cache_.put(miss_codes[u]->code_hash(), probabilities[u]);
+      for (std::size_t slot_id : miss_slots[u]) {
+        slots[slot_id].probability = probabilities[u];
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ScoreResult result;
+    result.address = batch[i].address;
+    result.probability = slots[i].probability;
+    result.flagged = result.probability >= 0.5;
+    result.cache_hit = slots[i].cache_hit;
+    result.empty_code = slots[i].empty;
+    result.latency_us = batch[i].queued.seconds() * 1e6;
+    metrics_.request_latency.record(result.latency_us);
+    metrics_.requests_completed.fetch_add(1, kRelaxed);
+    batch[i].promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace phishinghook::serve

@@ -1,0 +1,116 @@
+// Online scoring engine: micro-batched, multi-threaded contract scoring.
+//
+// The deployment scenario (§IV-F) is a stream of addresses arriving from
+// wallets and monitors that must be answered within a signing budget of
+// seconds. The engine accepts addresses on any number of producer threads,
+// queues them, and has a worker pool drain the queue in micro-batches:
+//
+//   submit(addr) -> [queue] -> worker: BEM eth_getCode -> code hash
+//                                        -> score cache? hit: done
+//                                        -> one predict_proba per batch
+//                                        -> cache fill -> future completed
+//
+// Batching exists because the detector is batch-oriented (one
+// vocabulary.transform_all + predict_proba call amortizes over the batch)
+// and because duplicate code hashes inside a batch collapse to a single
+// model row. `max_wait_us` bounds how long the first request of a batch
+// waits for company, keeping tail latency within the signing budget.
+//
+// Thread-safety contract: the detector passed in must have a read-only,
+// concurrently callable predict_proba (true for HistogramAdapter — fitted
+// vocabulary and tree/linear models are immutable at inference time).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/bem.hpp"
+#include "core/model_registry.hpp"
+#include "serve/metrics.hpp"
+#include "serve/score_cache.hpp"
+
+namespace phishinghook::serve {
+
+struct EngineConfig {
+  std::size_t workers = 4;
+  std::size_t max_batch = 32;
+  /// How long the worker holds an under-full batch open for more arrivals.
+  std::uint64_t max_wait_us = 200;
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+};
+
+/// One completed scoring request.
+struct ScoreResult {
+  evm::Address address;
+  double probability = 0.0;   ///< P(phishing)
+  bool flagged = false;       ///< probability >= 0.5
+  bool cache_hit = false;     ///< served from the score cache
+  bool empty_code = false;    ///< EOA / destroyed contract (scored as 0)
+  double latency_us = 0.0;    ///< submit -> completion
+};
+
+class ScoringEngine {
+ public:
+  /// The engine borrows `detector` and `explorer`; both must outlive it.
+  ScoringEngine(const chain::Explorer& explorer,
+                core::PhishingClassifier& detector, EngineConfig config = {});
+
+  /// Drains the queue, joins the workers.
+  ~ScoringEngine();
+
+  ScoringEngine(const ScoringEngine&) = delete;
+  ScoringEngine& operator=(const ScoringEngine&) = delete;
+
+  /// Enqueues one address; the future completes when a worker scores it.
+  /// Callable from any thread. Throws StateError after shutdown() began.
+  std::future<ScoreResult> submit(const evm::Address& address);
+
+  /// Convenience: submit + wait for a whole address list.
+  std::vector<ScoreResult> score_all(const std::vector<evm::Address>& addresses);
+
+  /// Stops accepting work, finishes what is queued, joins workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void dump_metrics(std::ostream& out) const {
+    metrics_.dump(out, cache_.stats().hit_rate());
+  }
+
+ private:
+  struct Request {
+    evm::Address address;
+    std::promise<ScoreResult> promise;
+    common::Timer queued;  ///< starts at submit()
+  };
+
+  void worker_loop();
+  /// Pops up to max_batch requests, honoring the micro-batch wait.
+  /// Returns an empty batch only when stopping.
+  std::vector<Request> next_batch();
+  void process_batch(std::vector<Request> batch);
+
+  core::BytecodeExtractionModule bem_;
+  core::PhishingClassifier* detector_;
+  EngineConfig config_;
+
+  ShardedScoreCache cache_;
+  ServiceMetrics metrics_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace phishinghook::serve

@@ -1,0 +1,425 @@
+// Serving subsystem: artifact round-trips, the sharded LRU score cache,
+// service metrics, and the batching scoring engine (including the
+// multi-producer consistency check the TSan build exercises).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/binary_io.hpp"
+#include "common/timer.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/random_forest.hpp"
+#include "serve/artifact.hpp"
+#include "serve/metrics.hpp"
+#include "serve/score_cache.hpp"
+#include "serve/scoring_engine.hpp"
+#include "synth/dataset_builder.hpp"
+
+namespace phishinghook {
+namespace {
+
+// One small dataset shared by the whole suite (building it is the slow
+// part; the serving tests only need codes + labels + the chain).
+const synth::BuiltDataset& dataset() {
+  static const synth::BuiltDataset built = [] {
+    synth::DatasetConfig config;
+    config.target_size = 160;
+    config.seed = 97;
+    return synth::DatasetBuilder(config).build();
+  }();
+  return built;
+}
+
+std::vector<const evm::Bytecode*> dataset_codes() {
+  std::vector<const evm::Bytecode*> codes;
+  for (const synth::LabeledContract& sample : dataset().samples) {
+    codes.push_back(&sample.code);
+  }
+  return codes;
+}
+
+std::vector<int> dataset_labels() {
+  std::vector<int> labels;
+  for (const synth::LabeledContract& sample : dataset().samples) {
+    labels.push_back(sample.phishing ? 1 : 0);
+  }
+  return labels;
+}
+
+core::HistogramAdapter fitted_adapter(
+    std::unique_ptr<ml::TabularClassifier> model) {
+  core::HistogramAdapter adapter(std::move(model), "test-detector");
+  adapter.fit(dataset_codes(), dataset_labels());
+  return adapter;
+}
+
+evm::Hash256 hash_of_byte(std::uint8_t b) {
+  evm::Hash256 h{};
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = static_cast<std::uint8_t>(b + i);
+  return h;
+}
+
+// --- artifact round-trips ----------------------------------------------------
+
+TEST(Artifact, RandomForestRoundTripIsBitIdentical) {
+  ml::RandomForestConfig config;
+  config.n_trees = 12;
+  config.max_depth = 8;
+  core::HistogramAdapter adapter =
+      fitted_adapter(std::make_unique<ml::RandomForestClassifier>(config));
+
+  std::stringstream buffer;
+  serve::save_artifact(buffer, adapter);
+  const std::unique_ptr<core::HistogramAdapter> loaded =
+      serve::load_artifact(buffer);
+
+  EXPECT_EQ(loaded->name(), adapter.name());
+  EXPECT_EQ(loaded->vocabulary().mnemonics(), adapter.vocabulary().mnemonics());
+
+  // 100+ codes, exact equality — doubles travel as raw bits.
+  std::vector<const evm::Bytecode*> codes = dataset_codes();
+  ASSERT_GE(codes.size(), 100u);
+  const std::vector<double> expected = adapter.predict_proba(codes);
+  const std::vector<double> actual = loaded->predict_proba(codes);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << "row " << i;
+  }
+}
+
+TEST(Artifact, LogisticRegressionRoundTripIsBitIdentical) {
+  ml::LogisticRegressionConfig config;
+  config.epochs = 60;
+  core::HistogramAdapter adapter = fitted_adapter(
+      std::make_unique<ml::LogisticRegressionClassifier>(config));
+
+  std::stringstream buffer;
+  serve::save_artifact(buffer, adapter);
+  const std::unique_ptr<core::HistogramAdapter> loaded =
+      serve::load_artifact(buffer);
+
+  std::vector<const evm::Bytecode*> codes = dataset_codes();
+  const std::vector<double> expected = adapter.predict_proba(codes);
+  const std::vector<double> actual = loaded->predict_proba(codes);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << "row " << i;
+  }
+}
+
+TEST(Artifact, FileRoundTrip) {
+  core::HistogramAdapter adapter = fitted_adapter(
+      std::make_unique<ml::LogisticRegressionClassifier>());
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "phook_test_artifact.phookmdl";
+  serve::save_artifact_file(path, adapter);
+  const auto loaded = serve::load_artifact_file(path);
+  EXPECT_EQ(loaded->name(), adapter.name());
+  std::filesystem::remove(path);
+}
+
+TEST(Artifact, RejectsBadMagicAndVersionAndTruncation) {
+  core::HistogramAdapter adapter = fitted_adapter(
+      std::make_unique<ml::LogisticRegressionClassifier>());
+  std::stringstream good;
+  serve::save_artifact(good, adapter);
+  const std::string bytes = good.str();
+
+  {
+    std::stringstream bad("XXXXXXXX" + bytes.substr(8));
+    EXPECT_THROW(serve::load_artifact(bad), ParseError);
+  }
+  {
+    std::string versioned = bytes;
+    versioned[8] = 99;  // version field follows the 8-byte magic
+    std::stringstream bad(versioned);
+    EXPECT_THROW(serve::load_artifact(bad), ParseError);
+  }
+  {
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(serve::load_artifact(truncated), ParseError);
+  }
+}
+
+TEST(Artifact, SaveBeforeFitThrows) {
+  ml::RandomForestClassifier unfitted;
+  std::stringstream buffer;
+  EXPECT_THROW(unfitted.save(buffer), StateError);
+}
+
+TEST(Artifact, ClassifierFactoryRejectsUnknownTag) {
+  std::stringstream buffer;
+  common::write_string(buffer, "phook.mystery.v1");
+  EXPECT_THROW(ml::TabularClassifier::load(buffer), ParseError);
+}
+
+// --- sharded score cache -----------------------------------------------------
+
+TEST(ScoreCache, EvictsLeastRecentlyUsedInOrder) {
+  serve::ShardedScoreCache cache(/*capacity=*/3, /*shards=*/1);
+  const auto a = hash_of_byte(1), b = hash_of_byte(2), c = hash_of_byte(3),
+             d = hash_of_byte(4);
+  cache.put(a, 0.1);
+  cache.put(b, 0.2);
+  cache.put(c, 0.3);
+  ASSERT_TRUE(cache.get(a).has_value());  // refresh a: LRU order is b, c, a
+  cache.put(d, 0.4);                      // evicts b
+  EXPECT_FALSE(cache.get(b).has_value());
+  EXPECT_EQ(cache.get(a), 0.1);
+  EXPECT_EQ(cache.get(c), 0.3);
+  EXPECT_EQ(cache.get(d), 0.4);
+
+  const serve::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(ScoreCache, PutRefreshesExistingKey) {
+  serve::ShardedScoreCache cache(2, 1);
+  const auto a = hash_of_byte(1), b = hash_of_byte(2), c = hash_of_byte(3);
+  cache.put(a, 0.1);
+  cache.put(b, 0.2);
+  cache.put(a, 0.9);  // refresh, not insert: b is now the LRU entry
+  cache.put(c, 0.3);
+  EXPECT_EQ(cache.get(a), 0.9);
+  EXPECT_FALSE(cache.get(b).has_value());
+}
+
+TEST(ScoreCache, ShardingSpreadsKeysAndIsolatesCapacity) {
+  serve::ShardedScoreCache cache(/*capacity=*/64, /*shards=*/8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_EQ(cache.capacity(), 64u);
+
+  std::set<std::size_t> shards_touched;
+  for (int i = 0; i < 64; ++i) {
+    evm::Bytecode code({static_cast<std::uint8_t>(i),
+                        static_cast<std::uint8_t>(i >> 3), 0x60, 0x00});
+    shards_touched.insert(cache.shard_index(code.code_hash()));
+  }
+  // Keccak output spreads 64 distinct codes over nearly all 8 shards.
+  EXPECT_GE(shards_touched.size(), 6u);
+
+  // Rounds shard counts up to a power of two.
+  serve::ShardedScoreCache odd(30, 3);
+  EXPECT_EQ(odd.shard_count(), 4u);
+
+  EXPECT_THROW(serve::ShardedScoreCache(0, 1), InvalidArgument);
+  EXPECT_THROW(serve::ShardedScoreCache(8, 0), InvalidArgument);
+}
+
+TEST(ScoreCache, CountsHitsAndMisses) {
+  serve::ShardedScoreCache cache(8, 2);
+  const auto a = hash_of_byte(7);
+  EXPECT_FALSE(cache.get(a).has_value());
+  cache.put(a, 0.5);
+  EXPECT_TRUE(cache.get(a).has_value());
+  EXPECT_TRUE(cache.get(a).has_value());
+  const serve::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(Metrics, HistogramQuantilesBracketRecordedValues) {
+  serve::LatencyHistogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.record(100.0);  // bucket [64, 128)
+  histogram.record(100000.0);  // one 100ms outlier
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_NEAR(histogram.mean_us(), 1099.0, 1.0);
+  EXPECT_EQ(histogram.max_us(), 100000.0);
+  EXPECT_LE(histogram.quantile_us(0.50), 256.0);
+  EXPECT_GE(histogram.quantile_us(0.995), 65536.0);
+}
+
+TEST(Metrics, DumpContainsCountersAndOccupancy) {
+  serve::ServiceMetrics metrics;
+  metrics.requests_submitted = 10;
+  metrics.requests_completed = 10;
+  metrics.batches = 2;
+  metrics.batched_requests = 10;
+  metrics.request_latency.record(50.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_batch_occupancy(), 5.0);
+
+  std::ostringstream out;
+  metrics.dump(out, 0.75);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("serve_requests_completed 10"), std::string::npos);
+  EXPECT_NE(text.find("serve_batch_occupancy_mean 5"), std::string::npos);
+  EXPECT_NE(text.find("serve_cache_hit_rate 0.75"), std::string::npos);
+}
+
+TEST(Metrics, ScopedTimerFeedsSink) {
+  double recorded = -1.0;
+  {
+    common::ScopedTimer timer([&](double s) { recorded = s; });
+  }
+  EXPECT_GE(recorded, 0.0);
+
+  recorded = -1.0;
+  {
+    common::ScopedTimer timer([&](double s) { recorded = s; });
+    timer.cancel();
+  }
+  EXPECT_EQ(recorded, -1.0);
+
+  int fires = 0;
+  {
+    common::ScopedTimer timer([&](double) { ++fires; });
+    timer.stop();
+  }
+  EXPECT_EQ(fires, 1);  // stop() disarms the destructor
+}
+
+// --- scoring engine ----------------------------------------------------------
+
+class ScoringEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    adapter_ = std::make_unique<core::HistogramAdapter>(fitted_adapter(
+        std::make_unique<ml::RandomForestClassifier>(small_forest())));
+    for (const synth::LabeledContract& sample : dataset().samples) {
+      addresses_.push_back(sample.address);
+    }
+  }
+
+  static ml::RandomForestConfig small_forest() {
+    ml::RandomForestConfig config;
+    config.n_trees = 8;
+    config.max_depth = 6;
+    return config;
+  }
+
+  /// Ground truth: the same codes scored directly, bypassing the engine.
+  std::vector<double> direct_scores() {
+    const core::BytecodeExtractionModule bem(*dataset().explorer);
+    std::vector<double> out;
+    for (const evm::Address& address : addresses_) {
+      const core::ExtractedContract contract = bem.extract(address);
+      out.push_back(contract.code.empty()
+                        ? 0.0
+                        : adapter_->predict_proba({&contract.code}).front());
+    }
+    return out;
+  }
+
+  std::unique_ptr<core::HistogramAdapter> adapter_;
+  std::vector<evm::Address> addresses_;
+};
+
+TEST_F(ScoringEngineTest, SingleThreadMatchesDirectScoring) {
+  serve::EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 16;
+  serve::ScoringEngine engine(*dataset().explorer, *adapter_, config);
+  const std::vector<serve::ScoreResult> results = engine.score_all(addresses_);
+  const std::vector<double> expected = direct_scores();
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].probability, expected[i]) << "address " << i;
+    EXPECT_EQ(results[i].address, addresses_[i]);
+    EXPECT_EQ(results[i].flagged, results[i].probability >= 0.5);
+  }
+}
+
+TEST_F(ScoringEngineTest, MultiProducerMultiWorkerMatchesSingleThreaded) {
+  serve::EngineConfig config;
+  config.workers = 4;
+  config.max_batch = 8;
+  config.max_wait_us = 100;
+  serve::ScoringEngine engine(*dataset().explorer, *adapter_, config);
+
+  constexpr int kProducers = 4;
+  std::vector<std::vector<serve::ScoreResult>> per_producer(kProducers);
+  {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        std::vector<std::future<serve::ScoreResult>> futures;
+        for (const evm::Address& address : addresses_) {
+          futures.push_back(engine.submit(address));
+        }
+        for (auto& future : futures) {
+          per_producer[p].push_back(future.get());
+        }
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+  }
+
+  const std::vector<double> expected = direct_scores();
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(per_producer[p].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(per_producer[p][i].probability, expected[i])
+          << "producer " << p << " address " << i;
+    }
+  }
+
+  // 4 producers x N addresses with heavy on-chain duplication: the cache
+  // must be carrying most of the load.
+  const serve::CacheStats stats = engine.cache_stats();
+  EXPECT_GT(stats.hits, stats.misses);
+  EXPECT_EQ(engine.metrics().requests_completed.load(),
+            static_cast<std::uint64_t>(kProducers) * addresses_.size());
+}
+
+TEST_F(ScoringEngineTest, CacheHitsAreMarkedAndDeduplicated) {
+  serve::EngineConfig config;
+  config.workers = 1;
+  config.max_batch = 4;
+  serve::ScoringEngine engine(*dataset().explorer, *adapter_, config);
+
+  const evm::Address target = addresses_.front();
+  const serve::ScoreResult first = engine.submit(target).get();
+  const serve::ScoreResult second = engine.submit(target).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.probability, second.probability);
+}
+
+TEST_F(ScoringEngineTest, EmptyCodeIsScoredZeroNotCrashed) {
+  serve::EngineConfig config;
+  config.workers = 1;
+  serve::ScoringEngine engine(*dataset().explorer, *adapter_, config);
+  const serve::ScoreResult result =
+      engine.submit(evm::Address::from_hex(
+                        "0x00000000000000000000000000000000000000ff"))
+          .get();
+  EXPECT_TRUE(result.empty_code);
+  EXPECT_EQ(result.probability, 0.0);
+  EXPECT_FALSE(result.flagged);
+  EXPECT_EQ(engine.metrics().empty_code_requests.load(), 1u);
+}
+
+TEST_F(ScoringEngineTest, SubmitAfterShutdownThrows) {
+  serve::EngineConfig config;
+  config.workers = 2;
+  serve::ScoringEngine engine(*dataset().explorer, *adapter_, config);
+  engine.submit(addresses_.front()).get();
+  engine.shutdown();
+  engine.shutdown();  // idempotent
+  EXPECT_THROW(engine.submit(addresses_.front()), StateError);
+}
+
+TEST_F(ScoringEngineTest, MetricsDumpAfterTraffic) {
+  serve::EngineConfig config;
+  config.workers = 2;
+  serve::ScoringEngine engine(*dataset().explorer, *adapter_, config);
+  engine.score_all(addresses_);
+  engine.score_all(addresses_);  // second pass: warm cache
+
+  std::ostringstream out;
+  engine.dump_metrics(out);
+  EXPECT_NE(out.str().find("serve_request_latency_us_p95"), std::string::npos);
+  EXPECT_GT(engine.metrics().batches.load(), 0u);
+  EXPECT_GT(engine.metrics().mean_batch_occupancy(), 0.0);
+  EXPECT_GT(engine.cache_stats().hit_rate(), 0.4);
+}
+
+}  // namespace
+}  // namespace phishinghook
