@@ -1,0 +1,137 @@
+// Parallel-training bench: fit wall-time for Random Forest and XGBoost at
+// 1/2/4/8 threads, written as machine-readable BENCH_train.json next to the
+// binary so the perf trajectory is tracked across PRs.
+//
+// On a single-core CI box every speedup is ~1.0 by construction; the JSON
+// carries `hardware_threads` so downstream tooling knows whether a flat
+// curve means "no cores" or "no scaling". Nothing here asserts a speedup.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/matrix.hpp"
+
+namespace {
+
+using phishinghook::common::Rng;
+using phishinghook::common::ThreadPool;
+using phishinghook::common::Timer;
+using phishinghook::ml::Matrix;
+
+struct Row {
+  std::string model;
+  std::size_t threads = 1;
+  double ms = 0.0;
+  double speedup = 1.0;
+};
+
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Dataset make_dataset(std::size_t n, std::size_t d) {
+  Rng rng(42);
+  Dataset data;
+  data.x = Matrix(n, d);
+  data.y.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      data.x.at(r, c) = rng.uniform(-3.0, 3.0);
+    }
+    const double margin = data.x.at(r, 0) + 0.5 * data.x.at(r, 1) -
+                          0.25 * data.x.at(r, 2) + rng.normal(0.0, 0.5);
+    data.y.push_back(margin > 0.0 ? 1 : 0);
+  }
+  return data;
+}
+
+template <typename Fit>
+std::vector<Row> sweep(const std::string& model, const Fit& fit) {
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  std::vector<Row> rows;
+  double baseline_ms = 0.0;
+  for (std::size_t threads : thread_counts) {
+    ThreadPool::set_global_threads(threads);
+    Timer timer;
+    fit();
+    Row row;
+    row.model = model;
+    row.threads = threads;
+    row.ms = timer.milliseconds();
+    if (threads == 1) baseline_ms = row.ms;
+    row.speedup = row.ms > 0.0 ? baseline_ms / row.ms : 1.0;
+    rows.push_back(row);
+    std::printf("  %-14s threads=%zu  %8.1f ms  speedup %.2fx\n",
+                model.c_str(), threads, row.ms, row.speedup);
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("bench_train_parallel: RF + XGBoost fit at 1/2/4/8 threads "
+              "(%u hardware threads%s)\n",
+              hardware,
+              hardware <= 1 ? "; single-core box, speedups ~1.0 expected"
+                            : "");
+
+  const Dataset data = make_dataset(1500, 32);
+  std::vector<Row> rows;
+
+  {
+    phishinghook::ml::RandomForestConfig config;
+    config.n_trees = 32;
+    config.max_depth = 12;
+    const auto fit = [&] {
+      phishinghook::ml::RandomForestClassifier model(config);
+      model.fit(data.x, data.y);
+    };
+    const auto swept = sweep("random_forest", fit);
+    rows.insert(rows.end(), swept.begin(), swept.end());
+  }
+  {
+    phishinghook::ml::GradientBoostingConfig config;
+    config.n_rounds = 40;
+    config.max_depth = 5;
+    const auto fit = [&] {
+      phishinghook::ml::GradientBoostingClassifier model(config);
+      model.fit(data.x, data.y);
+    };
+    const auto swept = sweep("xgboost", fit);
+    rows.insert(rows.end(), swept.begin(), swept.end());
+  }
+  phishinghook::common::ThreadPool::set_global_threads(0);
+
+  FILE* out = std::fopen("BENCH_train.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_train.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"train_parallel\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hardware);
+  std::fprintf(out,
+               "  \"note\": \"speedup is vs threads=1; ~1.0 on single-core "
+               "CI\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"model\": \"%s\", \"threads\": %zu, \"ms\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 row.model.c_str(), row.threads, row.ms, row.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_train.json (%zu rows)\n", rows.size());
+  return 0;
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI driver: builds and tests the Release tree plus the ASan/UBSan variant.
+# CI driver: builds and tests the Release tree, the ASan/UBSan variant, and
+# a TSan variant running the threaded suites (the serving engine plus the
+# thread-pool-backed training paths). The Release leg also runs
+# bench_train_parallel and fails if its BENCH_train.json is missing or
+# malformed, so the perf trajectory stays machine-readable across PRs.
 #
-#   ./ci.sh            # Release + address-sanitized builds, ctest on both
-#   ./ci.sh tsan       # additionally a TSan build running the threaded
-#                      #   serving suite (slow; racy code shows up here)
+#   ./ci.sh            # all three variants
 #
 # Build trees live under build-ci-* so they never collide with a developer's
 # ./build. Any failure aborts the script (set -e) and leaves the offending
@@ -23,16 +25,45 @@ run_variant() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== ${name}: ctest ==="
   # shellcheck disable=SC2086
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${ctest_args})
+  (cd "${dir}" && ctest --output-on-failure --no-tests=error -j "${JOBS}" ${ctest_args})
+}
+
+check_bench_json() {
+  local json="$1"
+  echo "=== bench_train_parallel: ${json} ==="
+  if [[ ! -f "${json}" ]]; then
+    echo "ci.sh: ${json} missing" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+rows = doc["results"]
+assert rows, "empty results"
+for row in rows:
+    for key in ("model", "threads", "ms", "speedup"):
+        assert key in row, f"missing {key}"
+print(f"BENCH_train.json ok: {len(rows)} rows")
+PY
+  else
+    # No python3: cheap structural check on the required keys.
+    grep -q '"results"' "${json}" && grep -q '"model"' "${json}" &&
+      grep -q '"threads"' "${json}" && grep -q '"speedup"' "${json}" ||
+      { echo "ci.sh: ${json} malformed" >&2; exit 1; }
+  fi
 }
 
 run_variant release ""
+(cd build-ci-release && ./bench/bench_train_parallel)
+check_bench_json build-ci-release/BENCH_train.json
+
 run_variant asan address
 
-if [[ "${1:-}" == "tsan" ]]; then
-  # TSan cannot be combined with ASan, and slows everything ~10x, so it
-  # only runs the serving suite — the code with actual cross-thread state.
-  run_variant tsan thread "-R test_serve"
-fi
+# TSan cannot be combined with ASan, and slows everything ~10x, so it runs
+# only the suites with actual cross-thread state: the serving engine, the
+# thread-pool unit tests, and the pool-backed training determinism suite.
+run_variant tsan thread "-R test_serve|test_thread_pool|test_parallel_determinism"
 
 echo "=== ci.sh: all variants green ==="

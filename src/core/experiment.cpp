@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 
 namespace phishinghook::core {
@@ -64,43 +65,62 @@ ModelEvaluation ExperimentHarness::evaluate(
   evaluation.model = spec.name;
   evaluation.category = spec.category;
 
+  // Pre-draw the per-run fold splits and per-trial model seeds serially, in
+  // the exact order the sequential loop consumed them; the (run, fold)
+  // trials then execute as independent parallel tasks whose results land in
+  // pre-assigned slots, so metrics are bit-identical at every thread count.
+  // (Per-trial wall times reflect contended execution when several trials
+  // share cores — CI runs single-core, where they match serial timing.)
   common::Rng run_rng(config_.seed);
+  std::vector<std::vector<ml::Fold>> run_folds;
+  std::vector<std::uint64_t> trial_seeds;
+  run_folds.reserve(static_cast<std::size_t>(config_.runs));
   for (int run = 0; run < config_.runs; ++run) {
     common::Rng fold_rng = run_rng.fork();
-    const auto folds = ml::stratified_kfold(labels, config_.folds, fold_rng);
+    run_folds.push_back(ml::stratified_kfold(labels, config_.folds, fold_rng));
     for (int f = 0; f < config_.folds; ++f) {
-      const ml::Fold& fold = folds[static_cast<std::size_t>(f)];
-      std::vector<const Bytecode*> train_codes, test_codes;
-      std::vector<int> train_labels, test_labels;
-      for (std::size_t i : fold.train_indices) {
-        train_codes.push_back(codes[i]);
-        train_labels.push_back(labels[i]);
-      }
-      for (std::size_t i : fold.test_indices) {
-        test_codes.push_back(codes[i]);
-        test_labels.push_back(labels[i]);
-      }
-
-      auto model = spec.make(run_rng.next_u64());
-      common::Timer train_timer;
-      model->fit(train_codes, train_labels);
-      const double train_seconds = train_timer.seconds();
-
-      common::Timer inference_timer;
-      const std::vector<int> predictions = model->predict(test_codes);
-      const double inference_seconds = inference_timer.seconds();
-
-      TrialResult trial;
-      trial.run = run;
-      trial.fold = f;
-      trial.metrics = ml::compute_metrics(test_labels, predictions);
-      trial.train_seconds = train_seconds;
-      trial.inference_seconds = inference_seconds;
-      evaluation.trials.push_back(trial);
-
-      common::log_debug(spec.name, " run ", run, " fold ", f, " acc ",
-                        trial.metrics.accuracy);
+      trial_seeds.push_back(run_rng.next_u64());
     }
+  }
+
+  const std::size_t folds_per_run = static_cast<std::size_t>(config_.folds);
+  evaluation.trials = common::parallel_map<TrialResult>(
+      trial_seeds.size(), [&](std::size_t t) {
+        const std::size_t run = t / folds_per_run;
+        const std::size_t f = t % folds_per_run;
+        const ml::Fold& fold = run_folds[run][f];
+        std::vector<const Bytecode*> train_codes, test_codes;
+        std::vector<int> train_labels, test_labels;
+        for (std::size_t i : fold.train_indices) {
+          train_codes.push_back(codes[i]);
+          train_labels.push_back(labels[i]);
+        }
+        for (std::size_t i : fold.test_indices) {
+          test_codes.push_back(codes[i]);
+          test_labels.push_back(labels[i]);
+        }
+
+        auto model = spec.make(trial_seeds[t]);
+        common::Timer train_timer;
+        model->fit(train_codes, train_labels);
+        const double train_seconds = train_timer.seconds();
+
+        common::Timer inference_timer;
+        const std::vector<int> predictions = model->predict(test_codes);
+        const double inference_seconds = inference_timer.seconds();
+
+        TrialResult trial;
+        trial.run = static_cast<int>(run);
+        trial.fold = static_cast<int>(f);
+        trial.metrics = ml::compute_metrics(test_labels, predictions);
+        trial.train_seconds = train_seconds;
+        trial.inference_seconds = inference_seconds;
+        return trial;
+      });
+
+  for (const TrialResult& trial : evaluation.trials) {
+    common::log_debug(spec.name, " run ", trial.run, " fold ", trial.fold,
+                      " acc ", trial.metrics.accuracy);
   }
   return evaluation;
 }

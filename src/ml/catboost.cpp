@@ -5,8 +5,20 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace phishinghook::ml {
+
+namespace {
+
+/// Best (bin, score) one feature offers for one oblivious level.
+struct LevelSplit {
+  int feature = -1;
+  int bin = -1;
+  double score = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
 
 CatBoostClassifier::CatBoostClassifier(CatBoostConfig config)
     : config_(config) {}
@@ -54,53 +66,70 @@ void CatBoostClassifier::fit(const Matrix& x, const std::vector<int>& y) {
     for (int level = 0; level < config_.depth; ++level) {
       // Choose the single (feature, bin) test maximizing the summed split
       // score over all current leaves.
-      int best_feature = -1;
-      int best_bin = -1;
-      double best_score = -std::numeric_limits<double>::infinity();
-
-      // Per-leaf totals.
+      //
+      // Per-leaf totals (serial; shared read-only by the feature scans).
       std::vector<double> leaf_g(leaf_count, 0.0), leaf_h(leaf_count, 0.0);
       for (std::size_t i = 0; i < n; ++i) {
         leaf_g[leaf_of[i]] += grad[i];
         leaf_h[leaf_of[i]] += hess[i];
       }
 
-      std::vector<double> hist_g, hist_h;
-      for (std::size_t f = 0; f < d; ++f) {
-        const int bins = binner.bins(f);
-        if (bins < 2) continue;
-        hist_g.assign(leaf_count * static_cast<std::size_t>(bins), 0.0);
-        hist_h.assign(leaf_count * static_cast<std::size_t>(bins), 0.0);
-        for (std::size_t i = 0; i < n; ++i) {
-          const std::size_t slot =
-              leaf_of[i] * static_cast<std::size_t>(bins) + binned[i * d + f];
-          hist_g[slot] += grad[i];
-          hist_h[slot] += hess[i];
-        }
-        // Candidate bins: evaluate cumulative split at each bin boundary.
-        for (int b = 0; b + 1 < bins; ++b) {
-          double score = 0.0;
-          bool valid = false;
-          for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
-            double gl = 0.0, hl = 0.0;
-            for (int bb = 0; bb <= b; ++bb) {
+      // Parallel over features: each builds a private (leaf, bin) histogram
+      // and reports its best bin; the index-ordered reduction below keeps
+      // the serial scan's earliest-feature tie-breaking, so the chosen
+      // split is thread-count-invariant.
+      const std::vector<LevelSplit> candidates =
+          common::parallel_map<LevelSplit>(d, [&](std::size_t f) {
+            LevelSplit local;
+            const int bins = binner.bins(f);
+            if (bins < 2) return local;
+            std::vector<double> hist_g(
+                leaf_count * static_cast<std::size_t>(bins), 0.0);
+            std::vector<double> hist_h(
+                leaf_count * static_cast<std::size_t>(bins), 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
               const std::size_t slot =
-                  leaf * static_cast<std::size_t>(bins) +
-                  static_cast<std::size_t>(bb);
-              gl += hist_g[slot];
-              hl += hist_h[slot];
+                  leaf_of[i] * static_cast<std::size_t>(bins) +
+                  binned[i * d + f];
+              hist_g[slot] += grad[i];
+              hist_h[slot] += hess[i];
             }
-            const double gr = leaf_g[leaf] - gl;
-            const double hr = leaf_h[leaf] - hl;
-            score += gl * gl / (hl + config_.lambda) +
-                     gr * gr / (hr + config_.lambda);
-            if (hl > 0.0 && hr > 0.0) valid = true;
-          }
-          if (valid && score > best_score) {
-            best_score = score;
-            best_feature = static_cast<int>(f);
-            best_bin = b;
-          }
+            // Candidate bins: evaluate cumulative split at each boundary.
+            for (int b = 0; b + 1 < bins; ++b) {
+              double score = 0.0;
+              bool valid = false;
+              for (std::size_t leaf = 0; leaf < leaf_count; ++leaf) {
+                double gl = 0.0, hl = 0.0;
+                for (int bb = 0; bb <= b; ++bb) {
+                  const std::size_t slot =
+                      leaf * static_cast<std::size_t>(bins) +
+                      static_cast<std::size_t>(bb);
+                  gl += hist_g[slot];
+                  hl += hist_h[slot];
+                }
+                const double gr = leaf_g[leaf] - gl;
+                const double hr = leaf_h[leaf] - hl;
+                score += gl * gl / (hl + config_.lambda) +
+                         gr * gr / (hr + config_.lambda);
+                if (hl > 0.0 && hr > 0.0) valid = true;
+              }
+              if (valid && score > local.score) {
+                local.score = score;
+                local.feature = static_cast<int>(f);
+                local.bin = b;
+              }
+            }
+            return local;
+          });
+
+      int best_feature = -1;
+      int best_bin = -1;
+      double best_score = -std::numeric_limits<double>::infinity();
+      for (const LevelSplit& candidate : candidates) {
+        if (candidate.feature >= 0 && candidate.score > best_score) {
+          best_score = candidate.score;
+          best_feature = candidate.feature;
+          best_bin = candidate.bin;
         }
       }
 
@@ -159,9 +188,12 @@ double CatBoostClassifier::raw_score(std::span<const double> row) const {
 
 std::vector<double> CatBoostClassifier::predict_proba(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    out[r] = gbdt::sigmoid(raw_score(x.row(r)));
-  }
+  common::parallel_for_chunks(
+      x.rows(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          out[r] = gbdt::sigmoid(raw_score(x.row(r)));
+        }
+      });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/errors.hpp"
+#include "common/thread_pool.hpp"
 
 namespace phishinghook::ml {
 
@@ -72,6 +73,22 @@ Fold stratified_holdout(const std::vector<int>& labels, double test_fraction,
   std::sort(fold.test_indices.begin(), fold.test_indices.end());
   std::sort(fold.train_indices.begin(), fold.train_indices.end());
   return fold;
+}
+
+std::vector<double> cross_validate_accuracy(const ModelFactory& make,
+                                            const Matrix& x,
+                                            const std::vector<int>& y,
+                                            const std::vector<Fold>& folds) {
+  return common::parallel_map<double>(folds.size(), [&](std::size_t f) {
+    const Fold& fold = folds[f];
+    const Matrix train_x = x.select_rows(fold.train_indices);
+    const auto train_y = select(y, fold.train_indices);
+    const Matrix test_x = x.select_rows(fold.test_indices);
+    const auto test_y = select(y, fold.test_indices);
+    auto model = make();
+    model->fit(train_x, train_y);
+    return compute_metrics(test_y, model->predict(test_x)).accuracy;
+  });
 }
 
 }  // namespace phishinghook::ml

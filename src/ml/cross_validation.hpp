@@ -4,9 +4,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ml/classifier.hpp"
 
 namespace phishinghook::ml {
 
@@ -24,5 +27,19 @@ std::vector<Fold> stratified_kfold(const std::vector<int>& labels, int k,
 /// One stratified holdout split with `test_fraction` of each class held out.
 Fold stratified_holdout(const std::vector<int>& labels, double test_fraction,
                         common::Rng& rng);
+
+/// Builds a fresh classifier for each fold. Called concurrently from the
+/// thread pool, so the factory must be thread-safe (stateless factories
+/// capturing configs by value or const reference are).
+using ModelFactory = std::function<std::unique_ptr<TabularClassifier>()>;
+
+/// Fits one model per fold — folds run as independent parallel tasks — and
+/// returns each fold's test accuracy, in fold order. Deterministic at every
+/// thread count: folds share no mutable state and results land in
+/// pre-assigned slots.
+std::vector<double> cross_validate_accuracy(const ModelFactory& make,
+                                            const Matrix& x,
+                                            const std::vector<int>& y,
+                                            const std::vector<Fold>& folds);
 
 }  // namespace phishinghook::ml

@@ -25,6 +25,19 @@ struct TreeNode {
   bool is_leaf() const { return feature < 0; }
 };
 
+/// Per-matrix presorted feature order: `order` holds x.cols() blocks of
+/// x.rows() row ids, block f sorted by (x[:, f], row id). Building it costs
+/// one O(n log n) sort per feature; a tree fit on the same matrix can then
+/// derive its root order by an O(n) filter instead of re-sorting. The
+/// Random Forest builds one and shares it (read-only) across all trees.
+struct FeaturePresort {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> order;
+
+  static FeaturePresort build(const Matrix& x);
+};
+
 struct DecisionTreeConfig {
   int max_depth = 12;
   std::size_t min_samples_leaf = 2;
@@ -41,9 +54,13 @@ class DecisionTreeClassifier final : public TabularClassifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
 
-  /// Weighted fit (bootstrap counts / boosting weights).
+  /// Weighted fit (bootstrap counts / boosting weights). `presort`, when
+  /// given, must have been built from `x`; it is only read, so one instance
+  /// can be shared by concurrent fits. Results are bit-identical with and
+  /// without it.
   void fit_weighted(const Matrix& x, const std::vector<int>& y,
-                    const std::vector<double>& weights);
+                    const std::vector<double>& weights,
+                    const FeaturePresort* presort = nullptr);
 
   std::vector<double> predict_proba(const Matrix& x) const override;
   std::string name() const override { return "DecisionTree"; }
@@ -66,10 +83,6 @@ class DecisionTreeClassifier final : public TabularClassifier {
   std::vector<double> feature_importances() const;
 
  private:
-  int build(const Matrix& x, const std::vector<int>& y,
-            const std::vector<double>& weights,
-            std::vector<std::size_t>& indices, int depth, common::Rng& rng);
-
   DecisionTreeConfig config_;
   std::vector<TreeNode> nodes_;
   std::size_t n_features_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "ml/gbdt_common.hpp"
 
 namespace phishinghook::ml {
@@ -32,37 +33,51 @@ int GradientBoostingClassifier::build_tree(
   if (depth >= config_.max_depth || indices.size() < 2) return node_id;
 
   const double parent_score = g_sum * g_sum / (h_sum + config_.lambda);
+  const double gain_floor = config_.gamma + 1e-12;
+
+  // Parallel best-split search: every candidate feature scans its own
+  // sorted copy independently, then a serial reduction in candidate order
+  // picks the winner. Ties resolve to the earliest (feature, position)
+  // candidate via the strict `>` in both passes — exactly the serial scan's
+  // outcome — so the fitted tree is thread-count-invariant.
+  const std::vector<SplitResult> candidates =
+      common::parallel_map<SplitResult>(features.size(), [&](std::size_t fi) {
+        const std::size_t feature = features[fi];
+        SplitResult local;
+        local.gain = gain_floor;
+        std::vector<std::pair<double, std::size_t>> sorted;
+        sorted.reserve(indices.size());
+        for (std::size_t i : indices) sorted.emplace_back(x.at(i, feature), i);
+        std::sort(sorted.begin(), sorted.end());
+
+        double gl = 0.0, hl = 0.0;
+        for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+          const std::size_t i = sorted[k].second;
+          gl += grad[i];
+          hl += hess[i];
+          if (sorted[k].first == sorted[k + 1].first) continue;
+          const double hr = h_sum - hl;
+          if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
+            continue;
+          }
+          const double gr = g_sum - gl;
+          const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
+                                     gr * gr / (hr + config_.lambda) -
+                                     parent_score) -
+                              config_.gamma;
+          if (gain > local.gain) {
+            local.gain = gain;
+            local.feature = static_cast<int>(feature);
+            local.threshold = 0.5 * (sorted[k].first + sorted[k + 1].first);
+          }
+        }
+        return local;
+      });
+
   SplitResult best;
-  best.gain = config_.gamma + 1e-12;
-
-  std::vector<std::pair<double, std::size_t>> sorted;
-  sorted.reserve(indices.size());
-  for (std::size_t feature : features) {
-    sorted.clear();
-    for (std::size_t i : indices) sorted.emplace_back(x.at(i, feature), i);
-    std::sort(sorted.begin(), sorted.end());
-
-    double gl = 0.0, hl = 0.0;
-    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
-      const std::size_t i = sorted[k].second;
-      gl += grad[i];
-      hl += hess[i];
-      if (sorted[k].first == sorted[k + 1].first) continue;
-      const double hr = h_sum - hl;
-      if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
-        continue;
-      }
-      const double gr = g_sum - gl;
-      const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
-                                 gr * gr / (hr + config_.lambda) -
-                                 parent_score) -
-                          config_.gamma;
-      if (gain > best.gain) {
-        best.gain = gain;
-        best.feature = static_cast<int>(feature);
-        best.threshold = 0.5 * (sorted[k].first + sorted[k + 1].first);
-      }
-    }
+  best.gain = gain_floor;
+  for (const SplitResult& candidate : candidates) {
+    if (candidate.feature >= 0 && candidate.gain > best.gain) best = candidate;
   }
 
   if (best.feature < 0) return node_id;
@@ -173,9 +188,12 @@ double GradientBoostingClassifier::raw_score(
 std::vector<double> GradientBoostingClassifier::predict_proba(
     const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    out[r] = gbdt::sigmoid(raw_score(x.row(r)));
-  }
+  common::parallel_for_chunks(
+      x.rows(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          out[r] = gbdt::sigmoid(raw_score(x.row(r)));
+        }
+      });
   return out;
 }
 

@@ -1,24 +1,44 @@
 #include "ml/hyper_search.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 
 namespace phishinghook::ml {
+
+namespace {
+
+/// Scores every assignment as an independent parallel task and reduces the
+/// best trial serially in trial order (strict `>`, earliest trial wins) —
+/// the same winner a serial loop picks, at every thread count.
+Trial best_of(const HyperSearch& search, const ClassifierFactory& factory,
+              const std::vector<ParamAssignment>& trials, const Matrix& x,
+              const std::vector<int>& y, bool log_trials) {
+  const std::vector<double> scores = common::parallel_map<double>(
+      trials.size(), [&](std::size_t t) {
+        return search.evaluate(factory, trials[t], x, y);
+      });
+  Trial best;
+  best.score = -1.0;
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    if (log_trials) common::log_debug("grid trial ", t, " score ", scores[t]);
+    if (scores[t] > best.score) best = Trial{trials[t], scores[t]};
+  }
+  return best;
+}
+
+}  // namespace
 
 double HyperSearch::evaluate(const ClassifierFactory& factory,
                              const ParamAssignment& params, const Matrix& x,
                              const std::vector<int>& y) const {
   common::Rng rng(config_.seed);
   const auto folds = stratified_kfold(y, config_.folds, rng);
+  const std::vector<double> accuracies = cross_validate_accuracy(
+      [&] { return factory(params); }, x, y, folds);
   double total = 0.0;
-  for (const Fold& fold : folds) {
-    const Matrix train_x = x.select_rows(fold.train_indices);
-    const auto train_y = select(y, fold.train_indices);
-    const Matrix test_x = x.select_rows(fold.test_indices);
-    const auto test_y = select(y, fold.test_indices);
-    auto model = factory(params);
-    model->fit(train_x, train_y);
-    total += compute_metrics(test_y, model->predict(test_x)).accuracy;
-  }
+  for (double accuracy : accuracies) total += accuracy;
   return total / static_cast<double>(folds.size());
 }
 
@@ -26,7 +46,9 @@ Trial HyperSearch::grid_search(
     const ClassifierFactory& factory,
     const std::map<std::string, std::vector<double>>& space, const Matrix& x,
     const std::vector<int>& y) const {
-  // Enumerate the cartesian product with a mixed-radix counter.
+  // Enumerate the cartesian product with a mixed-radix counter (serially,
+  // so the trial order matches the sequential search), then score the grid
+  // points in parallel.
   std::vector<std::string> names;
   std::vector<std::size_t> sizes;
   for (const auto& [name, values] : space) {
@@ -34,19 +56,14 @@ Trial HyperSearch::grid_search(
     names.push_back(name);
     sizes.push_back(values.size());
   }
-  Trial best;
-  best.score = -1.0;
+  std::vector<ParamAssignment> grid;
   std::vector<std::size_t> counter(names.size(), 0);
-  int trials = 0;
-  while (trials < config_.max_trials) {
+  while (static_cast<int>(grid.size()) < config_.max_trials) {
     ParamAssignment params;
     for (std::size_t i = 0; i < names.size(); ++i) {
       params[names[i]] = space.at(names[i])[counter[i]];
     }
-    const double score = evaluate(factory, params, x, y);
-    common::log_debug("grid trial ", trials, " score ", score);
-    if (score > best.score) best = Trial{params, score};
-    ++trials;
+    grid.push_back(std::move(params));
 
     // Increment the mixed-radix counter; stop after the last combination.
     std::size_t axis = 0;
@@ -56,28 +73,29 @@ Trial HyperSearch::grid_search(
       ++axis;
     }
     if (axis == counter.size()) break;
-    if (counter.empty()) break;
   }
-  return best;
+  return best_of(*this, factory, grid, x, y, /*log_trials=*/true);
 }
 
 Trial HyperSearch::random_search(
     const ClassifierFactory& factory,
     const std::map<std::string, std::vector<double>>& space, const Matrix& x,
     const std::vector<int>& y, int n_trials) const {
+  // Pre-draw every assignment from the RNG serially (same draw order as the
+  // sequential search), then score the draws in parallel.
   common::Rng rng(config_.seed ^ 0xABCDEF);
-  Trial best;
-  best.score = -1.0;
-  for (int t = 0; t < std::min(n_trials, config_.max_trials); ++t) {
+  const int trials = std::min(n_trials, config_.max_trials);
+  std::vector<ParamAssignment> draws;
+  draws.reserve(trials > 0 ? static_cast<std::size_t>(trials) : 0);
+  for (int t = 0; t < trials; ++t) {
     ParamAssignment params;
     for (const auto& [name, values] : space) {
       if (values.empty()) throw InvalidArgument("empty axis '" + name + "'");
       params[name] = values[rng.next_below(values.size())];
     }
-    const double score = evaluate(factory, params, x, y);
-    if (score > best.score) best = Trial{params, score};
+    draws.push_back(std::move(params));
   }
-  return best;
+  return best_of(*this, factory, draws, x, y, /*log_trials=*/false);
 }
 
 }  // namespace phishinghook::ml

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace phishinghook::ml {
 
 KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
@@ -51,24 +53,29 @@ std::vector<double> KnnClassifier::predict_proba(const Matrix& x) const {
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(config_.k), train_y_.size());
 
+  // Query rows are independent; each chunk owns a private distance scratch.
   std::vector<double> out(x.rows());
-  std::vector<std::pair<double, std::size_t>> dists(train_y_.size());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const auto query = x.row(r);
-    for (std::size_t i = 0; i < train_y_.size(); ++i) {
-      dists[i] = {distance(query, train_x_.row(i)), i};
+  common::parallel_for_chunks(x.rows(), [&](std::size_t begin,
+                                            std::size_t end) {
+    std::vector<std::pair<double, std::size_t>> dists(train_y_.size());
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto query = x.row(r);
+      for (std::size_t i = 0; i < train_y_.size(); ++i) {
+        dists[i] = {distance(query, train_x_.row(i)), i};
+      }
+      std::partial_sort(dists.begin(),
+                        dists.begin() + static_cast<std::ptrdiff_t>(k),
+                        dists.end());
+      double pos = 0.0, total = 0.0;
+      for (std::size_t n = 0; n < k; ++n) {
+        const double weight =
+            config_.distance_weighted ? 1.0 / (dists[n].first + 1e-9) : 1.0;
+        total += weight;
+        if (train_y_[dists[n].second] != 0) pos += weight;
+      }
+      out[r] = total > 0.0 ? pos / total : 0.5;
     }
-    std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
-                      dists.end());
-    double pos = 0.0, total = 0.0;
-    for (std::size_t n = 0; n < k; ++n) {
-      const double weight =
-          config_.distance_weighted ? 1.0 / (dists[n].first + 1e-9) : 1.0;
-      total += weight;
-      if (train_y_[dists[n].second] != 0) pos += weight;
-    }
-    out[r] = total > 0.0 ? pos / total : 0.5;
-  }
+  });
   return out;
 }
 

@@ -4,9 +4,20 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace phishinghook::ml {
 
 namespace {
+
+/// Best split one feature offers for one leaf (per-feature scan result of
+/// the parallel split search).
+struct FeatureSplit {
+  int feature = -1;
+  int bin = -1;
+  double gain = 0.0;
+  double threshold = 0.0;
+};
 
 struct LeafCandidate {
   int node_id = -1;                  // index into the growing tree
@@ -42,9 +53,6 @@ void LightGbmClassifier::fit(const Matrix& x, const std::vector<int>& y) {
   std::vector<double> scores(y.size(), base_score_);
   std::vector<double> grad(y.size()), hess(y.size());
 
-  // Scratch histograms: per (feature, bin) gradient/hessian sums.
-  std::vector<double> hist_g, hist_h;
-
   auto find_best_split = [&](LeafCandidate& leaf) {
     leaf.feature = -1;
     leaf.gain = config_.min_gain;
@@ -55,38 +63,55 @@ void LightGbmClassifier::fit(const Matrix& x, const std::vector<int>& y) {
     }
     const double parent_score = g_sum * g_sum / (h_sum + config_.lambda);
 
-    for (std::size_t f = 0; f < d; ++f) {
-      const int bins = binner.bins(f);
-      if (bins < 2) continue;
-      hist_g.assign(static_cast<std::size_t>(bins), 0.0);
-      hist_h.assign(static_cast<std::size_t>(bins), 0.0);
-      for (std::size_t i : leaf.indices) {
-        const std::uint8_t b = binned[i * d + f];
-        hist_g[b] += grad[i];
-        hist_h[b] += hess[i];
-      }
-      double gl = 0.0, hl = 0.0;
-      for (int b = 0; b + 1 < bins; ++b) {
-        gl += hist_g[static_cast<std::size_t>(b)];
-        hl += hist_h[static_cast<std::size_t>(b)];
-        const double hr = h_sum - hl;
-        if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
-          continue;
-        }
-        const double gr = g_sum - gl;
-        const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
-                                   gr * gr / (hr + config_.lambda) -
-                                   parent_score);
-        if (gain > leaf.gain) {
-          leaf.gain = gain;
-          leaf.feature = static_cast<int>(f);
-          leaf.bin = b;
-          // bin b holds values strictly below cut(f, b); nudge the stored
-          // threshold down so the raw-value predicate (<=) matches the bin
-          // boundary exactly.
-          leaf.threshold = std::nextafter(
-              binner.cut(f, b), -std::numeric_limits<double>::infinity());
-        }
+    // Parallel over features: each feature builds its own histogram and
+    // reports its best (gain, bin); the serial index-ordered reduction below
+    // reproduces the serial scan's earliest-feature tie-breaking.
+    const std::vector<FeatureSplit> candidates =
+        common::parallel_map<FeatureSplit>(d, [&](std::size_t f) {
+          FeatureSplit local;
+          local.gain = config_.min_gain;
+          const int bins = binner.bins(f);
+          if (bins < 2) return local;
+          std::vector<double> hist_g(static_cast<std::size_t>(bins), 0.0);
+          std::vector<double> hist_h(static_cast<std::size_t>(bins), 0.0);
+          for (std::size_t i : leaf.indices) {
+            const std::uint8_t b = binned[i * d + f];
+            hist_g[b] += grad[i];
+            hist_h[b] += hess[i];
+          }
+          double gl = 0.0, hl = 0.0;
+          for (int b = 0; b + 1 < bins; ++b) {
+            gl += hist_g[static_cast<std::size_t>(b)];
+            hl += hist_h[static_cast<std::size_t>(b)];
+            const double hr = h_sum - hl;
+            if (hl < config_.min_child_weight ||
+                hr < config_.min_child_weight) {
+              continue;
+            }
+            const double gr = g_sum - gl;
+            const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
+                                       gr * gr / (hr + config_.lambda) -
+                                       parent_score);
+            if (gain > local.gain) {
+              local.gain = gain;
+              local.feature = static_cast<int>(f);
+              local.bin = b;
+              // bin b holds values strictly below cut(f, b); nudge the
+              // stored threshold down so the raw-value predicate (<=)
+              // matches the bin boundary exactly.
+              local.threshold = std::nextafter(
+                  binner.cut(f, b), -std::numeric_limits<double>::infinity());
+            }
+          }
+          return local;
+        });
+
+    for (const FeatureSplit& candidate : candidates) {
+      if (candidate.feature >= 0 && candidate.gain > leaf.gain) {
+        leaf.gain = candidate.gain;
+        leaf.feature = candidate.feature;
+        leaf.bin = candidate.bin;
+        leaf.threshold = candidate.threshold;
       }
     }
   };
@@ -184,9 +209,12 @@ double LightGbmClassifier::raw_score(std::span<const double> row) const {
 
 std::vector<double> LightGbmClassifier::predict_proba(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    out[r] = gbdt::sigmoid(raw_score(x.row(r)));
-  }
+  common::parallel_for_chunks(
+      x.rows(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          out[r] = gbdt::sigmoid(raw_score(x.row(r)));
+        }
+      });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/errors.hpp"
+#include "common/thread_pool.hpp"
 
 namespace phishinghook::serve {
 
@@ -30,7 +31,11 @@ ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
       detector_(&detector),
       config_(config),
       cache_(config.cache_capacity, config.cache_shards) {
-  if (config_.workers == 0) throw InvalidArgument("engine needs >= 1 worker");
+  // workers == 0 = auto: the same PHISHINGHOOK_THREADS knob that sizes the
+  // training thread pool sizes the serving pool.
+  if (config_.workers == 0) {
+    config_.workers = common::ThreadPool::configured_threads();
+  }
   if (config_.max_batch == 0) throw InvalidArgument("max_batch must be > 0");
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {

@@ -38,6 +38,8 @@
 namespace phishinghook::serve {
 
 struct EngineConfig {
+  /// Scoring threads; 0 = PHISHINGHOOK_THREADS (default hardware
+  /// concurrency), the same knob that sizes the training thread pool.
   std::size_t workers = 4;
   std::size_t max_batch = 32;
   /// How long the worker holds an under-full batch open for more arrivals.

@@ -180,6 +180,42 @@ TEST(DecisionTree, ImportancesSumToOne) {
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
 
+TEST(DecisionTree, SharedPresortIsBitIdenticalToPerTreeSort) {
+  // The forest shares one FeaturePresort across trees; each tree filters it
+  // down to its bootstrap rows instead of sorting. That filter must
+  // reproduce the sorted order exactly, including duplicate-value ties and
+  // rows masked out by zero weights.
+  const Blob blob = make_blobs(80, 4, 1.0, 9);
+  Matrix x = blob.x;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x.at(i, 1) = static_cast<double>(i % 3);  // heavy ties on feature 1
+  }
+  common::Rng rng(17);
+  std::vector<double> weights(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    weights[rng.next_below(x.rows())] += 1.0;  // bootstrap: some rows drop out
+  }
+  const FeaturePresort presort = FeaturePresort::build(x);
+
+  DecisionTreeConfig config;
+  config.max_features = 2;
+  config.seed = 23;
+  DecisionTreeClassifier plain(config), shared(config);
+  plain.fit_weighted(x, blob.y, weights);
+  shared.fit_weighted(x, blob.y, weights, &presort);
+
+  ASSERT_EQ(plain.nodes().size(), shared.nodes().size());
+  for (std::size_t i = 0; i < plain.nodes().size(); ++i) {
+    EXPECT_EQ(plain.nodes()[i].feature, shared.nodes()[i].feature);
+    EXPECT_EQ(plain.nodes()[i].threshold, shared.nodes()[i].threshold);
+    EXPECT_EQ(plain.nodes()[i].left, shared.nodes()[i].left);
+    EXPECT_EQ(plain.nodes()[i].right, shared.nodes()[i].right);
+    EXPECT_EQ(plain.nodes()[i].value, shared.nodes()[i].value);
+    EXPECT_EQ(plain.nodes()[i].weight, shared.nodes()[i].weight);
+  }
+  EXPECT_EQ(plain.feature_importances(), shared.feature_importances());
+}
+
 TEST(RandomForest, ImportancesIdentifyInformativeFeature) {
   // Only feature 2 carries signal.
   common::Rng rng(5);

@@ -1,0 +1,142 @@
+// ThreadPool unit tests: chunk coverage, map ordering, exception
+// propagation, nested-parallelism safety, zero-work, oversubscription, and
+// the PHISHINGHOOK_THREADS global configuration. The whole file also runs
+// under TSan in ci.sh, which is where chunk hand-off races would surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/thread_pool.hpp"
+
+namespace phishinghook::common {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, ZeroWorkReturnsWithoutCallingFn) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  pool.parallel_for_chunks(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  std::vector<int> hits(n, 0);
+  // Distinct slots per index: no synchronization needed, and any double
+  // visit shows up as a count != 1.
+  pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunks(100, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPool, ParallelMapPreservesSlotOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      pool.parallel_map<std::size_t>(1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptionToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallel_for(8, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelismRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);  // 1 worker: nested blocking waits would deadlock it
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, OversubscriptionManyTinyTasks) {
+  ThreadPool pool(8);  // more threads than this machine likely has cores
+  std::atomic<long> sum{0};
+  pool.parallel_for(100'000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i % 7), std::memory_order_relaxed);
+  });
+  long expected = 0;
+  for (std::size_t i = 0; i < 100'000; ++i) expected += static_cast<long>(i % 7);
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ConcurrentExternalCallers) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      pool.parallel_for(1000, [&](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4000);
+}
+
+TEST(ThreadPool, ConfiguredThreadsReadsEnv) {
+  ASSERT_EQ(setenv("PHISHINGHOOK_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::configured_threads(), 3u);
+  ASSERT_EQ(setenv("PHISHINGHOOK_THREADS", "garbage", 1), 0);
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);  // falls back to hardware
+  ASSERT_EQ(setenv("PHISHINGHOOK_THREADS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);
+  ASSERT_EQ(unsetenv("PHISHINGHOOK_THREADS"), 0);
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);
+}
+
+TEST(ThreadPool, SetGlobalThreadsResizesGlobalPool) {
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().size(), 2u);
+  std::atomic<int> sum{0};
+  parallel_for(10, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 10);
+  ThreadPool::set_global_threads(0);  // back to the environment default
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace phishinghook::common
