@@ -9,6 +9,8 @@
 #include "evm/disassembler.hpp"
 #include "evm/interpreter.hpp"
 #include "evm/keccak.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "synth/contract_synthesizer.hpp"
 
 namespace {
@@ -110,6 +112,48 @@ void BM_SynthesizeBenignContract(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SynthesizeBenignContract);
+
+// --- telemetry overhead (DESIGN.md section 9 quotes these) ------------------
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Tracer::global().disable();
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Tracer::global().enable(1024);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter counter =
+      obs::MetricsRegistry::global().counter("bench_counter_total");
+  for (auto _ : state) {
+    counter.inc();
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::LatencyHistogram& histogram =
+      obs::MetricsRegistry::global().histogram("bench_histogram_us");
+  double v = 1.0;
+  for (auto _ : state) {
+    histogram.record(v);
+    v = v < 1e6 ? v * 1.1 : 1.0;
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
 
 }  // namespace
 

@@ -12,9 +12,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "common/timer.hpp"
 #include "ml/random_forest.hpp"
 #include "serve/artifact.hpp"
@@ -106,6 +108,14 @@ int main(int argc, char** argv) {
                   rate / single_thread_rate,
                   std::thread::hardware_concurrency());
     }
+
+    // Machine-readable exposition for CI: overwritten per config, so the
+    // file holds the final (8-worker) engine plus the process registry.
+    engine.shutdown();
+    std::ofstream exposition("BENCH_serve_metrics.prom");
+    engine.dump_prometheus(exposition);
+    obs::MetricsRegistry::global().write_prometheus(exposition);
   }
+  std::printf("\nmetrics exposition: BENCH_serve_metrics.prom\n");
   return 0;
 }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI driver: builds and tests the Release tree, the ASan/UBSan variant, and
 # a TSan variant running the threaded suites (the serving engine plus the
-# thread-pool-backed training paths). The Release leg also runs
-# bench_train_parallel and fails if its BENCH_train.json is missing or
-# malformed, so the perf trajectory stays machine-readable across PRs.
+# thread-pool-backed training paths and the telemetry layer). The Release
+# leg also runs bench_train_parallel (validating BENCH_train.json),
+# bench_serve_throughput (validating its Prometheus exposition), and
+# contract_scanner under PHISHINGHOOK_TRACE (validating the span trace), so
+# both the perf trajectory and the telemetry surface stay machine-readable
+# across PRs.
 #
 #   ./ci.sh            # all three variants
 #
@@ -55,15 +58,83 @@ PY
   fi
 }
 
+check_prometheus() {
+  local prom="$1"
+  echo "=== bench_serve_throughput: ${prom} ==="
+  if [[ ! -f "${prom}" ]]; then
+    echo "ci.sh: ${prom} missing" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${prom}" <<'PY'
+import re, sys
+line_re = re.compile(
+    r'^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|nan|inf)$')
+lines = [l.rstrip() for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty exposition"
+samples = 0
+for line in lines:
+    if line.startswith("# TYPE "):
+        continue
+    assert line_re.match(line), f"malformed exposition line: {line!r}"
+    samples += 1
+names = " ".join(lines)
+for required in ("serve_requests_completed", "serve_cache_hit_rate",
+                 "serve_request_latency_us", "threadpool_tasks_total"):
+    assert required in names, f"missing metric {required}"
+print(f"{sys.argv[1]} ok: {samples} samples")
+PY
+  else
+    grep -q '^serve_requests_completed' "${prom}" &&
+      grep -q 'serve_request_latency_us' "${prom}" ||
+      { echo "ci.sh: ${prom} malformed" >&2; exit 1; }
+  fi
+}
+
+check_trace() {
+  local trace="$1"
+  echo "=== contract_scanner: ${trace} ==="
+  if [[ ! -f "${trace}" ]]; then
+    echo "ci.sh: ${trace} missing" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${trace}" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty trace"
+for event in events:
+    for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+        assert key in event, f"missing {key}"
+    assert event["ph"] == "X", "expected complete events"
+names = {event["name"].split(":")[0] for event in events}
+for required in ("serve.batch", "features.transform_all", "model.predict"):
+    assert required in names, f"missing span {required} (have {sorted(names)})"
+print(f"{sys.argv[1]} ok: {len(events)} events, "
+      f"{len(names)} distinct spans")
+PY
+  else
+    grep -q '"traceEvents"' "${trace}" && grep -q 'serve.batch' "${trace}" ||
+      { echo "ci.sh: ${trace} malformed" >&2; exit 1; }
+  fi
+}
+
 run_variant release ""
 (cd build-ci-release && ./bench/bench_train_parallel)
 check_bench_json build-ci-release/BENCH_train.json
+(cd build-ci-release && ./bench/bench_serve_throughput 1)
+check_prometheus build-ci-release/BENCH_serve_metrics.prom
+(cd build-ci-release &&
+  PHISHINGHOOK_TRACE=scanner_trace.json ./examples/contract_scanner)
+check_trace build-ci-release/scanner_trace.json
 
 run_variant asan address
 
 # TSan cannot be combined with ASan, and slows everything ~10x, so it runs
 # only the suites with actual cross-thread state: the serving engine, the
-# thread-pool unit tests, and the pool-backed training determinism suite.
-run_variant tsan thread "-R test_serve|test_thread_pool|test_parallel_determinism"
+# thread-pool unit tests, the pool-backed training determinism suite, and
+# the telemetry layer itself.
+run_variant tsan thread "-R test_serve|test_thread_pool|test_parallel_determinism|test_obs"
 
 echo "=== ci.sh: all variants green ==="

@@ -17,20 +17,44 @@
 //      cache hit rate).
 //
 // Build & run:  ./build/examples/contract_scanner
+//   --metrics <path>   write the full Prometheus exposition (engine registry
+//                      + process-wide registry) after the scan
+//   --trace <path>     write a chrome://tracing span trace of the run
+//                      (equivalent to PHISHINGHOOK_TRACE=<path>)
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "common/timer.hpp"
 #include "core/experiment.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/artifact.hpp"
 #include "serve/scoring_engine.hpp"
 #include "synth/dataset_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phishinghook;
+
+  const char* metrics_path = nullptr;
+  const char* trace_path = nullptr;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
+      metrics_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_path = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: contract_scanner [--metrics <path>] "
+                   "[--trace <path>]\n");
+      return 2;
+    }
+  }
+  if (trace_path != nullptr) obs::Tracer::global().enable();
 
   // --- historical training data (months 2023-10 .. 2024-07) ----------------
   synth::DatasetConfig config;
@@ -130,6 +154,21 @@ int main() {
   std::ostringstream metrics;
   engine.dump_metrics(metrics);
   std::printf("%s", metrics.str().c_str());
+
+  // Quiesce the engine before exporting telemetry: worker threads must be
+  // joined so the trace rings and counters are final.
+  engine.shutdown();
+  if (metrics_path != nullptr) {
+    std::ofstream out(metrics_path);
+    engine.dump_prometheus(out);
+    obs::MetricsRegistry::global().write_prometheus(out);
+    std::printf("\nmetrics exposition written to %s\n", metrics_path);
+  }
+  if (trace_path != nullptr) {
+    obs::Tracer::global().write_to_file(trace_path);
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                trace_path);
+  }
   std::filesystem::remove(artifact_path);
   return 0;
 }

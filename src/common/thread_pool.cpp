@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -8,6 +9,8 @@
 
 #include "common/errors.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phishinghook::common {
 
@@ -16,6 +19,26 @@ namespace {
 // Set inside worker threads of any pool: nested regions run inline so a
 // worker never blocks waiting for pool capacity it is itself occupying.
 thread_local bool t_in_worker = false;
+
+// Pool-wide instruments on the global registry. Only the queued path
+// touches these: the inline fast path (serial pools, nested regions) runs
+// for every tree node during decision-tree fits and must stay free of
+// clock reads and atomic traffic.
+struct PoolInstruments {
+  obs::Counter regions = obs::MetricsRegistry::global().counter(
+      "threadpool_regions_total");
+  obs::Counter tasks = obs::MetricsRegistry::global().counter(
+      "threadpool_tasks_total");
+  obs::Gauge queue_depth =
+      obs::MetricsRegistry::global().gauge("threadpool_queue_depth");
+  obs::LatencyHistogram& task_us =
+      obs::MetricsRegistry::global().histogram("threadpool_task_us");
+};
+
+PoolInstruments& pool_instruments() {
+  static PoolInstruments instruments;
+  return instruments;
+}
 
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;
@@ -37,6 +60,10 @@ struct Region {
 
 ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
   if (threads == 0) throw InvalidArgument("ThreadPool needs >= 1 thread");
+  // Register the pool metrics up front so the exposition carries them (at
+  // zero) even when every region takes the inline fast path — e.g. a
+  // single-core host, where the queued path never runs.
+  pool_instruments();
   workers_.reserve(threads - 1);
   for (std::size_t i = 0; i + 1 < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -64,8 +91,16 @@ void ThreadPool::worker_loop() {
       if (jobs_.empty()) return;  // stopping and drained
       job = std::move(jobs_.front());
       jobs_.pop_front();
+      pool_instruments().queue_depth.set(static_cast<double>(jobs_.size()));
     }
+    PoolInstruments& instruments = pool_instruments();
+    const auto start = std::chrono::steady_clock::now();
     job();
+    instruments.task_us.record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    instruments.tasks.inc();
   }
 }
 
@@ -80,6 +115,9 @@ void ThreadPool::parallel_for_chunks(
   const std::size_t chunks = std::min(threads_, n);
   auto region = std::make_shared<Region>();
   region->pending = chunks - 1;
+
+  pool_instruments().regions.inc();
+  obs::ScopedSpan span("pool.region");
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -98,6 +136,7 @@ void ThreadPool::parallel_for_chunks(
         if (--region->pending == 0) region->done.notify_all();
       });
     }
+    pool_instruments().queue_depth.set(static_cast<double>(jobs_.size()));
   }
   cv_.notify_all();
 

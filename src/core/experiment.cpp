@@ -3,6 +3,8 @@
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phishinghook::core {
 
@@ -61,6 +63,15 @@ ModelEvaluation ExperimentHarness::evaluate(
   const std::vector<const Bytecode*> codes = codes_of(samples);
   const std::vector<int> labels = labels_of(samples);
 
+  obs::ScopedSpan evaluate_span("experiment.evaluate", spec.name.c_str());
+  // Per-model timing families on the process-wide registry; label
+  // registration happens once per model name, outside the trial loop.
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string model_label = obs::label("model", spec.name);
+  obs::LatencyHistogram& fit_ms = registry.histogram("train_fit_ms", model_label);
+  obs::LatencyHistogram& infer_ms = registry.histogram("infer_ms", model_label);
+  obs::Counter trials_total = registry.counter("experiment_trials_total");
+
   ModelEvaluation evaluation;
   evaluation.model = spec.name;
   evaluation.category = spec.category;
@@ -100,6 +111,7 @@ ModelEvaluation ExperimentHarness::evaluate(
           test_labels.push_back(labels[i]);
         }
 
+        obs::ScopedSpan trial_span("experiment.trial", spec.name.c_str());
         auto model = spec.make(trial_seeds[t]);
         common::Timer train_timer;
         model->fit(train_codes, train_labels);
@@ -108,6 +120,10 @@ ModelEvaluation ExperimentHarness::evaluate(
         common::Timer inference_timer;
         const std::vector<int> predictions = model->predict(test_codes);
         const double inference_seconds = inference_timer.seconds();
+
+        fit_ms.record(train_seconds * 1e3);
+        infer_ms.record(inference_seconds * 1e3);
+        trials_total.inc();
 
         TrialResult trial;
         trial.run = static_cast<int>(run);

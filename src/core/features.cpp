@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace phishinghook::core {
 
 // --- HistogramVocabulary -----------------------------------------------------
 
 void HistogramVocabulary::fit(const std::vector<const Bytecode*>& corpus) {
+  obs::ScopedSpan span("features.vocab_fit");
   mnemonics_.clear();
   index_.clear();
   const evm::Disassembler disassembler;
@@ -45,6 +48,7 @@ std::vector<double> HistogramVocabulary::transform(const Bytecode& code) const {
 
 ml::Matrix HistogramVocabulary::transform_all(
     const std::vector<const Bytecode*>& corpus) const {
+  obs::ScopedSpan span("features.transform_all");
   ml::Matrix out(corpus.size(), mnemonics_.size());
   for (std::size_t r = 0; r < corpus.size(); ++r) {
     const std::vector<double> counts = transform(*corpus[r]);
@@ -79,6 +83,7 @@ std::string operand_key_of(const evm::Instruction& ins) {
 }  // namespace
 
 void FrequencyEncoder::fit(const std::vector<const Bytecode*>& corpus) {
+  obs::ScopedSpan span("features.freq_fit");
   mnemonic_table_.clear();
   operand_table_.clear();
   gas_table_.clear();
@@ -150,6 +155,7 @@ std::uint32_t NgramTokenizer::gram_at(const Bytecode& code,
 }
 
 void NgramTokenizer::fit(const std::vector<const Bytecode*>& corpus) {
+  obs::ScopedSpan span("features.ngram_fit");
   std::map<std::uint32_t, std::size_t> counts;
   for (const Bytecode* code : corpus) {
     for (std::size_t offset = 0; offset < code->size(); offset += 3) {

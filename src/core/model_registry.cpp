@@ -2,6 +2,7 @@
 
 #include "common/errors.hpp"
 #include "ml/catboost.hpp"
+#include "obs/trace.hpp"
 #include "ml/gradient_boosting.hpp"
 #include "ml/knn.hpp"
 #include "ml/lightgbm.hpp"
@@ -41,12 +42,14 @@ HistogramAdapter::HistogramAdapter(std::unique_ptr<ml::TabularClassifier> model,
 
 void HistogramAdapter::fit(const std::vector<const Bytecode*>& codes,
                            const std::vector<int>& labels) {
+  obs::ScopedSpan span("model.fit", name_.c_str());
   vocabulary_.fit(codes);
   model_->fit(vocabulary_.transform_all(codes), labels);
 }
 
 std::vector<double> HistogramAdapter::predict_proba(
     const std::vector<const Bytecode*>& codes) {
+  obs::ScopedSpan span("model.predict", name_.c_str());
   return model_->predict_proba(vocabulary_.transform_all(codes));
 }
 
@@ -74,12 +77,14 @@ std::vector<ml::nn::Tensor> VisionAdapter::encode(
 
 void VisionAdapter::fit(const std::vector<const Bytecode*>& codes,
                         const std::vector<int>& labels) {
+  obs::ScopedSpan span("model.fit", name_.c_str());
   if (encoding_ == ImageEncoding::kFrequency) frequency_encoder_.fit(codes);
   model_->fit(encode(codes), labels);
 }
 
 std::vector<double> VisionAdapter::predict_proba(
     const std::vector<const Bytecode*>& codes) {
+  obs::ScopedSpan span("model.predict", name_.c_str());
   return model_->predict_proba(encode(codes));
 }
 
@@ -109,12 +114,14 @@ std::vector<TokenSequence> SequenceAdapter::tokenize(
 
 void SequenceAdapter::fit(const std::vector<const Bytecode*>& codes,
                           const std::vector<int>& labels) {
+  obs::ScopedSpan span("model.fit", name_.c_str());
   if (tokenization_ == Tokenization::kNgram) ngram_tokenizer_.fit(codes);
   model_->fit(tokenize(codes), labels);
 }
 
 std::vector<double> SequenceAdapter::predict_proba(
     const std::vector<const Bytecode*>& codes) {
+  obs::ScopedSpan span("model.predict", name_.c_str());
   return model_->predict_proba(tokenize(codes));
 }
 

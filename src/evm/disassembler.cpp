@@ -6,10 +6,27 @@
 
 #include "common/csv.hpp"
 #include "common/hex.hpp"
+#include "obs/metrics.hpp"
 
 namespace phishinghook::evm {
 
 namespace {
+
+// Decode-volume counters on the global registry; bumped once per
+// disassemble() call (three relaxed adds), not per instruction.
+struct DisasmInstruments {
+  obs::Counter calls = obs::MetricsRegistry::global().counter(
+      "evm_disassemblies_total");
+  obs::Counter bytes = obs::MetricsRegistry::global().counter(
+      "evm_disasm_bytes_total");
+  obs::Counter instructions = obs::MetricsRegistry::global().counter(
+      "evm_disasm_instructions_total");
+};
+
+DisasmInstruments& disasm_instruments() {
+  static DisasmInstruments instruments;
+  return instruments;
+}
 
 // Stable storage for UNKNOWN_0xXX mnemonics (256 possible).
 std::string_view unknown_mnemonic(std::uint8_t byte) {
@@ -114,6 +131,10 @@ Disassembly Disassembler::disassemble(const Bytecode& code) const {
     out.instructions.push_back(ins);
     ++pc;
   }
+  DisasmInstruments& instruments = disasm_instruments();
+  instruments.calls.inc();
+  instruments.bytes.inc(bytes.size());
+  instruments.instructions.inc(out.instructions.size());
   return out;
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phishinghook::ml {
 
@@ -15,9 +17,15 @@ namespace {
 Trial best_of(const HyperSearch& search, const ClassifierFactory& factory,
               const std::vector<ParamAssignment>& trials, const Matrix& x,
               const std::vector<int>& y, bool log_trials) {
+  obs::ScopedSpan search_span("hyper.search");
+  obs::Counter trials_total =
+      obs::MetricsRegistry::global().counter("hyper_trials_total");
   const std::vector<double> scores = common::parallel_map<double>(
       trials.size(), [&](std::size_t t) {
-        return search.evaluate(factory, trials[t], x, y);
+        obs::ScopedSpan trial_span("hyper.trial");
+        const double score = search.evaluate(factory, trials[t], x, y);
+        trials_total.inc();
+        return score;
       });
   Trial best;
   best.score = -1.0;

@@ -1,0 +1,241 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::obs {
+
+namespace detail {
+
+std::atomic<std::uint64_t>& null_counter_cell() {
+  static std::atomic<std::uint64_t> cell{0};
+  return cell;
+}
+
+std::atomic<double>& null_gauge_cell() {
+  static std::atomic<double> cell{0.0};
+  return cell;
+}
+
+}  // namespace detail
+
+std::string label(std::string_view key, std::string_view value) {
+  std::string out;
+  out.reserve(key.size() + value.size() + 3);
+  out.append(key);
+  out.append("=\"");
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    std::string_view name, std::string_view labels, Kind kind) {
+  // Caller holds mutex_.
+  for (const Entry& entry : entries_) {
+    if (entry.name == name && entry.labels == labels) {
+      if (entry.kind != kind) {
+        throw InvalidArgument("metric '" + std::string(name) +
+                              "' already registered with a different kind");
+      }
+      return entry;
+    }
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.labels = std::string(labels);
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.index = counters_.size();
+      counters_.emplace_back(0);
+      break;
+    case Kind::kGauge:
+      entry.index = gauges_.size();
+      gauges_.emplace_back(0.0);
+      break;
+    case Kind::kHistogram:
+      entry.index = histograms_.size();
+      histograms_.emplace_back();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Counter MetricsRegistry::counter(std::string_view name,
+                                 std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counter(&counters_[find_or_create(name, labels, Kind::kCounter).index]);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Gauge(&gauges_[find_or_create(name, labels, Kind::kGauge).index]);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name,
+                                             std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[find_or_create(name, labels, Kind::kHistogram).index];
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<const MetricsRegistry::Entry*> MetricsRegistry::sorted_entries()
+    const {
+  // Caller holds mutex_.
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& entry : entries_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    return a->name != b->name ? a->name < b->name : a->labels < b->labels;
+  });
+  return sorted;
+}
+
+namespace {
+
+/// `name{labels}` or `name{labels,extra}` with empties handled.
+std::string exposition_name(const std::string& name, const std::string& labels,
+                            const std::string& extra = "") {
+  std::string joined = labels;
+  if (!extra.empty()) {
+    if (!joined.empty()) joined += ',';
+    joined += extra;
+  }
+  return joined.empty() ? name : name + '{' + joined + '}';
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "summary";
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<const Entry*> sorted = sorted_entries();
+  const std::string* last_name = nullptr;
+  for (const Entry* entry : sorted) {
+    if (last_name == nullptr || *last_name != entry->name) {
+      out << "# TYPE " << entry->name << ' '
+          << kind_name(static_cast<int>(entry->kind)) << '\n';
+      last_name = &entry->name;
+    }
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out << exposition_name(entry->name, entry->labels) << ' '
+            << counters_[entry->index].load(std::memory_order_relaxed) << '\n';
+        break;
+      case Kind::kGauge:
+        out << exposition_name(entry->name, entry->labels) << ' '
+            << gauges_[entry->index].load(std::memory_order_relaxed) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const LatencyHistogram& h = histograms_[entry->index];
+        static constexpr std::pair<double, const char*> kQuantiles[] = {
+            {0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}};
+        for (const auto& [q, tag] : kQuantiles) {
+          out << exposition_name(entry->name, entry->labels,
+                                 std::string("quantile=\"") + tag + '"')
+              << ' ' << h.quantile(q) << '\n';
+        }
+        out << exposition_name(entry->name + "_sum", entry->labels) << ' '
+            << h.sum() << '\n';
+        out << exposition_name(entry->name + "_count", entry->labels) << ' '
+            << h.count() << '\n';
+        out << exposition_name(entry->name + "_max", entry->labels) << ' '
+            << h.max_value() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<const Entry*> sorted = sorted_entries();
+  const auto open_common = [&](const Entry* entry) {
+    out << "{\"name\":\"" << json_escape(entry->name) << "\",\"labels\":\""
+        << json_escape(entry->labels) << "\",";
+  };
+  out << '{';
+  for (int kind = 0; kind < 3; ++kind) {
+    if (kind > 0) out << ',';
+    out << '"' << (kind == 0 ? "counters" : kind == 1 ? "gauges" : "histograms")
+        << "\":[";
+    bool first = true;
+    for (const Entry* entry : sorted) {
+      if (static_cast<int>(entry->kind) != kind) continue;
+      if (!first) out << ',';
+      first = false;
+      open_common(entry);
+      switch (entry->kind) {
+        case Kind::kCounter:
+          out << "\"value\":"
+              << counters_[entry->index].load(std::memory_order_relaxed);
+          break;
+        case Kind::kGauge:
+          out << "\"value\":"
+              << gauges_[entry->index].load(std::memory_order_relaxed);
+          break;
+        case Kind::kHistogram: {
+          const LatencyHistogram& h = histograms_[entry->index];
+          out << "\"count\":" << h.count() << ",\"sum\":" << h.sum()
+              << ",\"p50\":" << h.quantile(0.5) << ",\"p95\":" << h.quantile(0.95)
+              << ",\"p99\":" << h.quantile(0.99) << ",\"max\":" << h.max_value();
+          break;
+        }
+      }
+      out << '}';
+    }
+    out << ']';
+  }
+  out << '}';
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instruments with static storage duration may still
+  // publish during process teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace phishinghook::obs

@@ -2,124 +2,64 @@
 // scoring engine, dumpable as plain text (a Prometheus-shaped exposition
 // without the dependency).
 //
-// Everything here is written from engine worker threads on the hot path,
-// so all state is std::atomic with relaxed ordering — readers get a
-// near-consistent snapshot, writers never serialize on a lock.
+// Backed by an obs::MetricsRegistry the engine owns privately, so every
+// engine's counts stay isolated (tests assert exact values) while still
+// getting the registry's full Prometheus/JSON exposition via
+// ScoringEngine::dump_prometheus(). The handles below are relaxed-atomic
+// pointer wrappers — hot-path writes never take a lock.
 #pragma once
 
-#include <algorithm>
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace phishinghook::serve {
 
-/// Fixed-bucket log-scale histogram for latencies in microseconds.
-///
-/// Buckets are half-open [2^i, 2^(i+1)) up to ~67s, which keeps recording
-/// to a handful of instructions and quantiles within a factor of two —
-/// plenty for p50/p95/p99 tail reporting.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 27;  // 2^26 us ~ 67 s cap
+// The serving layer's histograms all record microseconds.
+using obs::LatencyHistogram;
 
-  void record(double microseconds) {
-    const auto us = microseconds <= 0.0
-                        ? std::uint64_t{0}
-                        : static_cast<std::uint64_t>(microseconds);
-    buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_us_.fetch_add(us, std::memory_order_relaxed);
-    // Monotone max via CAS; contention here is rare (only on new maxima).
-    std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
-    while (us > seen &&
-           !max_us_.compare_exchange_weak(seen, us,
-                                          std::memory_order_relaxed)) {
-    }
-  }
-
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-
-  double mean_us() const {
-    const std::uint64_t n = count();
-    return n == 0 ? 0.0 : static_cast<double>(
-                              sum_us_.load(std::memory_order_relaxed)) /
-                              static_cast<double>(n);
-  }
-
-  double max_us() const {
-    return static_cast<double>(max_us_.load(std::memory_order_relaxed));
-  }
-
-  /// Upper bound (us) of the bucket containing quantile `q` in [0, 1],
-  /// clamped to the observed max so p50 can never read above it.
-  double quantile_us(double q) const {
-    const std::uint64_t n = count();
-    if (n == 0) return 0.0;
-    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-      seen += buckets_[b].load(std::memory_order_relaxed);
-      if (seen > rank) {
-        const auto upper = static_cast<double>(std::uint64_t{1} << (b + 1));
-        const double observed_max = max_us();
-        return observed_max > 0.0 ? std::min(upper, observed_max) : upper;
-      }
-    }
-    return max_us();
-  }
-
- private:
-  static std::size_t bucket_of(std::uint64_t us) {
-    std::size_t b = 0;
-    while (us > 1 && b + 1 < kBuckets) {
-      us >>= 1;
-      ++b;
-    }
-    return b;
-  }
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_us_{0};
-  std::atomic<std::uint64_t> max_us_{0};
-};
-
-/// Counters + histograms for one ScoringEngine instance.
+/// Counters + histograms for one ScoringEngine instance, registered on the
+/// engine's private registry.
 struct ServiceMetrics {
-  std::atomic<std::uint64_t> requests_submitted{0};
-  std::atomic<std::uint64_t> requests_completed{0};
-  std::atomic<std::uint64_t> empty_code_requests{0};  ///< EOAs / selfdestructs
-  std::atomic<std::uint64_t> batches{0};
-  std::atomic<std::uint64_t> batched_requests{0};  ///< sum of batch sizes
-  std::atomic<std::uint64_t> model_invocations{0};
-  std::atomic<std::uint64_t> model_rows{0};  ///< rows through predict_proba
+  obs::MetricsRegistry registry;
 
-  LatencyHistogram request_latency;  ///< submit -> future completed
-  LatencyHistogram batch_latency;    ///< one drain+score cycle
+  obs::Counter requests_submitted = registry.counter("serve_requests_submitted");
+  obs::Counter requests_completed = registry.counter("serve_requests_completed");
+  obs::Counter empty_code_requests =
+      registry.counter("serve_empty_code_requests");  ///< EOAs / selfdestructs
+  obs::Counter batches = registry.counter("serve_batches_total");
+  obs::Counter batched_requests =
+      registry.counter("serve_batched_requests_total");  ///< sum of batch sizes
+  obs::Counter model_invocations = registry.counter("serve_model_invocations");
+  obs::Counter model_rows =
+      registry.counter("serve_model_rows");  ///< rows through predict_proba
+
+  LatencyHistogram& request_latency =
+      registry.histogram("serve_request_latency_us");  ///< submit -> future done
+  LatencyHistogram& batch_latency =
+      registry.histogram("serve_batch_latency_us");  ///< one drain+score cycle
 
   double mean_batch_occupancy() const {
-    const std::uint64_t n = batches.load(std::memory_order_relaxed);
+    const std::uint64_t n = batches.value();
     return n == 0 ? 0.0
-                  : static_cast<double>(
-                        batched_requests.load(std::memory_order_relaxed)) /
+                  : static_cast<double>(batched_requests.value()) /
                         static_cast<double>(n);
   }
 
-  /// Plain-text exposition, one `name value` pair per line.
+  /// Plain-text exposition, one `name value` pair per line. The line set
+  /// and formatting are pinned by test_serve — extend via the registry's
+  /// write_prometheus instead of here.
   void dump(std::ostream& out, double cache_hit_rate) const {
-    const auto get = [](const std::atomic<std::uint64_t>& a) {
-      return a.load(std::memory_order_relaxed);
-    };
-    out << "serve_requests_submitted " << get(requests_submitted) << "\n"
-        << "serve_requests_completed " << get(requests_completed) << "\n"
-        << "serve_empty_code_requests " << get(empty_code_requests) << "\n"
-        << "serve_batches_total " << get(batches) << "\n"
+    out << "serve_requests_submitted " << requests_submitted.value() << "\n"
+        << "serve_requests_completed " << requests_completed.value() << "\n"
+        << "serve_empty_code_requests " << empty_code_requests.value() << "\n"
+        << "serve_batches_total " << batches.value() << "\n"
         << "serve_batch_occupancy_mean " << mean_batch_occupancy() << "\n"
-        << "serve_model_invocations " << get(model_invocations) << "\n"
-        << "serve_model_rows " << get(model_rows) << "\n"
+        << "serve_model_invocations " << model_invocations.value() << "\n"
+        << "serve_model_rows " << model_rows.value() << "\n"
         << "serve_cache_hit_rate " << cache_hit_rate << "\n"
         << "serve_request_latency_us_p50 " << request_latency.quantile_us(0.50)
         << "\n"

@@ -74,4 +74,16 @@ CacheStats ShardedScoreCache::stats() const {
   return out;
 }
 
+void ShardedScoreCache::export_metrics(obs::MetricsRegistry& registry) const {
+  const CacheStats snapshot = stats();
+  registry.gauge("serve_cache_hits").set(static_cast<double>(snapshot.hits));
+  registry.gauge("serve_cache_misses")
+      .set(static_cast<double>(snapshot.misses));
+  registry.gauge("serve_cache_evictions")
+      .set(static_cast<double>(snapshot.evictions));
+  registry.gauge("serve_cache_entries")
+      .set(static_cast<double>(snapshot.entries));
+  registry.gauge("serve_cache_hit_rate").set(snapshot.hit_rate());
+}
+
 }  // namespace phishinghook::serve

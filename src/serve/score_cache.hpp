@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "evm/keccak.hpp"
+#include "obs/metrics.hpp"
 
 namespace phishinghook::serve {
 
@@ -60,6 +61,11 @@ class ShardedScoreCache {
 
   /// Which shard a hash maps to (exposed for the sharding tests).
   std::size_t shard_index(const evm::Hash256& code_hash) const;
+
+  /// Publishes the stats() snapshot as serve_cache_* gauges on `registry`
+  /// (hits/misses/evictions/entries/hit_rate), for the engine's
+  /// Prometheus exposition.
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   struct Entry {

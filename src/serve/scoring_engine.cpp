@@ -6,6 +6,7 @@
 
 #include "common/errors.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace phishinghook::serve {
 
@@ -21,7 +22,6 @@ struct DigestHash {
   }
 };
 
-constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
 
 ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
@@ -55,7 +55,7 @@ std::future<ScoreResult> ScoringEngine::submit(const evm::Address& address) {
     queue_.push_back(std::move(request));
   }
   queue_cv_.notify_one();
-  metrics_.requests_submitted.fetch_add(1, kRelaxed);
+  metrics_.requests_submitted.inc();
   return future;
 }
 
@@ -121,8 +121,9 @@ std::vector<ScoringEngine::Request> ScoringEngine::next_batch() {
 }
 
 void ScoringEngine::process_batch(std::vector<Request> batch) {
-  metrics_.batches.fetch_add(1, kRelaxed);
-  metrics_.batched_requests.fetch_add(batch.size(), kRelaxed);
+  obs::ScopedSpan batch_span("serve.batch");
+  metrics_.batches.inc();
+  metrics_.batched_requests.inc(batch.size());
   common::ScopedTimer batch_timer(
       [this](double s) { metrics_.batch_latency.record(s * 1e6); });
 
@@ -140,12 +141,13 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
   std::unordered_map<evm::Hash256, std::size_t, DigestHash> miss_index;
   std::vector<const evm::Bytecode*> miss_codes;
   std::vector<std::vector<std::size_t>> miss_slots;
+  obs::ScopedSpan extract_span("serve.extract");
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Slot& slot = slots[i];
     slot.code = bem_.extract(batch[i].address).code;
     if (slot.code.empty()) {
       slot.empty = true;
-      metrics_.empty_code_requests.fetch_add(1, kRelaxed);
+      metrics_.empty_code_requests.inc();
       continue;
     }
     slot.hash = slot.code.code_hash();
@@ -162,18 +164,20 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
     }
     miss_slots[it->second].push_back(i);
   }
+  extract_span.end();
 
   if (!miss_codes.empty()) {
     std::vector<double> probabilities;
     try {
+      obs::ScopedSpan predict_span("serve.predict");
       probabilities = detector_->predict_proba(miss_codes);
     } catch (...) {
       const std::exception_ptr error = std::current_exception();
       for (Request& request : batch) request.promise.set_exception(error);
       return;
     }
-    metrics_.model_invocations.fetch_add(1, kRelaxed);
-    metrics_.model_rows.fetch_add(miss_codes.size(), kRelaxed);
+    metrics_.model_invocations.inc();
+    metrics_.model_rows.inc(miss_codes.size());
     for (std::size_t u = 0; u < miss_codes.size(); ++u) {
       cache_.put(miss_codes[u]->code_hash(), probabilities[u]);
       for (std::size_t slot_id : miss_slots[u]) {
@@ -191,7 +195,7 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
     result.empty_code = slots[i].empty;
     result.latency_us = batch[i].queued.seconds() * 1e6;
     metrics_.request_latency.record(result.latency_us);
-    metrics_.requests_completed.fetch_add(1, kRelaxed);
+    metrics_.requests_completed.inc();
     batch[i].promise.set_value(std::move(result));
   }
 }

@@ -87,6 +87,13 @@ class ScoringEngine {
     metrics_.dump(out, cache_.stats().hit_rate());
   }
 
+  /// Full Prometheus-style exposition of the engine's private registry
+  /// (ServiceMetrics counters/histograms plus a serve_cache_* snapshot).
+  void dump_prometheus(std::ostream& out) {
+    cache_.export_metrics(metrics_.registry);
+    metrics_.registry.write_prometheus(out);
+  }
+
  private:
   struct Request {
     evm::Address address;

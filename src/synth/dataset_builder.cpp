@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace phishinghook::synth {
 
@@ -36,6 +37,7 @@ DatasetBuilder::monthly_profile() {
 }
 
 BuiltDataset DatasetBuilder::build() const {
+  obs::ScopedSpan build_span("synth.build");
   common::Rng rng(config_.seed);
   const ContractSynthesizer synth(config_.synth);
 
@@ -57,6 +59,7 @@ BuiltDataset DatasetBuilder::build() const {
   std::map<Address, FamilyTag> family_of;
 
   // --- populate the chain, month by month ---------------------------------
+  obs::ScopedSpan populate_span("synth.populate");
   for (int m = 0; m < chain::Month::kCount; ++m) {
     const Month month{m};
     chain.advance_to(month);
@@ -133,7 +136,10 @@ BuiltDataset DatasetBuilder::build() const {
     }
   }
 
+  populate_span.end();
+
   // --- crawl + scrape + BEM + dedup (the paper's pipeline) -----------------
+  obs::ScopedSpan dedup_span("synth.dedup");
   const std::vector<Address> all =
       explorer.crawl(Month{0}, Month{chain::Month::kCount - 1});
 
@@ -159,8 +165,10 @@ BuiltDataset DatasetBuilder::build() const {
     bucket.emplace(key, std::move(sample));
   }
   out.unique_phishing = unique_phishing.size();
+  dedup_span.end();
 
   // --- balance & shuffle -------------------------------------------------
+  obs::ScopedSpan balance_span("synth.balance");
   std::vector<LabeledContract> phishing_samples;
   phishing_samples.reserve(unique_phishing.size());
   for (auto& [key, sample] : unique_phishing) {
@@ -182,10 +190,13 @@ BuiltDataset DatasetBuilder::build() const {
     out.samples.push_back(std::move(benign_samples[i]));
   }
   rng.shuffle(out.samples);
+  balance_span.end();
 
-  common::log_info("dataset: ", out.raw_phishing, " raw phishing -> ",
-                   out.unique_phishing, " unique; final balanced size ",
-                   out.samples.size());
+  common::log_event(
+      common::LogLevel::kInfo, "synth.build",
+      {{"raw_phishing", out.raw_phishing},
+       {"unique_phishing", out.unique_phishing},
+       {"final_size", out.samples.size()}});
   return out;
 }
 

@@ -1,0 +1,450 @@
+// Telemetry layer tests: metrics registry exactness under concurrency,
+// pinned histogram quantiles (the bucket-edge fix), Prometheus/JSON
+// exposition shape, tracer ring semantics, and the serve-stack trace
+// integration (spans from >= 3 subsystems in one engine run).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/logging.hpp"
+#include "ml/random_forest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/scoring_engine.hpp"
+#include "synth/dataset_builder.hpp"
+
+namespace phishinghook {
+namespace {
+
+// --- histogram quantiles (satellite 1: bucket-edge interpolation) -----------
+
+TEST(ObsHistogram, SingleSampleIsExactAtEveryQuantile) {
+  obs::LatencyHistogram histogram;
+  histogram.record(777.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 777.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 777.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 777.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 777.0);
+  EXPECT_DOUBLE_EQ(histogram.max_value(), 777.0);
+}
+
+TEST(ObsHistogram, SingleSmallSampleDoesNotReadBucketEdge) {
+  // Pre-fix behavior returned the bucket's upper edge (2.0 for a 0-valued
+  // sample); the interpolated quantile must report the sample itself.
+  obs::LatencyHistogram histogram;
+  histogram.record(0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  histogram.record(1.0);
+  EXPECT_LE(histogram.quantile(1.0), 1.0);
+}
+
+TEST(ObsHistogram, UniformBucketInterpolatesWithinClampedEdges) {
+  // Four identical samples of 100 land in bucket [64, 128); upper edge
+  // clamps to the observed max (100). k = floor(q*4):
+  //   q=0.5 -> k=2 -> 64 + (100-64) * 3/4 = 91.
+  obs::LatencyHistogram histogram;
+  for (int i = 0; i < 4; ++i) histogram.record(100.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 91.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 100.0);  // k=3 -> frac=1 -> max
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 73.0);   // k=0 -> 64 + 36/4
+}
+
+TEST(ObsHistogram, QuantilesNeverExceedObservedMax) {
+  obs::LatencyHistogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.record(100.0);
+  histogram.record(100000.0);
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_NEAR(histogram.mean(), 1099.0, 1.0);
+  EXPECT_LE(histogram.quantile(0.50), 128.0);
+  EXPECT_GE(histogram.quantile(0.995), 65536.0);
+  EXPECT_LE(histogram.quantile(0.995), 100000.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 100000.0);
+}
+
+TEST(ObsHistogram, EmptyHistogramReportsZero) {
+  obs::LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(ObsRegistry, ConcurrentIncrementsSumExactly) {
+  obs::MetricsRegistry registry;
+  obs::Counter counter = registry.counter("hits_total");
+  obs::LatencyHistogram& histogram = registry.histogram("lat_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &histogram] {
+      // Handles re-fetched per thread: same (name, labels) -> same cell.
+      obs::Counter mine = registry.counter("hits_total");
+      for (int i = 0; i < kPerThread; ++i) {
+        mine.inc();
+        histogram.record(static_cast<double>(i % 512));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, SameNameSameCellDifferentLabelsDifferentCells) {
+  obs::MetricsRegistry registry;
+  obs::Counter a = registry.counter("fit_total", obs::label("model", "RF"));
+  obs::Counter a2 = registry.counter("fit_total", obs::label("model", "RF"));
+  obs::Counter b = registry.counter("fit_total", obs::label("model", "SVM"));
+  a.inc(3);
+  a2.inc(2);
+  b.inc(7);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry registry;
+  registry.counter("x_total");
+  EXPECT_THROW(registry.gauge("x_total"), InvalidArgument);
+  EXPECT_THROW(registry.histogram("x_total"), InvalidArgument);
+}
+
+TEST(ObsRegistry, DefaultConstructedHandlesAreSafeNoops) {
+  obs::Counter counter;
+  obs::Gauge gauge;
+  counter.inc();
+  gauge.set(4.0);
+  EXPECT_GE(counter.value(), 1u);  // null cell, shared; just must not crash
+}
+
+TEST(ObsRegistry, PrometheusExpositionShape) {
+  obs::MetricsRegistry registry;
+  registry.counter("b_total", obs::label("model", "Random Forest")).inc(4);
+  registry.gauge("a_depth").set(2.5);
+  registry.histogram("c_ms").record(10.0);
+
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE a_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("a_depth 2.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_total counter"), std::string::npos);
+  EXPECT_NE(text.find("b_total{model=\"Random Forest\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE c_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("c_ms{quantile=\"0.5\"} 10"), std::string::npos);
+  EXPECT_NE(text.find("c_ms_count 1"), std::string::npos);
+  // Sorted by name: a before b before c.
+  EXPECT_LT(text.find("a_depth"), text.find("b_total"));
+  EXPECT_LT(text.find("b_total"), text.find("c_ms"));
+}
+
+TEST(ObsRegistry, JsonDumpParsesAndRoundTripsValues) {
+  obs::MetricsRegistry registry;
+  registry.counter("hits_total").inc(12);
+  registry.gauge("depth").set(3.0);
+  registry.histogram("lat_us").record(50.0);
+  std::ostringstream out;
+  registry.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\":[{\"name\":\"hits_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":[{\"name\":\"lat_us\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":50"), std::string::npos);
+}
+
+TEST(ObsRegistry, LabelEscapesQuotesAndBackslashes) {
+  EXPECT_EQ(obs::label("k", "a\"b\\c"), "k=\"a\\\"b\\\\c\"");
+}
+
+// --- tracer ------------------------------------------------------------------
+
+/// Minimal parser for the writer's own output: extracts (name, ts, dur)
+/// triples without a JSON dependency.
+std::vector<std::pair<std::string, std::pair<double, double>>> parse_events(
+    const std::string& json) {
+  std::vector<std::pair<std::string, std::pair<double, double>>> out;
+  std::size_t at = 0;
+  while ((at = json.find("{\"name\":\"", at)) != std::string::npos) {
+    const std::size_t name_begin = at + 9;
+    const std::size_t name_end = json.find('"', name_begin);
+    const std::size_t ts_at = json.find("\"ts\":", name_end) + 5;
+    const std::size_t dur_at = json.find("\"dur\":", name_end) + 6;
+    out.emplace_back(
+        json.substr(name_begin, name_end - name_begin),
+        std::make_pair(std::strtod(json.c_str() + ts_at, nullptr),
+                       std::strtod(json.c_str() + dur_at, nullptr)));
+    at = name_end;
+  }
+  return out;
+}
+
+TEST(ObsTracer, NestedSpansRecordContainment) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(256);
+  {
+    obs::ScopedSpan outer(tracer, "outer");
+    { obs::ScopedSpan inner(tracer, "inner", "detail"); }
+  }
+  tracer.disable();
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const auto events = parse_events(out.str());
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it sorts and nests inside outer.
+  std::map<std::string, std::pair<double, double>> by_name(events.begin(),
+                                                           events.end());
+  ASSERT_TRUE(by_name.contains("outer"));
+  ASSERT_TRUE(by_name.contains("inner:detail"));
+  const auto [outer_ts, outer_dur] = by_name["outer"];
+  const auto [inner_ts, inner_dur] = by_name["inner:detail"];
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur + 1e-6);
+  tracer.clear();
+}
+
+TEST(ObsTracer, RingOverflowDropsOldestAndCounts) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(8);  // tiny ring
+  for (int i = 0; i < 20; ++i) {
+    obs::ScopedSpan span(tracer, i < 12 ? "old" : "new");
+  }
+  tracer.disable();
+  EXPECT_EQ(tracer.events_buffered(), 8u);
+  EXPECT_EQ(tracer.events_dropped(), 12u);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const auto events = parse_events(out.str());
+  ASSERT_EQ(events.size(), 8u);
+  for (const auto& [name, tsdur] : events) {
+    EXPECT_EQ(name, "new");  // the 8 newest survive; the oldest 12 dropped
+  }
+  tracer.clear();
+}
+
+TEST(ObsTracer, DisabledSpansRecordNothing) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(64);
+  tracer.clear();
+  tracer.disable();
+  { obs::ScopedSpan span(tracer, "ghost"); }
+  EXPECT_EQ(tracer.events_buffered(), 0u);
+}
+
+TEST(ObsTracer, LongNamesTruncateSafely) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(16);
+  const std::string long_name(200, 'x');
+  { obs::ScopedSpan span(tracer, long_name.c_str(), "detail"); }
+  tracer.disable();
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const auto events = parse_events(out.str());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first.size(), obs::Tracer::kMaxNameLength);
+  tracer.clear();
+}
+
+TEST(ObsTracer, ExplicitEndStopsTheClock) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(16);
+  {
+    obs::ScopedSpan span(tracer, "stage");
+    span.end();
+    span.end();  // idempotent
+  }
+  tracer.disable();
+  EXPECT_EQ(tracer.events_buffered(), 1u);
+  tracer.clear();
+}
+
+// --- structured logging ------------------------------------------------------
+
+std::vector<std::string>& captured_lines() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+
+void capture_writer(const std::string& line) {
+  captured_lines().push_back(line);
+}
+
+class ObsLoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    captured_lines().clear();
+    common::set_log_writer(&capture_writer);
+    common::set_log_level(common::LogLevel::kDebug);
+  }
+  void TearDown() override {
+    common::set_log_writer(nullptr);
+    common::set_log_format(common::LogFormat::kText);
+    common::set_log_level(common::LogLevel::kInfo);
+  }
+};
+
+TEST_F(ObsLoggingTest, JsonLinesHaveTimestampLevelThreadAndFields) {
+  common::set_log_format(common::LogFormat::kJson);
+  common::log_event(common::LogLevel::kInfo, "synth.build",
+                    {{"rows", 1200}, {"balanced", true}, {"name", "fig2"}});
+  ASSERT_EQ(captured_lines().size(), 1u);
+  const std::string& line = captured_lines()[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"ts\":\""), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"thread\":"), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"synth.build\""), std::string::npos);
+  EXPECT_NE(line.find("\"rows\":1200"), std::string::npos);       // unquoted
+  EXPECT_NE(line.find("\"balanced\":true"), std::string::npos);   // bare bool
+  EXPECT_NE(line.find("\"name\":\"fig2\""), std::string::npos);   // quoted
+}
+
+TEST_F(ObsLoggingTest, JsonModeWrapsPlainMessages) {
+  common::set_log_format(common::LogFormat::kJson);
+  common::log_info("hello \"world\"");
+  ASSERT_EQ(captured_lines().size(), 1u);
+  EXPECT_NE(captured_lines()[0].find("\"msg\":\"hello \\\"world\\\"\""),
+            std::string::npos);
+}
+
+TEST_F(ObsLoggingTest, TextModeRendersKeyValuePairs) {
+  common::log_event(common::LogLevel::kWarn, "cache.evict",
+                    {{"shard", 3}, {"entries", 128}});
+  ASSERT_EQ(captured_lines().size(), 1u);
+  EXPECT_EQ(captured_lines()[0],
+            "[phook WARN ] cache.evict shard=3 entries=128");
+}
+
+TEST_F(ObsLoggingTest, EventsBelowLevelAreSuppressed) {
+  common::set_log_level(common::LogLevel::kError);
+  common::log_event(common::LogLevel::kInfo, "quiet", {});
+  EXPECT_TRUE(captured_lines().empty());
+}
+
+TEST(ObsLoggingEnv, NewPrefixWinsOverLegacy) {
+  setenv("PHOOK_LOG", "error", 1);
+  setenv("PHISHINGHOOK_LOG", "debug", 1);
+  common::refresh_log_from_env();
+  EXPECT_EQ(common::log_level(), common::LogLevel::kDebug);
+
+  unsetenv("PHISHINGHOOK_LOG");
+  common::refresh_log_from_env();
+  EXPECT_EQ(common::log_level(), common::LogLevel::kError);
+
+  unsetenv("PHOOK_LOG");
+  setenv("PHOOK_LOG_FORMAT", "json", 1);
+  common::refresh_log_from_env();
+  EXPECT_EQ(common::log_format(), common::LogFormat::kJson);
+  unsetenv("PHOOK_LOG_FORMAT");
+  common::refresh_log_from_env();
+  EXPECT_EQ(common::log_level(), common::LogLevel::kInfo);
+  EXPECT_EQ(common::log_format(), common::LogFormat::kText);
+}
+
+// --- serve-stack integration -------------------------------------------------
+
+TEST(ObsIntegration, EngineRunProducesSpansFromThreeSubsystems) {
+  synth::DatasetConfig config;
+  config.target_size = 60;
+  config.seed = 5;
+  const synth::BuiltDataset data = synth::DatasetBuilder(config).build();
+
+  std::vector<const evm::Bytecode*> codes;
+  std::vector<int> labels;
+  std::vector<evm::Address> addresses;
+  for (const synth::LabeledContract& sample : data.samples) {
+    codes.push_back(&sample.code);
+    labels.push_back(sample.phishing ? 1 : 0);
+    addresses.push_back(sample.address);
+  }
+  ml::RandomForestConfig forest;
+  forest.n_trees = 5;
+  forest.seed = 1;
+  core::HistogramAdapter detector(
+      std::make_unique<ml::RandomForestClassifier>(forest), "Random Forest");
+  detector.fit(codes, labels);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(4096);
+  {
+    serve::EngineConfig engine_config;
+    engine_config.workers = 2;
+    engine_config.max_batch = 8;
+    serve::ScoringEngine engine(*data.explorer, detector, engine_config);
+    engine.score_all(addresses);
+  }  // destructor joins the workers: rings quiesced before export
+  tracer.disable();
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const auto events = parse_events(out.str());
+  ASSERT_FALSE(events.empty());
+  std::map<std::string, int> span_counts;
+  for (const auto& [name, tsdur] : events) {
+    span_counts[name.substr(0, name.find(':'))] += 1;
+  }
+  EXPECT_GT(span_counts["serve.batch"], 0);            // serving layer
+  EXPECT_GT(span_counts["serve.predict"], 0);
+  EXPECT_GT(span_counts["features.transform_all"], 0);  // feature pipeline
+  EXPECT_GT(span_counts["model.predict"], 0);           // model layer
+  tracer.clear();
+}
+
+TEST(ObsIntegration, EnginePrometheusExpositionIncludesCacheCounters) {
+  synth::DatasetConfig config;
+  config.target_size = 40;
+  config.seed = 6;
+  const synth::BuiltDataset data = synth::DatasetBuilder(config).build();
+  std::vector<const evm::Bytecode*> codes;
+  std::vector<int> labels;
+  std::vector<evm::Address> addresses;
+  for (const synth::LabeledContract& sample : data.samples) {
+    codes.push_back(&sample.code);
+    labels.push_back(sample.phishing ? 1 : 0);
+    addresses.push_back(sample.address);
+  }
+  ml::RandomForestConfig forest;
+  forest.n_trees = 3;
+  core::HistogramAdapter detector(
+      std::make_unique<ml::RandomForestClassifier>(forest), "Random Forest");
+  detector.fit(codes, labels);
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = 1;
+  serve::ScoringEngine engine(*data.explorer, detector, engine_config);
+  engine.score_all(addresses);
+  engine.score_all(addresses);  // warm pass: cache hits
+  engine.shutdown();
+
+  std::ostringstream out;
+  engine.dump_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE serve_requests_completed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_cache_hits "), std::string::npos);
+  EXPECT_NE(text.find("serve_cache_hit_rate "), std::string::npos);
+  EXPECT_NE(text.find("serve_request_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  // Two engines never share counts: a fresh engine's registry starts clean.
+  serve::ScoringEngine fresh(*data.explorer, detector, engine_config);
+  EXPECT_EQ(fresh.metrics().requests_completed.value(), 0u);
+}
+
+}  // namespace
+}  // namespace phishinghook

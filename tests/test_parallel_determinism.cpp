@@ -20,6 +20,7 @@
 #include "ml/knn.hpp"
 #include "ml/lightgbm.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/trace.hpp"
 
 namespace phishinghook::ml {
 namespace {
@@ -94,6 +95,31 @@ TEST_F(ParallelDeterminism, RandomForestFitAndProbaBitIdentical) {
   const auto parallel = at_threads(4, run);
   expect_identical(serial.first, parallel.first);
   EXPECT_EQ(serial.second, parallel.second);  // fitted parameters, bytewise
+}
+
+TEST_F(ParallelDeterminism, TelemetryOnKeepsBitIdentical) {
+  // Telemetry is observation only: with the tracer actively buffering
+  // spans, fit + predict must stay bit-identical across thread counts.
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(4096);
+  const Dataset data = make_dataset(240, 8, 101);
+  RandomForestConfig config;
+  config.n_trees = 16;
+  config.max_depth = 8;
+  config.seed = 7;
+  const auto run = [&] {
+    RandomForestClassifier model(config);
+    model.fit(data.x, data.y);
+    std::ostringstream bytes;
+    model.save(bytes);
+    return std::make_pair(model.predict_proba(data.x), bytes.str());
+  };
+  const auto serial = at_threads(1, run);
+  const auto parallel = at_threads(4, run);
+  tracer.disable();
+  tracer.clear();
+  expect_identical(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
 }
 
 TEST_F(ParallelDeterminism, GradientBoostingBitIdentical) {

@@ -238,10 +238,10 @@ TEST(Metrics, HistogramQuantilesBracketRecordedValues) {
 
 TEST(Metrics, DumpContainsCountersAndOccupancy) {
   serve::ServiceMetrics metrics;
-  metrics.requests_submitted = 10;
-  metrics.requests_completed = 10;
-  metrics.batches = 2;
-  metrics.batched_requests = 10;
+  metrics.requests_submitted.inc(10);
+  metrics.requests_completed.inc(10);
+  metrics.batches.inc(2);
+  metrics.batched_requests.inc(10);
   metrics.request_latency.record(50.0);
   EXPECT_DOUBLE_EQ(metrics.mean_batch_occupancy(), 5.0);
 
@@ -251,6 +251,35 @@ TEST(Metrics, DumpContainsCountersAndOccupancy) {
   EXPECT_NE(text.find("serve_requests_completed 10"), std::string::npos);
   EXPECT_NE(text.find("serve_batch_occupancy_mean 5"), std::string::npos);
   EXPECT_NE(text.find("serve_cache_hit_rate 0.75"), std::string::npos);
+}
+
+TEST(Metrics, DumpFormatIsByteStable) {
+  // The dump() exposition is a public text interface (scrapers parse it);
+  // this pins every line and the ostream double formatting exactly.
+  serve::ServiceMetrics metrics;
+  metrics.requests_submitted.inc(10);
+  metrics.requests_completed.inc(10);
+  metrics.batches.inc(2);
+  metrics.batched_requests.inc(10);
+  metrics.request_latency.record(50.0);  // single sample: every quantile 50
+
+  std::ostringstream out;
+  metrics.dump(out, 0.75);
+  EXPECT_EQ(out.str(),
+            "serve_requests_submitted 10\n"
+            "serve_requests_completed 10\n"
+            "serve_empty_code_requests 0\n"
+            "serve_batches_total 2\n"
+            "serve_batch_occupancy_mean 5\n"
+            "serve_model_invocations 0\n"
+            "serve_model_rows 0\n"
+            "serve_cache_hit_rate 0.75\n"
+            "serve_request_latency_us_p50 50\n"
+            "serve_request_latency_us_p95 50\n"
+            "serve_request_latency_us_p99 50\n"
+            "serve_request_latency_us_max 50\n"
+            "serve_batch_latency_us_p50 0\n"
+            "serve_batch_latency_us_p99 0\n");
 }
 
 TEST(Metrics, ScopedTimerFeedsSink) {
@@ -364,7 +393,7 @@ TEST_F(ScoringEngineTest, MultiProducerMultiWorkerMatchesSingleThreaded) {
   // must be carrying most of the load.
   const serve::CacheStats stats = engine.cache_stats();
   EXPECT_GT(stats.hits, stats.misses);
-  EXPECT_EQ(engine.metrics().requests_completed.load(),
+  EXPECT_EQ(engine.metrics().requests_completed.value(),
             static_cast<std::uint64_t>(kProducers) * addresses_.size());
 }
 
@@ -393,7 +422,7 @@ TEST_F(ScoringEngineTest, EmptyCodeIsScoredZeroNotCrashed) {
   EXPECT_TRUE(result.empty_code);
   EXPECT_EQ(result.probability, 0.0);
   EXPECT_FALSE(result.flagged);
-  EXPECT_EQ(engine.metrics().empty_code_requests.load(), 1u);
+  EXPECT_EQ(engine.metrics().empty_code_requests.value(), 1u);
 }
 
 TEST_F(ScoringEngineTest, SubmitAfterShutdownThrows) {
@@ -416,7 +445,7 @@ TEST_F(ScoringEngineTest, MetricsDumpAfterTraffic) {
   std::ostringstream out;
   engine.dump_metrics(out);
   EXPECT_NE(out.str().find("serve_request_latency_us_p95"), std::string::npos);
-  EXPECT_GT(engine.metrics().batches.load(), 0u);
+  EXPECT_GT(engine.metrics().batches.value(), 0u);
   EXPECT_GT(engine.metrics().mean_batch_occupancy(), 0.0);
   EXPECT_GT(engine.cache_stats().hit_rate(), 0.4);
 }
