@@ -8,14 +8,23 @@
 // warm passes measure the steady state a monitor would live in (Fig. 2's
 // ~5x duplication makes hits the common case).
 //
-// Usage: bench_serve_throughput [passes-per-config]
+// A fault-mix mode measures the same engine under a hostile upstream: with
+// --faults <rate>, eth_getCode throws at <rate> and returns empty code at
+// <rate>/2 through a seeded FaultInjectingExplorer, and the table gains
+// failed/shed/retry columns. Throughput under chaos is the number that
+// matters for the paper's real deployment: a production monitor lives on a
+// flaky node, not a clean one.
+//
+// Usage: bench_serve_throughput [passes-per-config] [--faults <rate>]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "chain/fault_injection.hpp"
 #include "obs/metrics.hpp"
 #include "common/timer.hpp"
 #include "ml/random_forest.hpp"
@@ -27,7 +36,15 @@ int main(int argc, char** argv) {
 
   bench::print_banner("Serving throughput (online scoring engine)",
                       "deployment scenario of §IV-F; not a paper figure");
-  const int passes = argc > 1 ? std::atoi(argv[1]) : 3;
+  int passes = 3;
+  double fault_rate = 0.0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--faults") == 0 && a + 1 < argc) {
+      fault_rate = std::atof(argv[++a]);
+    } else {
+      passes = std::atoi(argv[a]);
+    }
+  }
 
   // --- train once, persist, load the artifact ------------------------------
   const synth::BuiltDataset data = bench::build_bench_dataset();
@@ -63,8 +80,25 @@ int main(int argc, char** argv) {
     stream.push_back(sample.address);
   }
 
-  std::printf("%8s %10s %12s %10s %10s %10s %8s\n", "workers", "requests",
-              "contracts/s", "p50(us)", "p95(us)", "p99(us)", "hit%");
+  // Fault-mix mode: the engine reads through a seeded chaos decorator, so
+  // every pass exercises the per-slot isolation and retry path.
+  std::unique_ptr<chain::FaultInjectingExplorer> chaos;
+  if (fault_rate > 0.0) {
+    chain::FaultConfig faults;
+    faults.throw_rate = fault_rate;
+    faults.empty_rate = fault_rate / 2.0;
+    faults.seed = 99;
+    chaos = std::make_unique<chain::FaultInjectingExplorer>(*data.explorer,
+                                                            faults);
+    std::printf("fault mix: throw %.0f%%, empty %.0f%% (seeded, replayable)\n",
+                100.0 * faults.throw_rate, 100.0 * faults.empty_rate);
+  }
+  const chain::Explorer& upstream =
+      chaos ? static_cast<const chain::Explorer&>(*chaos) : *data.explorer;
+
+  std::printf("%8s %10s %12s %10s %10s %10s %8s %8s %8s\n", "workers",
+              "requests", "contracts/s", "p50(us)", "p95(us)", "p99(us)",
+              "hit%", "failed", "retries");
   double single_thread_rate = 0.0;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4},
                                     std::size_t{8}}) {
@@ -72,7 +106,9 @@ int main(int argc, char** argv) {
     config.workers = workers;
     config.max_batch = 32;
     config.max_wait_us = 100;
-    serve::ScoringEngine engine(*data.explorer, *detector, config);
+    config.extract_retry.base_delay_us = 10;
+    config.extract_retry.max_delay_us = 500;
+    serve::ScoringEngine engine(upstream, *detector, config);
 
     engine.score_all(stream);  // cold pass: fills the cache, not timed
 
@@ -98,10 +134,25 @@ int main(int argc, char** argv) {
     if (workers == 1) single_thread_rate = rate;
 
     const auto& latency = engine.metrics().request_latency;
-    std::printf("%8zu %10zu %12.0f %10.0f %10.0f %10.0f %7.1f%%\n", workers,
-                completed, rate, latency.quantile_us(0.50),
+    std::printf("%8zu %10zu %12.0f %10.0f %10.0f %10.0f %7.1f%% %8ju %8ju\n",
+                workers, completed, rate, latency.quantile_us(0.50),
                 latency.quantile_us(0.95), latency.quantile_us(0.99),
-                100.0 * engine.cache_stats().hit_rate());
+                100.0 * engine.cache_stats().hit_rate(),
+                static_cast<std::uintmax_t>(
+                    engine.metrics().requests_failed.value()),
+                static_cast<std::uintmax_t>(engine.metrics().retries.value()));
+
+    // The accounting invariant holds in every mode; in fault-mix mode it is
+    // the whole point of the bench, so fail loudly if it breaks.
+    const auto& m = engine.metrics();
+    if (m.requests_completed.value() + m.requests_failed.value() +
+            m.requests_shed.value() !=
+        m.requests_submitted.value()) {
+      std::fprintf(stderr,
+                   "accounting violation: completed+failed+shed != "
+                   "submitted\n");
+      return 1;
+    }
     if (workers == 8 && single_thread_rate > 0.0) {
       std::printf("\nspeedup at 8 workers vs 1: %.2fx "
                   "(hardware concurrency: %u)\n",

@@ -4,9 +4,11 @@
 # thread-pool-backed training paths and the telemetry layer). The Release
 # leg also runs bench_train_parallel (validating BENCH_train.json),
 # bench_serve_throughput (validating its Prometheus exposition), and
-# contract_scanner under PHISHINGHOOK_TRACE (validating the span trace), so
-# both the perf trajectory and the telemetry surface stay machine-readable
-# across PRs.
+# contract_scanner under PHISHINGHOOK_TRACE (validating the span trace), and
+# a chaos smoke (contract_scanner against a 10% fault-injecting explorer,
+# checking that every request resolves to a definite status), so the perf
+# trajectory, the telemetry surface, and the fault-isolation contract all
+# stay machine-checked across PRs.
 #
 #   ./ci.sh            # all three variants
 #
@@ -120,6 +122,22 @@ PY
   fi
 }
 
+check_chaos_smoke() {
+  local out="$1"
+  echo "=== contract_scanner: chaos smoke (10% faults) ==="
+  if ! grep -q '^status counts: ok=' "${out}"; then
+    echo "ci.sh: chaos smoke missing per-status counts" >&2
+    exit 1
+  fi
+  if ! grep -q '^chaos accounting: .* OK$' "${out}"; then
+    echo "ci.sh: chaos accounting violated (completed+failed+shed != submitted)" >&2
+    grep '^chaos accounting:' "${out}" >&2 || true
+    exit 1
+  fi
+  grep '^status counts:' "${out}"
+  grep '^chaos accounting:' "${out}"
+}
+
 run_variant release ""
 (cd build-ci-release && ./bench/bench_train_parallel)
 check_bench_json build-ci-release/BENCH_train.json
@@ -128,13 +146,19 @@ check_prometheus build-ci-release/BENCH_serve_metrics.prom
 (cd build-ci-release &&
   PHISHINGHOOK_TRACE=scanner_trace.json ./examples/contract_scanner)
 check_trace build-ci-release/scanner_trace.json
+# Chaos smoke: the scanner against a 10% fault-injecting explorer must exit
+# 0 (no aborted workers, no lost futures) and report per-status counts that
+# account for every submission.
+(cd build-ci-release && ./examples/contract_scanner --chaos 0.10 \
+  | tee chaos_smoke.out >/dev/null)
+check_chaos_smoke build-ci-release/chaos_smoke.out
 
 run_variant asan address
 
 # TSan cannot be combined with ASan, and slows everything ~10x, so it runs
-# only the suites with actual cross-thread state: the serving engine, the
-# thread-pool unit tests, the pool-backed training determinism suite, and
-# the telemetry layer itself.
-run_variant tsan thread "-R test_serve|test_thread_pool|test_parallel_determinism|test_obs"
+# only the suites with actual cross-thread state: the serving engine, its
+# chaos/fault-injection suite, the thread-pool unit tests, the pool-backed
+# training determinism suite, and the telemetry layer itself.
+run_variant tsan thread "-R test_serve|test_serve_faults|test_thread_pool|test_parallel_determinism|test_obs"
 
 echo "=== ci.sh: all variants green ==="

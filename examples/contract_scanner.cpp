@@ -21,13 +21,24 @@
 //                      + process-wide registry) after the scan
 //   --trace <path>     write a chrome://tracing span trace of the run
 //                      (equivalent to PHISHINGHOOK_TRACE=<path>)
+//   --chaos <rate>     interpose a FaultInjectingExplorer on the scan:
+//                      eth_getCode throws at <rate>, returns empty code at
+//                      <rate>/2, stalls at <rate>/4. The scan must still
+//                      complete with every request accounted for
+//                      (completed + failed + shed == submitted); the ci.sh
+//                      chaos smoke step runs this at 10% and checks the
+//                      per-status summary.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 
+#include "chain/fault_injection.hpp"
 #include "common/timer.hpp"
 #include "core/experiment.hpp"
 #include "ml/random_forest.hpp"
@@ -42,15 +53,18 @@ int main(int argc, char** argv) {
 
   const char* metrics_path = nullptr;
   const char* trace_path = nullptr;
+  double chaos_rate = 0.0;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
       metrics_path = argv[++a];
     } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
       trace_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--chaos") == 0 && a + 1 < argc) {
+      chaos_rate = std::atof(argv[++a]);
     } else {
       std::fprintf(stderr,
                    "usage: contract_scanner [--metrics <path>] "
-                   "[--trace <path>]\n");
+                   "[--trace <path>] [--chaos <rate>]\n");
       return 2;
     }
   }
@@ -101,10 +115,30 @@ int main(int argc, char** argv) {
     if (sample.month.index > 9) fresh.push_back(&sample);
   }
 
+  // Under --chaos the engine reads through a fault-injecting decorator, the
+  // same hostile-upstream shape the chaos test suite drives.
+  std::unique_ptr<chain::FaultInjectingExplorer> chaos;
+  if (chaos_rate > 0.0) {
+    chain::FaultConfig faults;
+    faults.throw_rate = chaos_rate;
+    faults.empty_rate = chaos_rate / 2.0;
+    faults.latency_rate = chaos_rate / 4.0;
+    faults.latency_us = 500;
+    faults.seed = 1337;
+    chaos = std::make_unique<chain::FaultInjectingExplorer>(*history.explorer,
+                                                            faults);
+    std::printf("chaos mode: eth_getCode throws at %.0f%%, empty at %.0f%%, "
+                "stalls at %.0f%%\n",
+                100.0 * faults.throw_rate, 100.0 * faults.empty_rate,
+                100.0 * faults.latency_rate);
+  }
+  const chain::Explorer& upstream =
+      chaos ? static_cast<const chain::Explorer&>(*chaos) : *history.explorer;
+
   serve::EngineConfig engine_config;
   engine_config.workers = 4;
   engine_config.max_batch = 16;
-  serve::ScoringEngine engine(*history.explorer, *detector, engine_config);
+  serve::ScoringEngine engine(upstream, *detector, engine_config);
 
   std::printf("scanning fresh deployments (2024-08..2024-10) on %zu workers, "
               "%d producers:\n",
@@ -128,12 +162,14 @@ int main(int argc, char** argv) {
   const double scan_ms = scan_timer.milliseconds();
 
   std::size_t scanned = 0, flagged = 0, missed = 0, false_alarms = 0;
+  std::map<serve::ScoreStatus, std::size_t> by_status;
   for (int p = 0; p < 2; ++p) {
     for (std::size_t r = 0; r < halves[p].size(); ++r) {
       const serve::ScoreResult& result = halves[p][r];
       const synth::LabeledContract& sample =
           *fresh[static_cast<std::size_t>(p) + 2 * r];
       ++scanned;
+      ++by_status[result.status];
       if (result.flagged && sample.phishing) ++flagged;
       if (!result.flagged && sample.phishing) ++missed;
       if (result.flagged && !sample.phishing) ++false_alarms;
@@ -150,6 +186,33 @@ int main(int argc, char** argv) {
   std::printf("  phishing caught:  %zu\n", flagged);
   std::printf("  phishing missed:  %zu\n", missed);
   std::printf("  false alarms:     %zu\n", false_alarms);
+
+  // Per-status breakdown + the fault-isolation accounting invariant. Under
+  // --chaos this is the contract CI enforces: every submission resolves to
+  // exactly one terminal status, no matter how hostile the upstream was.
+  std::printf("status counts:");
+  for (const serve::ScoreStatus status :
+       {serve::ScoreStatus::kOk, serve::ScoreStatus::kEmptyCode,
+        serve::ScoreStatus::kExtractError, serve::ScoreStatus::kModelError,
+        serve::ScoreStatus::kShed}) {
+    std::printf(" %s=%zu", serve::to_string(status), by_status[status]);
+  }
+  std::printf("\n");
+  const serve::ServiceMetrics& service = engine.metrics();
+  const std::uint64_t submitted = service.requests_submitted.value();
+  const std::uint64_t accounted = service.requests_completed.value() +
+                                  service.requests_failed.value() +
+                                  service.requests_shed.value();
+  std::printf("chaos accounting: submitted=%ju completed=%ju failed=%ju "
+              "shed=%ju retries=%ju %s\n",
+              static_cast<std::uintmax_t>(submitted),
+              static_cast<std::uintmax_t>(service.requests_completed.value()),
+              static_cast<std::uintmax_t>(service.requests_failed.value()),
+              static_cast<std::uintmax_t>(service.requests_shed.value()),
+              static_cast<std::uintmax_t>(service.retries.value()),
+              accounted == submitted ? "OK" : "MISMATCH");
+  if (accounted != submitted) return 1;
+
   std::printf("\nservice metrics (wallet signing budget: seconds):\n");
   std::ostringstream metrics;
   engine.dump_metrics(metrics);

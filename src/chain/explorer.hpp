@@ -28,29 +28,39 @@ enum class ContractFlag {
   kPhishHack,  ///< the "Phish/Hack" label used for the positive class
 };
 
+/// The read path (eth_get_code / get_code / flag_of / crawl) is virtual so
+/// decorators — FaultInjectingExplorer in fault_injection.hpp is the one
+/// shipped here — can interpose on exactly what a flaky upstream node would
+/// degrade, while consumers (the BEM, the scoring engine) stay written
+/// against plain `const Explorer&`. The label *write* path stays
+/// non-virtual: decorators wrap a corpus that is already populated.
 class Explorer {
  public:
   explicit Explorer(const ChainStore& chain) : chain_(&chain) {}
+  virtual ~Explorer() = default;
 
   /// JSON-RPC eth_getCode: the deployed bytecode as "0x..." hex.
   /// Unknown accounts return "0x" like a real node.
-  std::string eth_get_code(const Address& address) const;
+  virtual std::string eth_get_code(const Address& address) const;
 
   /// The same, decoded — the BEM's working form.
-  Bytecode get_code(const Address& address) const;
+  virtual Bytecode get_code(const Address& address) const;
 
   /// Label-service write path (exercised by corpus generation).
   void flag(const Address& address, ContractFlag flag);
 
   /// Label-service read path (the scrape).
-  ContractFlag flag_of(const Address& address) const;
+  virtual ContractFlag flag_of(const Address& address) const;
   bool is_flagged_phishing(const Address& address) const;
 
   /// Crawl: all contract addresses deployed in [from, to] months — the raw
   /// unlabeled hash list of the paper's data-gathering phase.
-  std::vector<Address> crawl(Month from, Month to) const;
+  virtual std::vector<Address> crawl(Month from, Month to) const;
 
-  std::size_t flagged_count() const { return phishing_.size(); }
+  virtual std::size_t flagged_count() const { return phishing_.size(); }
+
+  /// The chain this explorer fronts (decorators re-anchor on it).
+  const ChainStore& chain() const { return *chain_; }
 
  private:
   const ChainStore* chain_;

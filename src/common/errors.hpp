@@ -42,4 +42,13 @@ class StateError : public Error {
   explicit StateError(const std::string& what) : Error("state error: " + what) {}
 };
 
+/// A fault that may clear on its own (upstream hiccup, rate limit, timeout).
+/// Retry layers (common::RetryPolicy) treat this — and only this — category
+/// as retryable; every other Error is assumed permanent.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what)
+      : Error("transient error: " + what) {}
+};
+
 }  // namespace phishinghook

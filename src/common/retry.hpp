@@ -1,0 +1,78 @@
+// Bounded retry with exponential backoff and deterministic seeded jitter.
+//
+// The serving path talks to an upstream (the explorer's eth_getCode) that
+// can fail transiently under load; a bounded retry turns most of those
+// blips into latency instead of errors. Two properties matter here and
+// drive the shape of this type:
+//
+//   * Only `TransientError` is retried. Permanent faults (parse errors,
+//     missing state, logic bugs) must surface immediately, not after
+//     max_attempts * backoff of wasted wall clock.
+//   * Backoff jitter is *deterministic*: a splitmix64 draw keyed on
+//     (seed, salt, attempt) rather than a global RNG or the clock. Two
+//     runs with the same seeds produce byte-identical schedules, which is
+//     what lets the chaos suite assert 1-thread vs 4-thread equivalence.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace phishinghook::common {
+
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retry entirely.
+  std::size_t max_attempts = 3;
+  /// Backoff before retry k (k = 1-based) is
+  /// base_delay_us * multiplier^(k-1), capped at max_delay_us, then scaled
+  /// by a deterministic jitter factor in [1 - jitter, 1].
+  std::uint64_t base_delay_us = 100;
+  double multiplier = 2.0;
+  std::uint64_t max_delay_us = 10'000;
+  double jitter = 0.5;
+  /// Seed for the jitter draw; combined with the per-call `salt` so
+  /// distinct callers (e.g. distinct addresses) decorrelate.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+  /// Backoff before retry number `retry` (1-based) for stream `salt`.
+  /// Pure function of (policy, retry, salt) — no clock, no global state.
+  std::uint64_t delay_us(std::size_t retry, std::uint64_t salt) const {
+    double backoff = static_cast<double>(base_delay_us);
+    for (std::size_t k = 1; k < retry; ++k) backoff *= multiplier;
+    backoff = std::min(backoff, static_cast<double>(max_delay_us));
+    std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                          (static_cast<std::uint64_t>(retry) *
+                           0xbf58476d1ce4e5b9ULL);
+    const double unit =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    const double factor = 1.0 - jitter * unit;
+    return static_cast<std::uint64_t>(backoff * factor);
+  }
+
+  /// Runs `fn`, retrying on TransientError up to max_attempts total tries
+  /// with the backoff schedule above; `on_retry` fires once per retry
+  /// (metrics hook). The last TransientError is rethrown when attempts are
+  /// exhausted; non-transient exceptions propagate immediately.
+  template <typename Fn, typename OnRetry>
+  auto run(Fn&& fn, std::uint64_t salt, OnRetry&& on_retry) const
+      -> decltype(fn()) {
+    const std::size_t attempts = std::max<std::size_t>(1, max_attempts);
+    for (std::size_t attempt = 1;; ++attempt) {
+      try {
+        return fn();
+      } catch (const TransientError&) {
+        if (attempt >= attempts) throw;
+        on_retry();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(delay_us(attempt, salt)));
+      }
+    }
+  }
+};
+
+}  // namespace phishinghook::common

@@ -28,6 +28,14 @@ struct ServiceMetrics {
 
   obs::Counter requests_submitted = registry.counter("serve_requests_submitted");
   obs::Counter requests_completed = registry.counter("serve_requests_completed");
+  obs::Counter requests_failed =
+      registry.counter("serve_requests_failed");  ///< extract/model errors
+  obs::Counter requests_shed =
+      registry.counter("serve_requests_shed");  ///< queue-full + deadline
+  obs::Counter retries =
+      registry.counter("serve_retries");  ///< transient extract retries
+  obs::Gauge queue_depth =
+      registry.gauge("serve_queue_depth");  ///< admitted, not yet batched
   obs::Counter empty_code_requests =
       registry.counter("serve_empty_code_requests");  ///< EOAs / selfdestructs
   obs::Counter batches = registry.counter("serve_batches_total");
@@ -55,6 +63,9 @@ struct ServiceMetrics {
   void dump(std::ostream& out, double cache_hit_rate) const {
     out << "serve_requests_submitted " << requests_submitted.value() << "\n"
         << "serve_requests_completed " << requests_completed.value() << "\n"
+        << "serve_requests_failed " << requests_failed.value() << "\n"
+        << "serve_requests_shed " << requests_shed.value() << "\n"
+        << "serve_retries " << retries.value() << "\n"
         << "serve_empty_code_requests " << empty_code_requests.value() << "\n"
         << "serve_batches_total " << batches.value() << "\n"
         << "serve_batch_occupancy_mean " << mean_batch_occupancy() << "\n"

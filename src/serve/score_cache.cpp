@@ -10,15 +10,24 @@ namespace phishinghook::serve {
 ShardedScoreCache::ShardedScoreCache(std::size_t capacity, std::size_t shards) {
   if (capacity == 0) throw InvalidArgument("score cache capacity must be > 0");
   if (shards == 0) throw InvalidArgument("score cache needs >= 1 shard");
-  const std::size_t n = std::bit_ceil(shards);
+  std::size_t n = std::bit_ceil(shards);
+  // Fewer entries than shards: shrink the shard count (still a power of
+  // two) so every shard holds at least one entry and none holds zero.
+  if (n > capacity) n = std::bit_floor(capacity);
   shards_ = std::vector<Shard>(n);
   shard_mask_ = n - 1;
-  per_shard_capacity_ = std::max<std::size_t>(1, capacity / n);
+  // Floor division alone under-provisions (capacity=100 over 8 shards would
+  // give 96 entries); hand the remainder out one entry at a time so the
+  // shard capacities sum to exactly the requested budget.
+  const std::size_t base = capacity / n;
+  const std::size_t remainder = capacity % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i].capacity = base + (i < remainder ? 1 : 0);
+  }
+  capacity_ = capacity;
 }
 
-std::size_t ShardedScoreCache::capacity() const {
-  return per_shard_capacity_ * shards_.size();
-}
+std::size_t ShardedScoreCache::capacity() const { return capacity_; }
 
 std::size_t ShardedScoreCache::shard_index(
     const evm::Hash256& code_hash) const {
@@ -53,7 +62,7 @@ void ShardedScoreCache::put(const evm::Hash256& code_hash, double probability) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
+  if (shard.lru.size() >= shard.capacity) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;

@@ -36,9 +36,14 @@ struct CacheStats {
 
 class ShardedScoreCache {
  public:
-  /// `capacity` is the total entry budget, split evenly across `shards`
-  /// (each shard holds at least one entry). `shards` is rounded up to a
-  /// power of two so shard selection is a mask.
+  /// `capacity` is the total entry budget. `shards` is rounded up to a
+  /// power of two so shard selection is a mask — and rounded back *down*
+  /// (still a power of two) when it exceeds `capacity`, so no shard ends
+  /// up with zero entries. The budget is split as evenly as the shard
+  /// count allows, with the remainder distributed one entry at a time;
+  /// the per-shard capacities always sum to exactly `capacity` (i.e.
+  /// capacity() reports the requested budget, never a floored
+  /// approximation of it).
   explicit ShardedScoreCache(std::size_t capacity, std::size_t shards = 16);
 
   ShardedScoreCache(const ShardedScoreCache&) = delete;
@@ -89,13 +94,14 @@ class ShardedScoreCache {
     mutable std::mutex mutex;
     LruList lru;  // front = most recent
     std::unordered_map<evm::Hash256, LruList::iterator, KeyHash> index;
+    std::size_t capacity = 0;  ///< this shard's slice of the entry budget
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
   };
 
   std::vector<Shard> shards_;
-  std::size_t per_shard_capacity_;
+  std::size_t capacity_;
   std::size_t shard_mask_;
 };
 

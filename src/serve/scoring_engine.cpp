@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <functional>
 #include <unordered_map>
 
 #include "common/errors.hpp"
@@ -24,6 +26,17 @@ struct DigestHash {
 
 }  // namespace
 
+const char* to_string(ScoreStatus status) {
+  switch (status) {
+    case ScoreStatus::kOk: return "ok";
+    case ScoreStatus::kEmptyCode: return "empty_code";
+    case ScoreStatus::kExtractError: return "extract_error";
+    case ScoreStatus::kModelError: return "model_error";
+    case ScoreStatus::kShed: return "shed";
+  }
+  return "unknown";
+}
+
 ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
                              core::PhishingClassifier& detector,
                              EngineConfig config)
@@ -45,17 +58,54 @@ ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
 
 ScoringEngine::~ScoringEngine() { shutdown(); }
 
+void ScoringEngine::deliver(Request& request, ScoreResult result) {
+  result.address = request.address;
+  result.latency_us = request.queued.seconds() * 1e6;
+  // Every terminal outcome records latency — failed and shed requests held
+  // capacity too, and hiding them would flatter the percentiles.
+  metrics_.request_latency.record(result.latency_us);
+  switch (result.status) {
+    case ScoreStatus::kOk:
+    case ScoreStatus::kEmptyCode:
+      metrics_.requests_completed.inc();
+      break;
+    case ScoreStatus::kExtractError:
+    case ScoreStatus::kModelError:
+      metrics_.requests_failed.inc();
+      break;
+    case ScoreStatus::kShed:
+      metrics_.requests_shed.inc();
+      break;
+  }
+  request.promise.set_value(std::move(result));
+}
+
 std::future<ScoreResult> ScoringEngine::submit(const evm::Address& address) {
   Request request;
   request.address = address;
   std::future<ScoreResult> future = request.promise.get_future();
+  bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw StateError("ScoringEngine::submit after shutdown");
-    queue_.push_back(std::move(request));
+    if (config_.max_queue == 0 || queue_.size() < config_.max_queue) {
+      queue_.push_back(std::move(request));
+      metrics_.queue_depth.set(static_cast<double>(queue_.size()));
+      admitted = true;
+    }
   }
-  queue_cv_.notify_one();
   metrics_.requests_submitted.inc();
+  if (admitted) {
+    queue_cv_.notify_one();
+  } else {
+    // Reject-on-full: resolve right here instead of letting the queue grow
+    // without bound — the caller learns immediately and can back off.
+    ScoreResult shed;
+    shed.status = ScoreStatus::kShed;
+    shed.error = "queue full (max_queue=" +
+                 std::to_string(config_.max_queue) + ")";
+    deliver(request, std::move(shed));
+  }
   return future;
 }
 
@@ -66,10 +116,20 @@ std::vector<ScoreResult> ScoringEngine::score_all(
   for (const evm::Address& address : addresses) {
     futures.push_back(submit(address));
   }
+  // Collect everything: a single bad future must not abandon the results
+  // (and the worker-side promises) of the requests after it.
   std::vector<ScoreResult> results;
   results.reserve(futures.size());
-  for (std::future<ScoreResult>& future : futures) {
-    results.push_back(future.get());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      results.push_back(futures[i].get());
+    } catch (const std::exception& e) {
+      ScoreResult lost;
+      lost.address = addresses[i];
+      lost.status = ScoreStatus::kShed;
+      lost.error = std::string("result unavailable: ") + e.what();
+      results.push_back(std::move(lost));
+    }
   }
   return results;
 }
@@ -116,14 +176,42 @@ std::vector<ScoringEngine::Request> ScoringEngine::next_batch() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    metrics_.queue_depth.set(static_cast<double>(queue_.size()));
     return batch;
   }
 }
 
+evm::Bytecode ScoringEngine::extract_code(const evm::Address& address) {
+  return config_.extract_retry.run(
+      [&] { return bem_.extract(address).code; },
+      /*salt=*/static_cast<std::uint64_t>(std::hash<evm::Address>{}(address)),
+      [this] { metrics_.retries.inc(); });
+}
+
 void ScoringEngine::process_batch(std::vector<Request> batch) {
   obs::ScopedSpan batch_span("serve.batch");
+
+  // Deadline shedding first: a request that already blew its budget gets no
+  // extract or model work, and does not count toward batch occupancy.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    if (config_.deadline_us != 0 &&
+        request.queued.seconds() * 1e6 > static_cast<double>(
+                                             config_.deadline_us)) {
+      ScoreResult shed;
+      shed.status = ScoreStatus::kShed;
+      shed.error = "deadline exceeded (deadline_us=" +
+                   std::to_string(config_.deadline_us) + ")";
+      deliver(request, std::move(shed));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
   metrics_.batches.inc();
-  metrics_.batched_requests.inc(batch.size());
+  metrics_.batched_requests.inc(live.size());
   common::ScopedTimer batch_timer(
       [this](double s) { metrics_.batch_latency.record(s * 1e6); });
 
@@ -131,22 +219,35 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
     evm::Bytecode code;
     evm::Hash256 hash{};
     double probability = 0.0;
+    ScoreStatus status = ScoreStatus::kOk;
+    std::string error;
     bool cache_hit = false;
-    bool empty = false;
   };
-  std::vector<Slot> slots(batch.size());
+  std::vector<Slot> slots(live.size());
 
   // Pull bytecode, probe the cache, and collapse duplicate code hashes so
-  // each unique miss costs exactly one model row.
+  // each unique miss costs exactly one model row. Extraction is per-slot
+  // fault-isolated: one hostile address fails its own slot, never the
+  // batch, never the worker.
   std::unordered_map<evm::Hash256, std::size_t, DigestHash> miss_index;
   std::vector<const evm::Bytecode*> miss_codes;
   std::vector<std::vector<std::size_t>> miss_slots;
   obs::ScopedSpan extract_span("serve.extract");
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  for (std::size_t i = 0; i < live.size(); ++i) {
     Slot& slot = slots[i];
-    slot.code = bem_.extract(batch[i].address).code;
+    try {
+      slot.code = extract_code(live[i].address);
+    } catch (const std::exception& e) {
+      slot.status = ScoreStatus::kExtractError;
+      slot.error = e.what();
+      continue;
+    } catch (...) {
+      slot.status = ScoreStatus::kExtractError;
+      slot.error = "unknown extract error";
+      continue;
+    }
     if (slot.code.empty()) {
-      slot.empty = true;
+      slot.status = ScoreStatus::kEmptyCode;
       metrics_.empty_code_requests.inc();
       continue;
     }
@@ -168,35 +269,51 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
 
   if (!miss_codes.empty()) {
     std::vector<double> probabilities;
+    std::string model_error;
     try {
       obs::ScopedSpan predict_span("serve.predict");
       probabilities = detector_->predict_proba(miss_codes);
+    } catch (const std::exception& e) {
+      model_error = e.what();
     } catch (...) {
-      const std::exception_ptr error = std::current_exception();
-      for (Request& request : batch) request.promise.set_exception(error);
-      return;
+      model_error = "unknown model error";
     }
-    metrics_.model_invocations.inc();
-    metrics_.model_rows.inc(miss_codes.size());
-    for (std::size_t u = 0; u < miss_codes.size(); ++u) {
-      cache_.put(miss_codes[u]->code_hash(), probabilities[u]);
-      for (std::size_t slot_id : miss_slots[u]) {
-        slots[slot_id].probability = probabilities[u];
+    if (probabilities.size() == miss_codes.size()) {
+      metrics_.model_invocations.inc();
+      metrics_.model_rows.inc(miss_codes.size());
+      for (std::size_t u = 0; u < miss_codes.size(); ++u) {
+        cache_.put(miss_codes[u]->code_hash(), probabilities[u]);
+        for (std::size_t slot_id : miss_slots[u]) {
+          slots[slot_id].probability = probabilities[u];
+        }
+      }
+    } else {
+      // Model failure poisons only the slots that needed the model; cache
+      // hits and empty-code slots in this batch still deliver below.
+      if (model_error.empty()) {
+        model_error = "predict_proba returned " +
+                      std::to_string(probabilities.size()) + " rows for " +
+                      std::to_string(miss_codes.size()) + " codes";
+      }
+      for (const std::vector<std::size_t>& group : miss_slots) {
+        for (std::size_t slot_id : group) {
+          slots[slot_id].status = ScoreStatus::kModelError;
+          slots[slot_id].error = model_error;
+        }
       }
     }
   }
 
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  for (std::size_t i = 0; i < live.size(); ++i) {
     ScoreResult result;
-    result.address = batch[i].address;
-    result.probability = slots[i].probability;
-    result.flagged = result.probability >= 0.5;
+    result.status = slots[i].status;
     result.cache_hit = slots[i].cache_hit;
-    result.empty_code = slots[i].empty;
-    result.latency_us = batch[i].queued.seconds() * 1e6;
-    metrics_.request_latency.record(result.latency_us);
-    metrics_.requests_completed.inc();
-    batch[i].promise.set_value(std::move(result));
+    result.error = std::move(slots[i].error);
+    if (slots[i].status == ScoreStatus::kOk) {
+      result.probability = slots[i].probability;
+      result.flagged = result.probability >= 0.5;
+    }
+    deliver(live[i], std::move(result));
   }
 }
 

@@ -5,8 +5,9 @@
 // seconds. The engine accepts addresses on any number of producer threads,
 // queues them, and has a worker pool drain the queue in micro-batches:
 //
-//   submit(addr) -> [queue] -> worker: BEM eth_getCode -> code hash
-//                                        -> score cache? hit: done
+//   submit(addr) -> [bounded queue] -> worker: shed expired deadlines
+//                                        -> BEM eth_getCode (retried)
+//                                        -> code hash -> score cache?
 //                                        -> one predict_proba per batch
 //                                        -> cache fill -> future completed
 //
@@ -15,6 +16,19 @@
 // and because duplicate code hashes inside a batch collapse to a single
 // model row. `max_wait_us` bounds how long the first request of a batch
 // waits for company, keeping tail latency within the signing budget.
+//
+// Fault isolation contract: the inputs are adversarial and the upstream is
+// unreliable, so *no request outcome is an exception*. Every future
+// resolves with a ScoreResult carrying a definite ScoreStatus; a throwing
+// extract is confined to its slot (after RetryPolicy-governed retries of
+// transient faults), a throwing predict_proba fails only the slots that
+// actually needed the model — cache hits and empty-code slots in the same
+// batch still deliver their valid results. Overload is handled by
+// admission control (`max_queue`, reject-on-full) and per-request
+// deadlines (`deadline_us`, expired requests shed before batching), both
+// reported through the kShed status rather than silent drops:
+// requests_completed + requests_failed + requests_shed always equals
+// requests_submitted once the queue drains.
 //
 // Thread-safety contract: the detector passed in must have a read-only,
 // concurrently callable predict_proba (true for HistogramAdapter — fitted
@@ -26,9 +40,11 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/timer.hpp"
 #include "core/bem.hpp"
 #include "core/model_registry.hpp"
@@ -46,16 +62,47 @@ struct EngineConfig {
   std::uint64_t max_wait_us = 200;
   std::size_t cache_capacity = 1 << 16;
   std::size_t cache_shards = 16;
+  /// Admission control: maximum queued (not yet batched) requests.
+  /// 0 = unbounded. A submit against a full queue resolves immediately
+  /// with ScoreStatus::kShed instead of queueing.
+  std::size_t max_queue = 0;
+  /// Per-request deadline measured from submit(); 0 = none. Requests still
+  /// queued past their deadline are shed (kShed) before any extract or
+  /// model work is spent on them.
+  std::uint64_t deadline_us = 0;
+  /// Retry schedule for *transient* extract faults
+  /// (common::TransientError); permanent faults fail the slot immediately.
+  common::RetryPolicy extract_retry;
 };
+
+/// Definite outcome of a scoring request. Futures returned by submit()
+/// always resolve with one of these — never with an exception.
+enum class ScoreStatus {
+  kOk,            ///< scored (model or cache)
+  kEmptyCode,     ///< EOA / destroyed contract (scored as 0)
+  kExtractError,  ///< eth_getCode failed after retries
+  kModelError,    ///< predict_proba threw for this slot's batch
+  kShed,          ///< dropped by admission control or deadline
+};
+
+/// Stable lowercase label for expositions and CLI summaries.
+const char* to_string(ScoreStatus status);
 
 /// One completed scoring request.
 struct ScoreResult {
   evm::Address address;
-  double probability = 0.0;   ///< P(phishing)
+  ScoreStatus status = ScoreStatus::kOk;
+  double probability = 0.0;   ///< P(phishing); 0 unless status == kOk
   bool flagged = false;       ///< probability >= 0.5
   bool cache_hit = false;     ///< served from the score cache
-  bool empty_code = false;    ///< EOA / destroyed contract (scored as 0)
+  std::string error;          ///< diagnostic, empty when ok/empty_code
   double latency_us = 0.0;    ///< submit -> completion
+
+  /// The request produced a usable score (kOk or the deliberate 0.0 of
+  /// kEmptyCode).
+  bool ok() const {
+    return status == ScoreStatus::kOk || status == ScoreStatus::kEmptyCode;
+  }
 };
 
 class ScoringEngine {
@@ -70,11 +117,16 @@ class ScoringEngine {
   ScoringEngine(const ScoringEngine&) = delete;
   ScoringEngine& operator=(const ScoringEngine&) = delete;
 
-  /// Enqueues one address; the future completes when a worker scores it.
-  /// Callable from any thread. Throws StateError after shutdown() began.
+  /// Enqueues one address; the future completes when a worker scores it
+  /// (or immediately, with kShed, when the queue is full). Callable from
+  /// any thread. Throws StateError after shutdown() began — the only
+  /// exception this API surfaces.
   std::future<ScoreResult> submit(const evm::Address& address);
 
-  /// Convenience: submit + wait for a whole address list.
+  /// Convenience: submit + wait for a whole address list. Never throws out
+  /// of the collection loop — a future that cannot deliver (e.g. its
+  /// promise was abandoned) yields a kShed result for that address while
+  /// every other in-flight result is still collected.
   std::vector<ScoreResult> score_all(const std::vector<evm::Address>& addresses);
 
   /// Stops accepting work, finishes what is queued, joins workers.
@@ -106,6 +158,15 @@ class ScoringEngine {
   /// Returns an empty batch only when stopping.
   std::vector<Request> next_batch();
   void process_batch(std::vector<Request> batch);
+
+  /// eth_getCode through the BEM with the configured transient-fault
+  /// retry schedule.
+  evm::Bytecode extract_code(const evm::Address& address);
+
+  /// Completes one request: stamps address + latency, records the latency
+  /// histogram and the completed/failed/shed counter for the status, and
+  /// fulfills the promise.
+  void deliver(Request& request, ScoreResult result);
 
   core::BytecodeExtractionModule bem_;
   core::PhishingClassifier* detector_;

@@ -205,9 +205,29 @@ TEST(ScoreCache, ShardingSpreadsKeysAndIsolatesCapacity) {
   // Rounds shard counts up to a power of two.
   serve::ShardedScoreCache odd(30, 3);
   EXPECT_EQ(odd.shard_count(), 4u);
+  EXPECT_EQ(odd.capacity(), 30u);  // 8+8+7+7, not 4*7
 
   EXPECT_THROW(serve::ShardedScoreCache(0, 1), InvalidArgument);
   EXPECT_THROW(serve::ShardedScoreCache(8, 0), InvalidArgument);
+}
+
+TEST(ScoreCache, CapacityMatchesRequestedBudgetExactly) {
+  // Regression: bit_ceil(6)=8 shards with floor division used to report 96
+  // entries for a 100-entry budget. The remainder now spreads across
+  // shards so the requested budget is provisioned exactly.
+  serve::ShardedScoreCache cache(100, 6);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_EQ(cache.capacity(), 100u);
+
+  // Fewer entries than shards: the shard count shrinks (power of two) so
+  // no shard holds a zero budget.
+  serve::ShardedScoreCache tiny(5, 8);
+  EXPECT_EQ(tiny.shard_count(), 4u);
+  EXPECT_EQ(tiny.capacity(), 5u);
+
+  serve::ShardedScoreCache one(1, 16);
+  EXPECT_EQ(one.shard_count(), 1u);
+  EXPECT_EQ(one.capacity(), 1u);
 }
 
 TEST(ScoreCache, CountsHitsAndMisses) {
@@ -268,6 +288,9 @@ TEST(Metrics, DumpFormatIsByteStable) {
   EXPECT_EQ(out.str(),
             "serve_requests_submitted 10\n"
             "serve_requests_completed 10\n"
+            "serve_requests_failed 0\n"
+            "serve_requests_shed 0\n"
+            "serve_retries 0\n"
             "serve_empty_code_requests 0\n"
             "serve_batches_total 2\n"
             "serve_batch_occupancy_mean 5\n"
@@ -419,7 +442,8 @@ TEST_F(ScoringEngineTest, EmptyCodeIsScoredZeroNotCrashed) {
       engine.submit(evm::Address::from_hex(
                         "0x00000000000000000000000000000000000000ff"))
           .get();
-  EXPECT_TRUE(result.empty_code);
+  EXPECT_EQ(result.status, serve::ScoreStatus::kEmptyCode);
+  EXPECT_TRUE(result.ok());
   EXPECT_EQ(result.probability, 0.0);
   EXPECT_FALSE(result.flagged);
   EXPECT_EQ(engine.metrics().empty_code_requests.value(), 1u);
