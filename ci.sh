@@ -3,12 +3,16 @@
 # a TSan variant running the threaded suites (the serving engine plus the
 # thread-pool-backed training paths and the telemetry layer). The Release
 # leg also runs bench_train_parallel (validating BENCH_train.json),
-# bench_serve_throughput (validating its Prometheus exposition), and
-# contract_scanner under PHISHINGHOOK_TRACE (validating the span trace), and
-# a chaos smoke (contract_scanner against a 10% fault-injecting explorer,
-# checking that every request resolves to a definite status), so the perf
-# trajectory, the telemetry surface, and the fault-isolation contract all
-# stay machine-checked across PRs.
+# bench_extract + bench_infer in --smoke mode (validating
+# BENCH_extract.json / BENCH_infer.json and the >= 5x single-thread
+# LUT-extraction speedup floor), bench_serve_throughput (validating its
+# Prometheus exposition), and contract_scanner under PHISHINGHOOK_TRACE
+# (validating the span trace), and a chaos smoke (contract_scanner against
+# a 10% fault-injecting explorer, checking that every request resolves to a
+# definite status), so the perf trajectory, the telemetry surface, and the
+# fault-isolation contract all stay machine-checked across PRs. The ASan
+# leg runs the full suite, including the fast-vs-legacy equivalence tests
+# (test_features_fast).
 #
 #   ./ci.sh            # all three variants
 #
@@ -56,6 +60,81 @@ PY
     # No python3: cheap structural check on the required keys.
     grep -q '"results"' "${json}" && grep -q '"model"' "${json}" &&
       grep -q '"threads"' "${json}" && grep -q '"speedup"' "${json}" ||
+      { echo "ci.sh: ${json} malformed" >&2; exit 1; }
+  fi
+}
+
+check_extract_json() {
+  local json="$1"
+  echo "=== bench_extract: ${json} ==="
+  if [[ ! -f "${json}" ]]; then
+    echo "ci.sh: ${json} missing" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+rows = doc["results"]
+assert rows, "empty results"
+by_path = {}
+for row in rows:
+    for key in ("path", "threads", "ms", "mb_per_s", "speedup_vs_legacy"):
+        assert key in row, f"missing {key}"
+    assert row["mb_per_s"] > 0, f"zero throughput for {row['path']}"
+    by_path[row["path"]] = row
+for required in ("legacy", "fast"):
+    assert required in by_path, f"missing path {required}"
+fast = by_path["fast"]
+assert fast["threads"] == 1, "fast row must be single-thread"
+assert fast["speedup_vs_legacy"] >= 5.0, (
+    f"LUT extraction speedup {fast['speedup_vs_legacy']:.2f}x "
+    "below the 5x floor")
+print(f"BENCH_extract.json ok: {len(rows)} rows, "
+      f"fast path {fast['speedup_vs_legacy']:.1f}x legacy "
+      f"at {fast['mb_per_s']:.0f} MB/s")
+PY
+  else
+    grep -q '"results"' "${json}" && grep -q '"path": "fast"' "${json}" &&
+      grep -q '"mb_per_s"' "${json}" &&
+      grep -q '"speedup_vs_legacy"' "${json}" ||
+      { echo "ci.sh: ${json} malformed" >&2; exit 1; }
+  fi
+}
+
+check_infer_json() {
+  local json="$1"
+  echo "=== bench_infer: ${json} ==="
+  if [[ ! -f "${json}" ]]; then
+    echo "ci.sh: ${json} missing" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+rows = doc["results"]
+assert rows, "empty results"
+seen = set()
+for row in rows:
+    for key in ("model", "path", "threads", "ms", "rows_per_s",
+                "speedup_vs_nodewalk"):
+        assert key in row, f"missing {key}"
+    assert row["rows_per_s"] > 0, (
+        f"zero throughput for {row['model']}/{row['path']}")
+    seen.add((row["model"], row["path"]))
+for model in ("random_forest", "xgboost", "lightgbm", "catboost"):
+    for path in ("nodewalk", "flat"):
+        assert (model, path) in seen, f"missing row {model}/{path}"
+print(f"BENCH_infer.json ok: {len(rows)} rows over "
+      f"{len({m for m, _ in seen})} models")
+PY
+  else
+    grep -q '"results"' "${json}" && grep -q '"rows_per_s"' "${json}" &&
+      grep -q '"path": "flat"' "${json}" &&
+      grep -q '"speedup_vs_nodewalk"' "${json}" ||
       { echo "ci.sh: ${json} malformed" >&2; exit 1; }
   fi
 }
@@ -141,6 +220,10 @@ check_chaos_smoke() {
 run_variant release ""
 (cd build-ci-release && ./bench/bench_train_parallel)
 check_bench_json build-ci-release/BENCH_train.json
+(cd build-ci-release && ./bench/bench_extract --smoke)
+check_extract_json build-ci-release/BENCH_extract.json
+(cd build-ci-release && ./bench/bench_infer --smoke)
+check_infer_json build-ci-release/BENCH_infer.json
 (cd build-ci-release && ./bench/bench_serve_throughput 1)
 check_prometheus build-ci-release/BENCH_serve_metrics.prom
 (cd build-ci-release &&

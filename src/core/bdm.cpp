@@ -6,13 +6,15 @@ namespace phishinghook::core {
 
 evm::Disassembly BytecodeDisassemblerModule::disassemble_to_csv(
     const evm::Bytecode& code, const std::filesystem::path& path) const {
-  evm::Disassembly listing = disassembler_.disassemble(code);
   if (path.has_parent_path()) {
     std::filesystem::create_directories(path.parent_path());
   }
   std::ofstream out(path, std::ios::trunc);
-  out << listing.to_csv();
-  return listing;
+  // Stream the CSV off the single-pass walker; the returned listing is
+  // still materialized for callers that inspect it, but the file write no
+  // longer depends on it.
+  disassembler_.write_csv(code, out);
+  return disassembler_.disassemble(code);
 }
 
 }  // namespace phishinghook::core

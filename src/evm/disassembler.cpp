@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <array>
-#include <deque>
+#include <ostream>
 
 #include "common/csv.hpp"
 #include "common/hex.hpp"
@@ -28,22 +28,24 @@ DisasmInstruments& disasm_instruments() {
   return instruments;
 }
 
-// Stable storage for UNKNOWN_0xXX mnemonics (256 possible).
-std::string_view unknown_mnemonic(std::uint8_t byte) {
-  static std::deque<std::string>* storage = new std::deque<std::string>();
-  static std::array<const std::string*, 256> cache{};
-  if (cache[byte] == nullptr) {
-    static const char kDigits[] = "0123456789abcdef";
-    std::string name = "UNKNOWN_0x";
-    name.push_back(kDigits[byte >> 4]);
-    name.push_back(kDigits[byte & 0x0F]);
-    storage->push_back(std::move(name));
-    cache[byte] = &storage->back();
-  }
-  return *cache[byte];
-}
-
 }  // namespace
+
+std::string_view unknown_mnemonic(std::uint8_t byte) {
+  // All 256 names built once under the magic-static lock, so concurrent
+  // callers (the parallel feature paths) only ever read.
+  static const std::array<std::string, 256>* names = [] {
+    auto* table = new std::array<std::string, 256>();
+    static const char kDigits[] = "0123456789abcdef";
+    for (std::size_t b = 0; b < 256; ++b) {
+      std::string name = "UNKNOWN_0x";
+      name.push_back(kDigits[b >> 4]);
+      name.push_back(kDigits[b & 0x0F]);
+      (*table)[b] = std::move(name);
+    }
+    return table;
+  }();
+  return (*names)[byte];
+}
 
 std::string Instruction::to_string() const {
   std::string out(mnemonic);
@@ -97,45 +99,49 @@ Disassembler::Disassembler(const OpcodeTable& table) : table_(&table) {}
 
 Disassembly Disassembler::disassemble(const Bytecode& code) const {
   Disassembly out;
-  const auto& bytes = code.bytes();
-  std::size_t pc = 0;
-  while (pc < bytes.size()) {
-    const std::uint8_t byte = bytes[pc];
+  for_each(code, [&](const InstructionView& view) {
     Instruction ins;
-    ins.pc = pc;
-    ins.opcode = byte;
-    const OpcodeInfo* info = table_->find(byte);
-    if (info != nullptr) {
-      ins.mnemonic = info->mnemonic;
-      ins.gas = info->base_gas;
-      ins.gas_is_nan = info->gas_is_nan;
+    ins.pc = view.pc;
+    ins.opcode = view.opcode;
+    ins.mnemonic = view.mnemonic();
+    if (view.defined()) {
+      ins.gas = view.info->base_gas;
+      ins.gas_is_nan = view.info->gas_is_nan;
       ins.defined = true;
-      const std::size_t width = info->immediate_bytes;
-      if (width > 0) {
-        const std::size_t available = std::min(width, bytes.size() - pc - 1);
-        U256 value = U256::from_bytes_be(
-            std::span<const std::uint8_t>(bytes.data() + pc + 1, available));
-        // Missing trailing bytes read as zero (EVM code padding semantics).
-        if (available < width) {
-          value = value << static_cast<unsigned>(8 * (width - available));
-        }
-        ins.operand = value;
-        ins.operand_bytes = width;
-        pc += width;
+      if (view.has_operand()) {
+        // Missing trailing bytes read as zero (EVM code padding semantics);
+        // InstructionView::operand applies the same zero-extension.
+        ins.operand = view.operand();
+        ins.operand_bytes = view.immediate_width;
       }
     } else {
-      ins.mnemonic = unknown_mnemonic(byte);
       ins.defined = false;
       ins.gas_is_nan = true;
     }
     out.instructions.push_back(ins);
-    ++pc;
-  }
+  });
   DisasmInstruments& instruments = disasm_instruments();
   instruments.calls.inc();
-  instruments.bytes.inc(bytes.size());
+  instruments.bytes.inc(code.size());
   instruments.instructions.inc(out.instructions.size());
   return out;
+}
+
+void Disassembler::write_csv(const Bytecode& code, std::ostream& out) const {
+  phishinghook::common::CsvWriter writer;
+  writer.write_row({"pc", "opcode", "mnemonic", "operand", "gas"});
+  out << writer.str();
+  for_each(code, [&](const InstructionView& view) {
+    phishinghook::common::CsvWriter row;
+    const bool gas_is_nan = !view.defined() || view.info->gas_is_nan;
+    row.write_row({std::to_string(view.pc),
+                   "0x" + phishinghook::common::hex_encode(
+                              std::span<const std::uint8_t>(&view.opcode, 1)),
+                   std::string(view.mnemonic()),
+                   view.has_operand() ? view.operand().to_hex() : "",
+                   gas_is_nan ? "NaN" : std::to_string(view.gas())});
+    out << row.str();
+  });
 }
 
 }  // namespace phishinghook::evm

@@ -12,8 +12,11 @@
 // exactly as in the paper's §III walk-through.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,11 @@
 #include "evm/uint256.hpp"
 
 namespace phishinghook::evm {
+
+/// Stable "UNKNOWN_0xXX" mnemonic for an undefined byte. Backed by an
+/// eagerly built table of all 256 names, so it is allocation-free and safe
+/// to call from any number of threads.
+std::string_view unknown_mnemonic(std::uint8_t byte);
 
 /// One disassembled instruction.
 struct Instruction {
@@ -55,6 +63,43 @@ struct Disassembly {
   std::string to_csv() const;
 };
 
+/// Borrowed, allocation-free view of one instruction, produced by the
+/// streaming walker. Everything is derived from the opcode byte and a span
+/// into the code; materializing the mnemonic string or the U256 operand is
+/// deferred to the accessors so fast-path consumers (LUT feature
+/// extraction) never pay for them.
+struct InstructionView {
+  std::size_t pc = 0;              ///< byte offset in the code
+  std::uint8_t opcode = 0;         ///< raw opcode byte
+  const OpcodeInfo* info = nullptr;  ///< nullptr for undefined bytes
+  /// Immediate bytes actually present in the code (may be shorter than the
+  /// declared width when a PUSH is truncated by end-of-code).
+  std::span<const std::uint8_t> immediate;
+  std::size_t immediate_width = 0;  ///< declared PUSH width
+
+  bool defined() const { return info != nullptr; }
+  bool has_operand() const { return immediate_width > 0; }
+
+  /// "PUSH1", "MSTORE", "UNKNOWN_0xXX"...
+  std::string_view mnemonic() const {
+    return info != nullptr ? info->mnemonic : unknown_mnemonic(opcode);
+  }
+
+  /// Static gas cost (0 where NaN / undefined), as in Instruction::gas.
+  std::uint32_t gas() const { return info != nullptr ? info->base_gas : 0; }
+
+  /// PUSH immediate, zero-extended when truncated by end-of-code —
+  /// identical to the value Disassembler::disassemble materializes.
+  U256 operand() const {
+    U256 value = U256::from_bytes_be(immediate);
+    if (immediate.size() < immediate_width) {
+      value = value << static_cast<unsigned>(
+                  8 * (immediate_width - immediate.size()));
+    }
+    return value;
+  }
+};
+
 class Disassembler {
  public:
   /// Uses the Shanghai opcode table.
@@ -65,6 +110,39 @@ class Disassembler {
   /// end of code is completed with implicit zero bytes, matching EVM
   /// semantics (code reads past the end yield 0).
   Disassembly disassemble(const Bytecode& code) const;
+
+  /// Streaming single-pass walker: calls `visit(const InstructionView&)`
+  /// for every instruction without materializing a Disassembly (no strings,
+  /// no operand U256s, no per-call allocation). `disassemble`, the BDM CSV
+  /// writer and the feature-extraction fit paths all run on this walker, so
+  /// instruction boundaries (PUSH-immediate skipping, truncated trailing
+  /// PUSH, undefined bytes as 1-byte instructions) agree by construction.
+  template <typename Visitor>
+  void for_each(const Bytecode& code, Visitor&& visit) const {
+    const auto& bytes = code.bytes();
+    const std::size_t n = bytes.size();
+    std::size_t pc = 0;
+    while (pc < n) {
+      InstructionView view;
+      view.pc = pc;
+      view.opcode = bytes[pc];
+      view.info = table_->find(view.opcode);
+      std::size_t width = 0;
+      if (view.info != nullptr && view.info->immediate_bytes > 0) {
+        width = view.info->immediate_bytes;
+        const std::size_t available = std::min(width, n - pc - 1);
+        view.immediate =
+            std::span<const std::uint8_t>(bytes.data() + pc + 1, available);
+        view.immediate_width = width;
+      }
+      visit(static_cast<const InstructionView&>(view));
+      pc += 1 + width;
+    }
+  }
+
+  /// Streams the pc/opcode/mnemonic/operand/gas CSV (identical bytes to
+  /// Disassembly::to_csv) without materializing the instruction vector.
+  void write_csv(const Bytecode& code, std::ostream& out) const;
 
  private:
   const OpcodeTable* table_;

@@ -166,6 +166,7 @@ void CatBoostClassifier::fit(const Matrix& x, const std::vector<int>& y) {
     }
     trees_.push_back(std::move(tree));
   }
+  flat_ = FlatTreeEnsemble::from_oblivious(trees_, base_score_);
 }
 
 double CatBoostClassifier::raw_score(std::span<const double> row) const {
@@ -187,6 +188,12 @@ double CatBoostClassifier::raw_score(std::span<const double> row) const {
 }
 
 std::vector<double> CatBoostClassifier::predict_proba(const Matrix& x) const {
+  if (trees_.empty()) throw StateError("CatBoost::predict before fit");
+  return flat_.predict_proba(x);
+}
+
+std::vector<double> CatBoostClassifier::predict_proba_nodewalk(
+    const Matrix& x) const {
   std::vector<double> out(x.rows());
   common::parallel_for_chunks(
       x.rows(), [&](std::size_t begin, std::size_t end) {

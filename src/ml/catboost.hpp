@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "ml/classifier.hpp"
+#include "ml/flat_tree.hpp"
 #include "ml/gbdt_common.hpp"
 
 namespace phishinghook::ml {
@@ -40,16 +41,28 @@ class CatBoostClassifier final : public TabularClassifier {
   explicit CatBoostClassifier(CatBoostConfig config = {});
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
+
+  /// Batched inference on the flattened level/leaf arrays (compiled at
+  /// fit/load time); bit-identical to predict_proba_nodewalk.
   std::vector<double> predict_proba(const Matrix& x) const override;
+
+  /// The original per-row level-walk path (equivalence oracle).
+  std::vector<double> predict_proba_nodewalk(const Matrix& x) const;
+
   std::string name() const override { return "CatBoost"; }
+
+  void save(std::ostream& out) const override;
+  static CatBoostClassifier load_from(std::istream& in);
 
   double raw_score(std::span<const double> row) const;
   const std::vector<ObliviousTree>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
 
  private:
   CatBoostConfig config_;
   std::vector<ObliviousTree> trees_;
   double base_score_ = 0.0;
+  FlatTreeEnsemble flat_;  ///< rebuilt after fit() and load_from()
 };
 
 }  // namespace phishinghook::ml

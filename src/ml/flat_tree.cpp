@@ -1,0 +1,222 @@
+#include "ml/flat_tree.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "ml/catboost.hpp"
+#include "ml/gbdt_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace phishinghook::ml {
+
+namespace {
+
+struct FlatInstruments {
+  obs::Counter rows = obs::MetricsRegistry::global().counter(
+      "ml_flat_predict_rows_total");
+  obs::Counter calls = obs::MetricsRegistry::global().counter(
+      "ml_flat_predict_calls_total");
+};
+
+FlatInstruments& flat_instruments() {
+  static FlatInstruments instruments;
+  return instruments;
+}
+
+}  // namespace
+
+FlatTreeEnsemble FlatTreeEnsemble::from_forest(
+    const std::vector<DecisionTreeClassifier>& trees) {
+  FlatTreeEnsemble flat;
+  flat.kind_ = Kind::kBinary;
+  flat.output_ = Output::kAverage;
+  flat.tree_count_ = trees.size();
+  std::size_t total_nodes = 0;
+  for (const DecisionTreeClassifier& tree : trees) {
+    total_nodes += tree.nodes().size();
+  }
+  flat.feature_.reserve(total_nodes);
+  flat.threshold_.reserve(total_nodes);
+  flat.left_.reserve(total_nodes);
+  flat.right_.reserve(total_nodes);
+  flat.value_.reserve(total_nodes);
+  flat.roots_.reserve(trees.size());
+  for (const DecisionTreeClassifier& tree : trees) {
+    const std::int32_t base = static_cast<std::int32_t>(flat.feature_.size());
+    flat.roots_.push_back(static_cast<std::uint32_t>(base));
+    for (const TreeNode& node : tree.nodes()) {
+      flat.feature_.push_back(node.feature);
+      flat.threshold_.push_back(node.threshold);
+      flat.left_.push_back(node.is_leaf() ? -1 : node.left + base);
+      flat.right_.push_back(node.is_leaf() ? -1 : node.right + base);
+      flat.value_.push_back(node.value);
+    }
+  }
+  return flat;
+}
+
+FlatTreeEnsemble FlatTreeEnsemble::from_boosted(
+    const std::vector<std::vector<TreeNode>>& trees, double base_score) {
+  FlatTreeEnsemble flat;
+  flat.kind_ = Kind::kBinary;
+  flat.output_ = Output::kSigmoidSum;
+  flat.base_score_ = base_score;
+  flat.tree_count_ = trees.size();
+  std::size_t total_nodes = 0;
+  for (const std::vector<TreeNode>& tree : trees) total_nodes += tree.size();
+  flat.feature_.reserve(total_nodes);
+  flat.threshold_.reserve(total_nodes);
+  flat.left_.reserve(total_nodes);
+  flat.right_.reserve(total_nodes);
+  flat.value_.reserve(total_nodes);
+  flat.roots_.reserve(trees.size());
+  for (const std::vector<TreeNode>& tree : trees) {
+    const std::int32_t base = static_cast<std::int32_t>(flat.feature_.size());
+    flat.roots_.push_back(static_cast<std::uint32_t>(base));
+    for (const TreeNode& node : tree) {
+      flat.feature_.push_back(node.feature);
+      flat.threshold_.push_back(node.threshold);
+      flat.left_.push_back(node.is_leaf() ? -1 : node.left + base);
+      flat.right_.push_back(node.is_leaf() ? -1 : node.right + base);
+      flat.value_.push_back(node.value);
+    }
+  }
+  return flat;
+}
+
+FlatTreeEnsemble FlatTreeEnsemble::from_oblivious(
+    const std::vector<ObliviousTree>& trees, double base_score) {
+  FlatTreeEnsemble flat;
+  flat.kind_ = Kind::kOblivious;
+  flat.output_ = Output::kSigmoidSum;
+  flat.base_score_ = base_score;
+  flat.tree_count_ = trees.size();
+  std::size_t total_levels = 0;
+  std::size_t total_leaves = 0;
+  for (const ObliviousTree& tree : trees) {
+    total_levels += tree.features.size();
+    total_leaves += tree.leaf_values.size();
+  }
+  flat.level_feature_.reserve(total_levels);
+  flat.level_threshold_.reserve(total_levels);
+  flat.leaf_value_.reserve(total_leaves);
+  flat.level_offset_.reserve(trees.size());
+  flat.level_depth_.reserve(trees.size());
+  flat.leaf_offset_.reserve(trees.size());
+  for (const ObliviousTree& tree : trees) {
+    flat.level_offset_.push_back(
+        static_cast<std::uint32_t>(flat.level_feature_.size()));
+    flat.level_depth_.push_back(
+        static_cast<std::uint32_t>(tree.features.size()));
+    flat.leaf_offset_.push_back(
+        static_cast<std::uint32_t>(flat.leaf_value_.size()));
+    flat.level_feature_.insert(flat.level_feature_.end(), tree.features.begin(),
+                               tree.features.end());
+    flat.level_threshold_.insert(flat.level_threshold_.end(),
+                                 tree.thresholds.begin(),
+                                 tree.thresholds.end());
+    flat.leaf_value_.insert(flat.leaf_value_.end(), tree.leaf_values.begin(),
+                            tree.leaf_values.end());
+  }
+  return flat;
+}
+
+void FlatTreeEnsemble::predict_block(const Matrix& x, std::size_t begin,
+                                     std::size_t end,
+                                     std::span<double> out) const {
+  // Hoist the SoA base pointers once: the walk loop then carries no
+  // member-indirection through `this` and the compiler can keep them in
+  // registers across the data-dependent node chases.
+  const std::int32_t* const feature = feature_.data();
+  const double* const threshold = threshold_.data();
+  const std::int32_t* const left = left_.data();
+  const std::int32_t* const right = right_.data();
+  const double* const value = value_.data();
+  const std::uint32_t* const roots = roots_.data();
+  double accum[kRowBlock];
+  for (std::size_t block = begin; block < end; block += kRowBlock) {
+    const std::size_t rows = std::min(kRowBlock, end - block);
+    const double init = output_ == Output::kSigmoidSum ? base_score_ : 0.0;
+    for (std::size_t i = 0; i < rows; ++i) accum[i] = init;
+    if (kind_ == Kind::kBinary) {
+      // Row-outer / tree-inner inside the block: the row's feature span
+      // stays in L1 across the whole ensemble while the contiguous SoA node
+      // pool streams through in tree order; accumulation is per row in
+      // legacy tree order, so sums are bit-identical to the node walk.
+      for (std::size_t i = 0; i < rows; ++i) {
+        const double* row = x.row(block + i).data();
+        double sum = accum[i];
+        for (std::size_t t = 0; t < tree_count_; ++t) {
+          std::size_t node = roots[t];
+          std::int32_t f = feature[node];
+          while (f >= 0) {
+            node = static_cast<std::size_t>(
+                row[static_cast<std::size_t>(f)] <= threshold[node]
+                    ? left[node]
+                    : right[node]);
+            f = feature[node];
+          }
+          sum += value[node];
+        }
+        accum[i] = sum;
+      }
+    } else {
+      for (std::size_t t = 0; t < tree_count_; ++t) {
+        const std::size_t levels = level_depth_[t];
+        const std::int32_t* features = level_feature_.data() + level_offset_[t];
+        const double* thresholds = level_threshold_.data() + level_offset_[t];
+        const double* leaves = leaf_value_.data() + leaf_offset_[t];
+        for (std::size_t i = 0; i < rows; ++i) {
+          const double* row = x.row(block + i).data();
+          std::uint32_t leaf = 0;
+          for (std::size_t level = 0; level < levels; ++level) {
+            const std::uint32_t bit =
+                row[static_cast<std::size_t>(features[level])] >
+                        thresholds[level]
+                    ? 1U
+                    : 0U;
+            leaf = (leaf << 1) | bit;
+          }
+          accum[i] += leaves[leaf];
+        }
+      }
+    }
+    if (output_ == Output::kAverage) {
+      const double n_trees = static_cast<double>(tree_count_);
+      for (std::size_t i = 0; i < rows; ++i) {
+        out[block + i] = accum[i] / n_trees;
+      }
+    } else {
+      for (std::size_t i = 0; i < rows; ++i) {
+        out[block + i] = gbdt::sigmoid(accum[i]);
+      }
+    }
+  }
+}
+
+void FlatTreeEnsemble::predict_into(const Matrix& x,
+                                    std::span<double> out) const {
+  if (empty()) throw StateError("FlatTreeEnsemble::predict before compile");
+  if (out.size() != x.rows()) {
+    throw InvalidArgument("FlatTreeEnsemble::predict_into buffer size " +
+                          std::to_string(out.size()) + " != rows " +
+                          std::to_string(x.rows()));
+  }
+  obs::ScopedSpan span("ml.flat_predict");
+  FlatInstruments& instruments = flat_instruments();
+  instruments.calls.inc();
+  instruments.rows.inc(x.rows());
+  common::parallel_for_chunks(x.rows(),
+                              [&](std::size_t begin, std::size_t end) {
+                                predict_block(x, begin, end, out);
+                              });
+}
+
+std::vector<double> FlatTreeEnsemble::predict_proba(const Matrix& x) const {
+  std::vector<double> out(x.rows(), 0.0);
+  predict_into(x, out);
+  return out;
+}
+
+}  // namespace phishinghook::ml

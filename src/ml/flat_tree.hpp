@@ -1,0 +1,100 @@
+// Flattened tree-ensemble inference (DESIGN.md §10).
+//
+// The fitted ensembles walk node-based trees one row at a time on the
+// legacy path (`predict_proba_nodewalk` / `raw_score` / `predict_row`).
+// This compiles any of them into one contiguous structure-of-arrays node
+// pool plus a batched traversal that processes rows in cache-blocked
+// chunks: for each block of rows, every tree is walked for the whole block
+// before moving to the next tree, so a tree's nodes stay hot across the
+// block, the per-row accumulators stay in registers/L1, and nothing is
+// allocated per row.
+//
+// Bit-identity contract: the flat walk performs exactly the legacy
+// comparisons (x[f] <= t for binary trees, x[f] > t for CatBoost's
+// oblivious level tests) and accumulates per-row tree contributions in the
+// legacy tree order, so probabilities are identical doubles — asserted
+// against the node-walk oracles in tests/test_features_fast.cpp, at every
+// thread count in tests/test_parallel_determinism.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/matrix.hpp"
+
+namespace phishinghook::ml {
+
+struct ObliviousTree;  // catboost.hpp
+
+class FlatTreeEnsemble {
+ public:
+  /// How per-row tree sums turn into a probability.
+  enum class Output {
+    kAverage,     ///< mean of leaf fractions (Random Forest)
+    kSigmoidSum,  ///< sigmoid(base + sum of leaf values) (boosters)
+  };
+
+  FlatTreeEnsemble() = default;
+
+  /// Random Forest: averages fitted CART leaf fractions.
+  static FlatTreeEnsemble from_forest(
+      const std::vector<DecisionTreeClassifier>& trees);
+
+  /// XGBoost/LightGBM-style boosters: sigmoid over base + leaf weights.
+  static FlatTreeEnsemble from_boosted(
+      const std::vector<std::vector<TreeNode>>& trees, double base_score);
+
+  /// CatBoost oblivious trees: per-level (feature, threshold) tests with
+  /// `>` semantics indexing a 2^depth leaf table.
+  static FlatTreeEnsemble from_oblivious(
+      const std::vector<ObliviousTree>& trees, double base_score);
+
+  bool empty() const { return tree_count_ == 0; }
+  std::size_t tree_count() const { return tree_count_; }
+  std::size_t node_count() const { return feature_.size(); }
+
+  /// P(phishing) per row, parallelized over row chunks on the
+  /// common::ThreadPool (each output slot written by exactly one task).
+  std::vector<double> predict_proba(const Matrix& x) const;
+
+  /// Allocation-free variant into a caller buffer of x.rows() doubles.
+  /// Throws InvalidArgument on size mismatch, StateError when empty.
+  void predict_into(const Matrix& x, std::span<double> out) const;
+
+ private:
+  /// Rows per cache block: 64 accumulators (one cache line's worth of
+  /// probability state per 8 rows) keeps the block's feature rows and the
+  /// current tree resident while bounding the accumulator footprint.
+  static constexpr std::size_t kRowBlock = 64;
+
+  void predict_block(const Matrix& x, std::size_t begin, std::size_t end,
+                     std::span<double> out) const;
+
+  enum class Kind { kBinary, kOblivious };
+
+  Kind kind_ = Kind::kBinary;
+  Output output_ = Output::kAverage;
+  double base_score_ = 0.0;
+  std::size_t tree_count_ = 0;
+
+  // Binary section (RF / GBDT / LightGBM): SoA node pool, root per tree.
+  std::vector<std::int32_t> feature_;   ///< -1 marks a leaf
+  std::vector<double> threshold_;       ///< leaf: unused (0)
+  std::vector<std::int32_t> left_;      ///< absolute node index
+  std::vector<std::int32_t> right_;     ///< absolute node index
+  std::vector<double> value_;           ///< leaf payload
+  std::vector<std::uint32_t> roots_;
+
+  // Oblivious section (CatBoost): per-tree level tests + leaf table,
+  // stored contiguously across trees.
+  std::vector<std::int32_t> level_feature_;
+  std::vector<double> level_threshold_;
+  std::vector<double> leaf_value_;
+  std::vector<std::uint32_t> level_offset_;  ///< per tree, into level_*
+  std::vector<std::uint32_t> level_depth_;   ///< per tree
+  std::vector<std::uint32_t> leaf_offset_;   ///< per tree, into leaf_value_
+};
+
+}  // namespace phishinghook::ml

@@ -167,6 +167,7 @@ void GradientBoostingClassifier::fit(const Matrix& x,
     }
     trees_.push_back(std::move(tree));
   }
+  flat_ = FlatTreeEnsemble::from_boosted(trees_, base_score_);
 }
 
 double GradientBoostingClassifier::raw_score(
@@ -186,6 +187,12 @@ double GradientBoostingClassifier::raw_score(
 }
 
 std::vector<double> GradientBoostingClassifier::predict_proba(
+    const Matrix& x) const {
+  if (trees_.empty()) throw StateError("XGBoost::predict before fit");
+  return flat_.predict_proba(x);
+}
+
+std::vector<double> GradientBoostingClassifier::predict_proba_nodewalk(
     const Matrix& x) const {
   std::vector<double> out(x.rows());
   common::parallel_for_chunks(

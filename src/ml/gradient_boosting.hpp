@@ -11,6 +11,7 @@
 
 #include "ml/classifier.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/flat_tree.hpp"
 
 namespace phishinghook::ml {
 
@@ -31,8 +32,18 @@ class GradientBoostingClassifier final : public TabularClassifier {
   explicit GradientBoostingClassifier(GradientBoostingConfig config = {});
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
+
+  /// Batched inference on the flattened SoA ensemble (compiled at fit/load
+  /// time); bit-identical to predict_proba_nodewalk.
   std::vector<double> predict_proba(const Matrix& x) const override;
+
+  /// The original per-row node-walk path (equivalence oracle).
+  std::vector<double> predict_proba_nodewalk(const Matrix& x) const;
+
   std::string name() const override { return "XGBoost"; }
+
+  void save(std::ostream& out) const override;
+  static GradientBoostingClassifier load_from(std::istream& in);
 
   /// Raw (pre-sigmoid) score of one row.
   double raw_score(std::span<const double> row) const;
@@ -57,6 +68,7 @@ class GradientBoostingClassifier final : public TabularClassifier {
   GradientBoostingConfig config_;
   std::vector<std::vector<TreeNode>> trees_;
   double base_score_ = 0.0;
+  FlatTreeEnsemble flat_;  ///< rebuilt after fit() and load_from()
 };
 
 }  // namespace phishinghook::ml

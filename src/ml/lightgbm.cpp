@@ -190,6 +190,7 @@ void LightGbmClassifier::fit(const Matrix& x, const std::vector<int>& y) {
     }
     trees_.push_back(std::move(tree));
   }
+  flat_ = FlatTreeEnsemble::from_boosted(trees_, base_score_);
 }
 
 double LightGbmClassifier::raw_score(std::span<const double> row) const {
@@ -208,6 +209,12 @@ double LightGbmClassifier::raw_score(std::span<const double> row) const {
 }
 
 std::vector<double> LightGbmClassifier::predict_proba(const Matrix& x) const {
+  if (trees_.empty()) throw StateError("LightGBM::predict before fit");
+  return flat_.predict_proba(x);
+}
+
+std::vector<double> LightGbmClassifier::predict_proba_nodewalk(
+    const Matrix& x) const {
   std::vector<double> out(x.rows());
   common::parallel_for_chunks(
       x.rows(), [&](std::size_t begin, std::size_t end) {

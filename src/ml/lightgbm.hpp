@@ -10,6 +10,7 @@
 
 #include "ml/classifier.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/flat_tree.hpp"
 #include "ml/gbdt_common.hpp"
 
 namespace phishinghook::ml {
@@ -30,8 +31,18 @@ class LightGbmClassifier final : public TabularClassifier {
   explicit LightGbmClassifier(LightGbmConfig config = {});
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
+
+  /// Batched inference on the flattened SoA ensemble (compiled at fit/load
+  /// time); bit-identical to predict_proba_nodewalk.
   std::vector<double> predict_proba(const Matrix& x) const override;
+
+  /// The original per-row node-walk path (equivalence oracle).
+  std::vector<double> predict_proba_nodewalk(const Matrix& x) const;
+
   std::string name() const override { return "LightGBM"; }
+
+  void save(std::ostream& out) const override;
+  static LightGbmClassifier load_from(std::istream& in);
 
   double raw_score(std::span<const double> row) const;
   const std::vector<std::vector<TreeNode>>& trees() const { return trees_; }
@@ -41,6 +52,7 @@ class LightGbmClassifier final : public TabularClassifier {
   LightGbmConfig config_;
   std::vector<std::vector<TreeNode>> trees_;
   double base_score_ = 0.0;
+  FlatTreeEnsemble flat_;  ///< rebuilt after fit() and load_from()
 };
 
 }  // namespace phishinghook::ml

@@ -60,9 +60,16 @@ void RandomForestClassifier::fit(const Matrix& x, const std::vector<int>& y) {
     tree.fit_weighted(x, y, bootstrap[t], &presort);
     trees_[t] = std::move(tree);
   });
+  flat_ = FlatTreeEnsemble::from_forest(trees_);
 }
 
 std::vector<double> RandomForestClassifier::predict_proba(
+    const Matrix& x) const {
+  if (trees_.empty()) throw StateError("RandomForest::predict before fit");
+  return flat_.predict_proba(x);
+}
+
+std::vector<double> RandomForestClassifier::predict_proba_nodewalk(
     const Matrix& x) const {
   if (trees_.empty()) throw StateError("RandomForest::predict before fit");
   // Row-outer / tree-inner: each row's feature span stays hot in cache

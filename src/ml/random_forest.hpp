@@ -6,6 +6,7 @@
 #pragma once
 
 #include "ml/decision_tree.hpp"
+#include "ml/flat_tree.hpp"
 
 namespace phishinghook::ml {
 
@@ -23,7 +24,15 @@ class RandomForestClassifier final : public TabularClassifier {
   explicit RandomForestClassifier(RandomForestConfig config = {});
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
+
+  /// Batched inference on the flattened SoA ensemble (compiled at fit/load
+  /// time); bit-identical to predict_proba_nodewalk.
   std::vector<double> predict_proba(const Matrix& x) const override;
+
+  /// The original per-row node-walk path, kept as the equivalence oracle
+  /// for the flattened ensemble.
+  std::vector<double> predict_proba_nodewalk(const Matrix& x) const;
+
   std::string name() const override { return "Random Forest"; }
 
   void save(std::ostream& out) const override;
@@ -39,6 +48,7 @@ class RandomForestClassifier final : public TabularClassifier {
   RandomForestConfig config_;
   std::vector<DecisionTreeClassifier> trees_;
   std::size_t n_features_ = 0;
+  FlatTreeEnsemble flat_;  ///< rebuilt after fit() and load_from()
 };
 
 }  // namespace phishinghook::ml

@@ -10,7 +10,10 @@
 #include <ostream>
 
 #include "common/binary_io.hpp"
+#include "ml/catboost.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/lightgbm.hpp"
 #include "ml/logistic_regression.hpp"
 #include "ml/random_forest.hpp"
 
@@ -21,6 +24,9 @@ namespace {
 constexpr const char* kTreeTag = "phook.dtree.v1";
 constexpr const char* kForestTag = "phook.rf.v1";
 constexpr const char* kLogRegTag = "phook.logreg.v1";
+constexpr const char* kXgbTag = "phook.xgb.v1";
+constexpr const char* kLgbmTag = "phook.lgbm.v1";
+constexpr const char* kCatBoostTag = "phook.catboost.v1";
 
 // Caps for corrupt length prefixes: far above any model this repo trains,
 // far below an accidental multi-gigabyte allocation.
@@ -38,6 +44,34 @@ using common::write_i32;
 using common::write_string;
 using common::write_u64;
 
+// Boosted-tree node vectors share the decision tree's node layout.
+void write_tree_nodes(std::ostream& out, const std::vector<TreeNode>& tree) {
+  write_u64(out, tree.size());
+  for (const TreeNode& node : tree) {
+    write_i32(out, node.feature);
+    write_double(out, node.threshold);
+    write_i32(out, node.left);
+    write_i32(out, node.right);
+    write_double(out, node.value);
+    write_double(out, node.weight);
+  }
+}
+
+std::vector<TreeNode> read_tree_nodes(std::istream& in) {
+  const std::uint64_t n_nodes = read_u64(in);
+  if (n_nodes > kMaxNodes) throw ParseError("tree node count out of range");
+  std::vector<TreeNode> tree(n_nodes);
+  for (TreeNode& node : tree) {
+    node.feature = read_i32(in);
+    node.threshold = read_double(in);
+    node.left = read_i32(in);
+    node.right = read_i32(in);
+    node.value = read_double(in);
+    node.weight = read_double(in);
+  }
+  return tree;
+}
+
 }  // namespace
 
 void TabularClassifier::save(std::ostream&) const {
@@ -50,13 +84,26 @@ std::unique_ptr<TabularClassifier> TabularClassifier::load(std::istream& in) {
     return std::make_unique<DecisionTreeClassifier>(
         DecisionTreeClassifier::load_payload(in));
   }
-  if (tag == kForestTag || tag == kLogRegTag) {
+  if (tag == kForestTag || tag == kLogRegTag || tag == kXgbTag ||
+      tag == kLgbmTag || tag == kCatBoostTag) {
     // load_from re-reads the tag itself, so rewind over it: tag string =
     // u64 length + bytes.
     in.seekg(-static_cast<std::streamoff>(8 + tag.size()), std::ios::cur);
     if (tag == kForestTag) {
       return std::make_unique<RandomForestClassifier>(
           RandomForestClassifier::load_from(in));
+    }
+    if (tag == kXgbTag) {
+      return std::make_unique<GradientBoostingClassifier>(
+          GradientBoostingClassifier::load_from(in));
+    }
+    if (tag == kLgbmTag) {
+      return std::make_unique<LightGbmClassifier>(
+          LightGbmClassifier::load_from(in));
+    }
+    if (tag == kCatBoostTag) {
+      return std::make_unique<CatBoostClassifier>(
+          CatBoostClassifier::load_from(in));
     }
     return std::make_unique<LogisticRegressionClassifier>(
         LogisticRegressionClassifier::load_from(in));
@@ -156,7 +203,157 @@ RandomForestClassifier RandomForestClassifier::load_from(std::istream& in) {
   for (std::uint64_t t = 0; t < n_trees; ++t) {
     forest.trees_.push_back(DecisionTreeClassifier::load_payload(in));
   }
+  forest.flat_ = FlatTreeEnsemble::from_forest(forest.trees_);
   return forest;
+}
+
+// --- GradientBoostingClassifier -----------------------------------------------
+
+void GradientBoostingClassifier::save(std::ostream& out) const {
+  if (trees_.empty()) throw StateError("XGBoost::save before fit");
+  write_string(out, kXgbTag);
+  write_i32(out, config_.n_rounds);
+  write_i32(out, config_.max_depth);
+  write_double(out, config_.learning_rate);
+  write_double(out, config_.lambda);
+  write_double(out, config_.gamma);
+  write_double(out, config_.min_child_weight);
+  write_double(out, config_.subsample);
+  write_double(out, config_.colsample);
+  write_u64(out, config_.seed);
+  write_double(out, base_score_);
+  write_u64(out, trees_.size());
+  for (const std::vector<TreeNode>& tree : trees_) write_tree_nodes(out, tree);
+}
+
+GradientBoostingClassifier GradientBoostingClassifier::load_from(
+    std::istream& in) {
+  if (read_string(in, 64) != kXgbTag) {
+    throw ParseError("not an xgboost record");
+  }
+  GradientBoostingConfig config;
+  config.n_rounds = read_i32(in);
+  config.max_depth = read_i32(in);
+  config.learning_rate = read_double(in);
+  config.lambda = read_double(in);
+  config.gamma = read_double(in);
+  config.min_child_weight = read_double(in);
+  config.subsample = read_double(in);
+  config.colsample = read_double(in);
+  config.seed = read_u64(in);
+  GradientBoostingClassifier model(config);
+  model.base_score_ = read_double(in);
+  const std::uint64_t n_trees = read_u64(in);
+  if (n_trees > kMaxTrees) throw ParseError("xgboost tree count out of range");
+  model.trees_.reserve(n_trees);
+  for (std::uint64_t t = 0; t < n_trees; ++t) {
+    model.trees_.push_back(read_tree_nodes(in));
+  }
+  model.flat_ = FlatTreeEnsemble::from_boosted(model.trees_, model.base_score_);
+  return model;
+}
+
+// --- LightGbmClassifier -------------------------------------------------------
+
+void LightGbmClassifier::save(std::ostream& out) const {
+  if (trees_.empty()) throw StateError("LightGBM::save before fit");
+  write_string(out, kLgbmTag);
+  write_i32(out, config_.n_rounds);
+  write_i32(out, config_.num_leaves);
+  write_i32(out, config_.max_bins);
+  write_double(out, config_.learning_rate);
+  write_double(out, config_.lambda);
+  write_double(out, config_.min_child_weight);
+  write_double(out, config_.min_gain);
+  write_u64(out, config_.seed);
+  write_double(out, base_score_);
+  write_u64(out, trees_.size());
+  for (const std::vector<TreeNode>& tree : trees_) write_tree_nodes(out, tree);
+}
+
+LightGbmClassifier LightGbmClassifier::load_from(std::istream& in) {
+  if (read_string(in, 64) != kLgbmTag) {
+    throw ParseError("not a lightgbm record");
+  }
+  LightGbmConfig config;
+  config.n_rounds = read_i32(in);
+  config.num_leaves = read_i32(in);
+  config.max_bins = read_i32(in);
+  config.learning_rate = read_double(in);
+  config.lambda = read_double(in);
+  config.min_child_weight = read_double(in);
+  config.min_gain = read_double(in);
+  config.seed = read_u64(in);
+  LightGbmClassifier model(config);
+  model.base_score_ = read_double(in);
+  const std::uint64_t n_trees = read_u64(in);
+  if (n_trees > kMaxTrees) throw ParseError("lightgbm tree count out of range");
+  model.trees_.reserve(n_trees);
+  for (std::uint64_t t = 0; t < n_trees; ++t) {
+    model.trees_.push_back(read_tree_nodes(in));
+  }
+  model.flat_ = FlatTreeEnsemble::from_boosted(model.trees_, model.base_score_);
+  return model;
+}
+
+// --- CatBoostClassifier -------------------------------------------------------
+
+void CatBoostClassifier::save(std::ostream& out) const {
+  if (trees_.empty()) throw StateError("CatBoost::save before fit");
+  write_string(out, kCatBoostTag);
+  write_i32(out, config_.n_rounds);
+  write_i32(out, config_.depth);
+  write_i32(out, config_.max_bins);
+  write_double(out, config_.learning_rate);
+  write_double(out, config_.lambda);
+  write_double(out, config_.bagging_temperature);
+  write_u64(out, config_.seed);
+  write_double(out, base_score_);
+  write_u64(out, trees_.size());
+  for (const ObliviousTree& tree : trees_) {
+    write_u64(out, tree.features.size());
+    for (int f : tree.features) write_i32(out, f);
+    write_doubles(out, tree.thresholds);
+    write_doubles(out, tree.leaf_values);
+  }
+}
+
+CatBoostClassifier CatBoostClassifier::load_from(std::istream& in) {
+  if (read_string(in, 64) != kCatBoostTag) {
+    throw ParseError("not a catboost record");
+  }
+  CatBoostConfig config;
+  config.n_rounds = read_i32(in);
+  config.depth = read_i32(in);
+  config.max_bins = read_i32(in);
+  config.learning_rate = read_double(in);
+  config.lambda = read_double(in);
+  config.bagging_temperature = read_double(in);
+  config.seed = read_u64(in);
+  CatBoostClassifier model(config);
+  model.base_score_ = read_double(in);
+  const std::uint64_t n_trees = read_u64(in);
+  if (n_trees > kMaxTrees) throw ParseError("catboost tree count out of range");
+  model.trees_.reserve(n_trees);
+  for (std::uint64_t t = 0; t < n_trees; ++t) {
+    ObliviousTree tree;
+    const std::uint64_t depth = read_u64(in);
+    if (depth > 32) throw ParseError("catboost tree depth out of range");
+    tree.features.reserve(depth);
+    for (std::uint64_t level = 0; level < depth; ++level) {
+      tree.features.push_back(read_i32(in));
+    }
+    tree.thresholds = read_doubles(in);
+    tree.leaf_values = read_doubles(in);
+    if (tree.thresholds.size() != depth ||
+        tree.leaf_values.size() != (std::size_t{1} << depth)) {
+      throw ParseError("catboost tree shape mismatch");
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  model.flat_ =
+      FlatTreeEnsemble::from_oblivious(model.trees_, model.base_score_);
+  return model;
 }
 
 // --- LogisticRegressionClassifier ---------------------------------------------

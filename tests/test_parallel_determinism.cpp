@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/features.hpp"
 #include "ml/catboost.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/gradient_boosting.hpp"
@@ -21,6 +22,7 @@
 #include "ml/lightgbm.hpp"
 #include "ml/random_forest.hpp"
 #include "obs/trace.hpp"
+#include "synth/dataset_builder.hpp"
 
 namespace phishinghook::ml {
 namespace {
@@ -149,6 +151,34 @@ TEST_F(ParallelDeterminism, CatBoostBitIdentical) {
   config.n_rounds = 10;
   const auto run = [&] { return fit_predict<CatBoostClassifier>(config, data); };
   expect_identical(at_threads(1, run), at_threads(4, run));
+}
+
+TEST_F(ParallelDeterminism, HistogramTransformAllBitIdentical) {
+  // The row-parallel LUT feature extractor: each histogram row is written
+  // by exactly one task, so the matrix must be bit-identical at any thread
+  // count.
+  synth::DatasetConfig config;
+  config.target_size = 48;
+  config.seed = 55;
+  const synth::BuiltDataset dataset = synth::DatasetBuilder(config).build();
+  std::vector<const core::Bytecode*> corpus;
+  corpus.reserve(dataset.samples.size());
+  for (const synth::LabeledContract& sample : dataset.samples) {
+    corpus.push_back(&sample.code);
+  }
+  core::HistogramVocabulary vocab;
+  vocab.fit(corpus);
+  const auto run = [&] { return vocab.transform_all(corpus); };
+  const Matrix serial = at_threads(1, run);
+  const Matrix parallel = at_threads(4, run);
+  ASSERT_EQ(serial.rows(), parallel.rows());
+  ASSERT_EQ(serial.cols(), parallel.cols());
+  for (std::size_t r = 0; r < serial.rows(); ++r) {
+    for (std::size_t c = 0; c < serial.cols(); ++c) {
+      ASSERT_EQ(serial.at(r, c), parallel.at(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
 }
 
 TEST_F(ParallelDeterminism, KnnBitIdentical) {
