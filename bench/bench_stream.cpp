@@ -1,0 +1,205 @@
+// Streaming ingestion bench: the full miner → follower → open-loop load
+// generator → ScoringEngine pipeline, run paced (honest wall-clock rates)
+// under two arrival scenarios — steady Poisson traffic and periodic
+// mempool bursts — and written as BENCH_stream.json next to the binary.
+//
+// Reported per scenario: sustained scored rows/s, shed and error rates,
+// ingest lag in blocks, dedup/cache hit rates, and the accounting
+// identity (submitted == completed + failed + shed) that must hold after
+// every drain.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "serve/scoring_engine.hpp"
+#include "stream/coordinator.hpp"
+#include "synth/dataset_builder.hpp"
+
+namespace {
+
+using namespace phishinghook;
+
+struct ScenarioResult {
+  std::string scenario;
+  double elapsed_s = 0.0;
+  std::uint64_t blocks = 0;
+  std::uint64_t deployments = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  double sustained_rows_per_s = 0.0;
+  double shed_rate = 0.0;
+  double error_rate = 0.0;
+  std::uint64_t ingest_lag_blocks = 0;
+  std::uint64_t max_ingest_lag_blocks = 0;
+  double dedup_hit_rate = 0.0;
+  double cache_hit_rate = 0.0;
+  bool accounting_ok = false;
+};
+
+core::HistogramAdapter fit_detector(bool smoke) {
+  synth::DatasetConfig dataset_config;
+  dataset_config.target_size = smoke ? 160 : 320;
+  dataset_config.seed = 97;
+  const synth::BuiltDataset built =
+      synth::DatasetBuilder(dataset_config).build();
+  ml::RandomForestConfig rf;
+  rf.n_trees = smoke ? 8 : 16;
+  rf.max_depth = 6;
+  core::HistogramAdapter adapter(
+      std::make_unique<ml::RandomForestClassifier>(rf), "bench-stream");
+  std::vector<const evm::Bytecode*> codes;
+  std::vector<int> labels;
+  for (const synth::LabeledContract& sample : built.samples) {
+    codes.push_back(&sample.code);
+    labels.push_back(sample.phishing ? 1 : 0);
+  }
+  adapter.fit(codes, labels);
+  return adapter;
+}
+
+ScenarioResult run_scenario(const std::string& name,
+                            stream::ArrivalConfig arrivals,
+                            core::HistogramAdapter& detector,
+                            double duration_s) {
+  stream::LiveChain live;
+  serve::EngineConfig engine_config;
+  engine_config.workers = 2;
+  engine_config.max_queue = 256;  // admission control: overload becomes shed
+  serve::ScoringEngine engine(live.explorer(), detector, engine_config);
+
+  stream::StreamConfig config;
+  config.arrivals = arrivals;
+  config.paced = true;
+  config.blocks_per_s = 50.0;
+  config.max_blocks =
+      static_cast<std::uint64_t>(std::ceil(config.blocks_per_s * duration_s));
+  // Safety net well above what the schedule can produce in duration_s; the
+  // timed drain below is the real stop condition.
+  config.max_requests = static_cast<std::uint64_t>(
+      (arrivals.rate_per_s + arrivals.burst_rate_per_s) * duration_s * 4.0);
+
+  stream::StreamCoordinator coordinator(live, engine, config);
+  coordinator.start();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration_s);
+  while (!coordinator.finished() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  coordinator.drain();
+  const stream::StreamReport report = coordinator.report();
+
+  ScenarioResult result;
+  result.scenario = name;
+  result.elapsed_s = report.elapsed_s;
+  result.blocks = report.miner.blocks_mined;
+  result.deployments = report.miner.deployments;
+  result.submitted = report.submitted;
+  result.completed = report.completed;
+  result.failed = report.failed;
+  result.shed = report.shed;
+  result.sustained_rows_per_s = report.sustained_rows_per_s;
+  result.shed_rate = report.submitted == 0
+                         ? 0.0
+                         : static_cast<double>(report.shed) /
+                               static_cast<double>(report.submitted);
+  result.error_rate = report.submitted == 0
+                          ? 0.0
+                          : static_cast<double>(report.failed) /
+                                static_cast<double>(report.submitted);
+  result.ingest_lag_blocks = report.ingest_lag_blocks;
+  result.max_ingest_lag_blocks = report.max_ingest_lag_blocks;
+  result.dedup_hit_rate = report.follower.dedup_hit_rate();
+  result.cache_hit_rate = report.completed == 0
+                              ? 0.0
+                              : static_cast<double>(report.cache_hit_results) /
+                                    static_cast<double>(report.completed);
+  result.accounting_ok = report.accounting_ok();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double duration_s = smoke ? 1.5 : 8.0;
+  std::printf("bench_stream%s: %0.1fs per scenario\n",
+              smoke ? " [smoke]" : "", duration_s);
+
+  core::HistogramAdapter detector = fit_detector(smoke);
+
+  stream::ArrivalConfig steady = stream::LoadGenerator::steady_scenario();
+  steady.rate_per_s = smoke ? 800.0 : 2000.0;
+  stream::ArrivalConfig burst = stream::LoadGenerator::mempool_burst_scenario();
+  if (smoke) {
+    burst.rate_per_s = 400.0;
+    burst.burst_rate_per_s = 8000.0;
+  }
+
+  std::vector<ScenarioResult> results;
+  results.push_back(run_scenario("steady", steady, detector, duration_s));
+  results.push_back(
+      run_scenario("mempool_burst", burst, detector, duration_s));
+
+  for (const ScenarioResult& r : results) {
+    std::printf(
+        "  %-14s %7.0f rows/s  shed=%.3f err=%.3f lag=%llu dedup=%.2f "
+        "cache=%.2f %s\n",
+        r.scenario.c_str(), r.sustained_rows_per_s, r.shed_rate,
+        r.error_rate, static_cast<unsigned long long>(r.ingest_lag_blocks),
+        r.dedup_hit_rate, r.cache_hit_rate,
+        r.accounting_ok ? "accounting-ok" : "ACCOUNTING-BROKEN");
+  }
+
+  FILE* out = std::fopen("BENCH_stream.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_stream.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"stream\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"duration_s\": %g,\n", duration_s);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"scenario\": \"%s\", \"elapsed_s\": %.4f, \"blocks\": %llu, "
+        "\"deployments\": %llu, \"submitted\": %llu, \"completed\": %llu, "
+        "\"failed\": %llu, \"shed\": %llu, \"sustained_rows_per_s\": %.2f, "
+        "\"shed_rate\": %.6f, \"error_rate\": %.6f, "
+        "\"ingest_lag_blocks\": %llu, \"max_ingest_lag_blocks\": %llu, "
+        "\"dedup_hit_rate\": %.6f, \"cache_hit_rate\": %.6f, "
+        "\"accounting_ok\": %s}%s\n",
+        r.scenario.c_str(), r.elapsed_s,
+        static_cast<unsigned long long>(r.blocks),
+        static_cast<unsigned long long>(r.deployments),
+        static_cast<unsigned long long>(r.submitted),
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.failed),
+        static_cast<unsigned long long>(r.shed), r.sustained_rows_per_s,
+        r.shed_rate, r.error_rate,
+        static_cast<unsigned long long>(r.ingest_lag_blocks),
+        static_cast<unsigned long long>(r.max_ingest_lag_blocks),
+        r.dedup_hit_rate, r.cache_hit_rate,
+        r.accounting_ok ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_stream.json\n");
+
+  bool ok = true;
+  for (const ScenarioResult& r : results) ok = ok && r.accounting_ok;
+  return ok ? 0 : 1;
+}

@@ -7,12 +7,16 @@
 # BENCH_extract.json / BENCH_infer.json and the >= 5x single-thread
 # LUT-extraction speedup floor), bench_serve_throughput (validating its
 # Prometheus exposition), and contract_scanner under PHISHINGHOOK_TRACE
-# (validating the span trace), and a chaos smoke (contract_scanner against
+# (validating the span trace), a chaos smoke (contract_scanner against
 # a 10% fault-injecting explorer, checking that every request resolves to a
-# definite status), so the perf trajectory, the telemetry surface, and the
-# fault-isolation contract all stay machine-checked across PRs. The ASan
-# leg runs the full suite, including the fast-vs-legacy equivalence tests
-# (test_features_fast).
+# definite status), and bench_stream in --smoke mode (validating
+# BENCH_stream.json: both arrival scenarios present, finite rows/s and
+# shed/error rates, accounting identity intact), so the perf trajectory,
+# the telemetry surface, and the fault-isolation contract all stay
+# machine-checked across PRs. The ASan leg runs the full suite, including
+# the fast-vs-legacy equivalence tests (test_features_fast). The TSan leg
+# adds test_stream, racing the four streaming pipeline threads against the
+# engine workers.
 #
 #   ./ci.sh            # all three variants
 #
@@ -128,6 +132,15 @@ for row in rows:
 for model in ("random_forest", "xgboost", "lightgbm", "catboost"):
     for path in ("nodewalk", "flat"):
         assert (model, path) in seen, f"missing row {model}/{path}"
+# Warn-only regression signal: the flattened SoA traversal is expected to
+# beat the per-row nodewalk, but two ensembles are known to sit below 1x
+# on some hosts (ROADMAP: xgboost ~0.72x, lightgbm ~0.79x single-thread).
+# Surface every sub-1x flat row without failing the build.
+for row in rows:
+    if row["path"] == "flat" and row.get("threads") == 1 \
+            and row["speedup_vs_nodewalk"] < 1.0:
+        print(f"WARNING: flat inference slower than nodewalk for "
+              f"{row['model']} ({row['speedup_vs_nodewalk']:.2f}x)")
 print(f"BENCH_infer.json ok: {len(rows)} rows over "
       f"{len({m for m, _ in seen})} models")
 PY
@@ -135,6 +148,53 @@ PY
     grep -q '"results"' "${json}" && grep -q '"rows_per_s"' "${json}" &&
       grep -q '"path": "flat"' "${json}" &&
       grep -q '"speedup_vs_nodewalk"' "${json}" ||
+      { echo "ci.sh: ${json} malformed" >&2; exit 1; }
+  fi
+}
+
+check_stream_json() {
+  local json="$1"
+  echo "=== bench_stream: ${json} ==="
+  if [[ ! -f "${json}" ]]; then
+    echo "ci.sh: ${json} missing" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${json}" <<'PY'
+import json, math, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+rows = doc["results"]
+assert rows, "empty results"
+scenarios = set()
+for row in rows:
+    for key in ("scenario", "sustained_rows_per_s", "shed_rate",
+                "error_rate", "ingest_lag_blocks", "max_ingest_lag_blocks",
+                "submitted", "completed", "failed", "shed",
+                "accounting_ok"):
+        assert key in row, f"missing {key}"
+    for key in ("sustained_rows_per_s", "shed_rate", "error_rate"):
+        assert math.isfinite(row[key]), f"non-finite {key}"
+    assert row["accounting_ok"] is True, (
+        f"accounting broken for {row['scenario']}")
+    assert row["submitted"] == row["completed"] + row["failed"] + row["shed"], (
+        f"submitted != completed+failed+shed for {row['scenario']}")
+    assert row["sustained_rows_per_s"] > 0, (
+        f"zero throughput for {row['scenario']}")
+    scenarios.add(row["scenario"])
+for required in ("steady", "mempool_burst"):
+    assert required in scenarios, f"missing scenario {required}"
+print(f"BENCH_stream.json ok: {len(rows)} scenarios, "
+      + ", ".join(f"{r['scenario']}={r['sustained_rows_per_s']:.0f} rows/s"
+                  for r in rows))
+PY
+  else
+    grep -q '"scenario": "steady"' "${json}" &&
+      grep -q '"scenario": "mempool_burst"' "${json}" &&
+      grep -q '"sustained_rows_per_s"' "${json}" &&
+      grep -q '"ingest_lag_blocks"' "${json}" &&
+      grep -q '"accounting_ok": true' "${json}" &&
+      ! grep -q '"accounting_ok": false' "${json}" ||
       { echo "ci.sh: ${json} malformed" >&2; exit 1; }
   fi
 }
@@ -224,6 +284,11 @@ check_bench_json build-ci-release/BENCH_train.json
 check_extract_json build-ci-release/BENCH_extract.json
 (cd build-ci-release && ./bench/bench_infer --smoke)
 check_infer_json build-ci-release/BENCH_infer.json
+# Stream smoke: the whole miner -> follower -> load generator -> engine
+# pipeline under both arrival scenarios, with the accounting identity and
+# the BENCH_stream.json schema machine-checked.
+(cd build-ci-release && ./bench/bench_stream --smoke)
+check_stream_json build-ci-release/BENCH_stream.json
 (cd build-ci-release && ./bench/bench_serve_throughput 1)
 check_prometheus build-ci-release/BENCH_serve_metrics.prom
 (cd build-ci-release &&
@@ -242,6 +307,6 @@ run_variant asan address
 # only the suites with actual cross-thread state: the serving engine, its
 # chaos/fault-injection suite, the thread-pool unit tests, the pool-backed
 # training determinism suite, and the telemetry layer itself.
-run_variant tsan thread "-R test_serve|test_serve_faults|test_thread_pool|test_parallel_determinism|test_obs"
+run_variant tsan thread "-R test_serve|test_serve_faults|test_thread_pool|test_parallel_determinism|test_obs|test_stream"
 
 echo "=== ci.sh: all variants green ==="

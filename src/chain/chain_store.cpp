@@ -1,5 +1,6 @@
 #include "chain/chain_store.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/errors.hpp"
@@ -88,6 +89,25 @@ void ChainStore::advance_to(Month month) {
   state_.set_block(block);
 }
 
+std::uint64_t ChainStore::mine_next_block(std::uint64_t slots) {
+  if (slots == 0) {
+    throw InvalidArgument("mine_next_block: slots must be > 0");
+  }
+  head_block_ += slots;
+  head_timestamp_ += slots * kSecondsPerSlot;
+  // Roll the calendar month as slots cross month boundaries; the head month
+  // saturates at 2024-10 so post-window mining keeps a valid month stamp.
+  while (head_month_.index + 1 < Month::kCount &&
+         head_timestamp_ >= Month{head_month_.index + 1}.start_timestamp()) {
+    head_month_.index += 1;
+  }
+  evm::BlockContext block = state_.block();
+  block.number = head_block_;
+  block.timestamp = head_timestamp_;
+  state_.set_block(block);
+  return head_block_;
+}
+
 const ContractRecord& ChainStore::record_deployment(const Address& deployer,
                                                     const Address& address) {
   // Each deployment occupies its own slot, nudging the head forward.
@@ -131,6 +151,19 @@ std::vector<const ContractRecord*> ChainStore::contracts_between(
     if (record.month >= from && record.month <= to) out.push_back(&record);
   }
   return out;
+}
+
+std::vector<ContractRecord> ChainStore::contracts_after(
+    std::uint64_t block) const {
+  // records_ is in chain order with strictly increasing block numbers
+  // (every deployment occupies its own slot), so the new suffix is one
+  // binary search away.
+  const auto first = std::upper_bound(
+      records_.begin(), records_.end(), block,
+      [](std::uint64_t b, const ContractRecord& record) {
+        return b < record.block_number;
+      });
+  return {first, records_.end()};
 }
 
 }  // namespace phishinghook::chain

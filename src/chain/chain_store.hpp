@@ -57,6 +57,14 @@ class ChainStore {
   /// spread timestamps; ~12 s slots are simulated coarsely).
   void advance_to(Month month);
 
+  /// Mines `slots` empty blocks at the head (~12 s each), rolling the
+  /// calendar month forward when a slot crosses a month boundary (the head
+  /// month saturates at the end of the study window). This is the streaming
+  /// producer primitive: the block-follower pipeline keeps calling it (via
+  /// synth::ChainMiner) so the chain advances continuously instead of the
+  /// batch advance_to() jumps. Returns the new head block number.
+  std::uint64_t mine_next_block(std::uint64_t slots = 1);
+
   /// Deploys runtime code directly (the registry path used for corpus
   /// generation), stamping the current head block/month.
   const ContractRecord& register_contract(const Address& deployer,
@@ -79,6 +87,11 @@ class ChainStore {
   /// Deployments within [from, to] months inclusive — the crawl primitive.
   std::vector<const ContractRecord*> contracts_between(Month from,
                                                        Month to) const;
+
+  /// Deployments strictly after `block`, in chain order — the incremental
+  /// crawl primitive a streaming follower tails. Returns copies so the
+  /// caller can release any synchronization before processing them.
+  std::vector<ContractRecord> contracts_after(std::uint64_t block) const;
 
  private:
   const ContractRecord& record_deployment(const Address& deployer,

@@ -39,4 +39,11 @@ std::vector<Address> Explorer::crawl(Month from, Month to) const {
   return out;
 }
 
+ChainTail Explorer::crawl_after(std::uint64_t after_block) const {
+  ChainTail tail;
+  tail.records = chain_->contracts_after(after_block);
+  tail.head_block = chain_->head_block();
+  return tail;
+}
+
 }  // namespace phishinghook::chain

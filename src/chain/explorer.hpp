@@ -28,6 +28,16 @@ enum class ContractFlag {
   kPhishHack,  ///< the "Phish/Hack" label used for the positive class
 };
 
+/// One incremental-crawl snapshot: every deployment past a cursor plus the
+/// head observed in the same read. The pairing matters for streaming —
+/// ingest lag (head minus cursor) is only meaningful if both numbers come
+/// from one consistent view of the chain (stream::LiveChain's synchronized
+/// explorer takes its lock around exactly this pair).
+struct ChainTail {
+  std::vector<ContractRecord> records;  ///< block_number > cursor, chain order
+  std::uint64_t head_block = 0;         ///< head at snapshot time
+};
+
 /// The read path (eth_get_code / get_code / flag_of / crawl) is virtual so
 /// decorators — FaultInjectingExplorer in fault_injection.hpp is the one
 /// shipped here — can interpose on exactly what a flaky upstream node would
@@ -56,6 +66,15 @@ class Explorer {
   /// Crawl: all contract addresses deployed in [from, to] months — the raw
   /// unlabeled hash list of the paper's data-gathering phase.
   virtual std::vector<Address> crawl(Month from, Month to) const;
+
+  /// Incremental crawl: deployments strictly after `after_block` plus the
+  /// chain head, the primitive the streaming BlockFollower tails. Like
+  /// crawl(), decorators delegate this untouched — enumeration is journal
+  /// metadata; only the code fetch is a faultable upstream surface.
+  virtual ChainTail crawl_after(std::uint64_t after_block) const;
+
+  /// Chain head at call time (streaming ingest-lag accounting).
+  virtual std::uint64_t head_block() const { return chain_->head_block(); }
 
   virtual std::size_t flagged_count() const { return phishing_.size(); }
 

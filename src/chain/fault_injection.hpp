@@ -60,6 +60,14 @@ class FaultInjectingExplorer final : public Explorer {
   std::vector<Address> crawl(Month from, Month to) const override {
     return inner_->crawl(from, to);
   }
+  // The incremental crawl is journal metadata, exactly like the batch
+  // crawl: it delegates untouched, so a streaming BlockFollower reading
+  // through this decorator sees the real deployment sequence while its
+  // per-deployment code fetches hit the seeded fault schedule above.
+  ChainTail crawl_after(std::uint64_t after_block) const override {
+    return inner_->crawl_after(after_block);
+  }
+  std::uint64_t head_block() const override { return inner_->head_block(); }
   std::size_t flagged_count() const override {
     return inner_->flagged_count();
   }

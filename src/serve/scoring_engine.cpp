@@ -81,13 +81,22 @@ void ScoringEngine::deliver(Request& request, ScoreResult result) {
 }
 
 std::future<ScoreResult> ScoringEngine::submit(const evm::Address& address) {
+  std::optional<std::future<ScoreResult>> future = try_submit(address);
+  if (!future.has_value()) {
+    throw StateError("ScoringEngine::submit after shutdown");
+  }
+  return std::move(*future);
+}
+
+std::optional<std::future<ScoreResult>> ScoringEngine::try_submit(
+    const evm::Address& address) {
   Request request;
   request.address = address;
   std::future<ScoreResult> future = request.promise.get_future();
   bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) throw StateError("ScoringEngine::submit after shutdown");
+    if (stopping_) return std::nullopt;
     if (config_.max_queue == 0 || queue_.size() < config_.max_queue) {
       queue_.push_back(std::move(request));
       metrics_.queue_depth.set(static_cast<double>(queue_.size()));

@@ -40,6 +40,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -122,6 +123,13 @@ class ScoringEngine {
   /// any thread. Throws StateError after shutdown() began — the only
   /// exception this API surfaces.
   std::future<ScoreResult> submit(const evm::Address& address);
+
+  /// Non-throwing submit for streaming producers racing shutdown: returns
+  /// nullopt once shutdown() began (instead of StateError), otherwise
+  /// behaves exactly like submit(). A full queue still yields a kShed
+  /// future — nullopt strictly means "engine no longer accepts work".
+  std::optional<std::future<ScoreResult>> try_submit(
+      const evm::Address& address);
 
   /// Convenience: submit + wait for a whole address list. Never throws out
   /// of the collection loop — a future that cannot deliver (e.g. its

@@ -1,0 +1,239 @@
+#include "stream/coordinator.hpp"
+
+#include <exception>
+
+#include "common/errors.hpp"
+#include "obs/trace.hpp"
+
+namespace phishinghook::stream {
+
+namespace {
+constexpr std::chrono::microseconds kStarvedBackoff(100);
+}  // namespace
+
+StreamCoordinator::StreamCoordinator(LiveChain& chain,
+                                     serve::ScoringEngine& engine,
+                                     StreamConfig config,
+                                     const chain::Explorer* follower_view)
+    : chain_(&chain),
+      engine_(&engine),
+      config_(config),
+      follower_(follower_view != nullptr ? *follower_view : chain.explorer(),
+                config.follower),
+      generator_(config.arrivals),
+      addresses_(config.address_queue_capacity),
+      futures_(config.future_queue_capacity) {}
+
+StreamCoordinator::~StreamCoordinator() { drain(); }
+
+void StreamCoordinator::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    throw StateError("StreamCoordinator::start called twice");
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  miner_thread_ = std::thread([this] { miner_loop(); });
+  follower_thread_ = std::thread([this] { follower_loop(); });
+  generator_thread_ = std::thread([this] { generator_loop(); });
+  collector_thread_ = std::thread([this] { collector_loop(); });
+}
+
+bool StreamCoordinator::finished() const {
+  return generator_done_.load(std::memory_order_acquire) &&
+         collector_done_.load(std::memory_order_acquire);
+}
+
+void StreamCoordinator::drain() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!drained_.compare_exchange_strong(expected, true)) return;
+  obs::ScopedSpan span("stream.drain");
+  // Upstream first: stop producing, then each stage finishes what its
+  // upstream already owes it before closing its own output.
+  drain_requested_.store(true, std::memory_order_release);
+  stop_mining_.store(true, std::memory_order_release);
+  if (miner_thread_.joinable()) miner_thread_.join();
+  if (follower_thread_.joinable()) follower_thread_.join();
+  if (generator_thread_.joinable()) generator_thread_.join();
+  if (collector_thread_.joinable()) collector_thread_.join();
+  elapsed_s_ = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+}
+
+void StreamCoordinator::miner_loop() {
+  std::uint64_t mined = 0;
+  while (!stop_mining_.load(std::memory_order_acquire)) {
+    chain_->mine_next_block();
+    mined += 1;
+    metrics_.blocks_mined.set(static_cast<double>(mined));
+    if (config_.max_blocks != 0 && mined >= config_.max_blocks) break;
+    if (config_.paced) {
+      std::this_thread::sleep_until(
+          epoch_ + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           static_cast<double>(mined) / config_.blocks_per_s)));
+    }
+  }
+  miner_done_.store(true, std::memory_order_release);
+}
+
+void StreamCoordinator::follower_loop() {
+  for (;;) {
+    // Read the flag *before* polling: a poll that races the miner's last
+    // block may come back empty while that block is still unread, but the
+    // next iteration's poll (flag already true) re-checks before exiting.
+    const bool miner_was_done = miner_done_.load(std::memory_order_acquire);
+    const std::vector<chain::ContractRecord> fresh = follower_.poll();
+    const FollowerStats& stats = follower_.stats();
+    metrics_.deployments_seen.set(
+        static_cast<double>(stats.deployments_seen));
+    metrics_.forwarded.set(static_cast<double>(stats.forwarded));
+    metrics_.dedup_hit_rate.set(stats.dedup_hit_rate());
+    metrics_.ingest_lag.set(static_cast<double>(stats.last_lag_blocks));
+    metrics_.max_ingest_lag.set(static_cast<double>(stats.max_lag_blocks));
+    bool downstream_closed = false;
+    for (const chain::ContractRecord& record : fresh) {
+      if (!addresses_.push(record.address)) {
+        // Generator exited (max_requests) and closed the queue — nothing
+        // downstream wants the rest.
+        downstream_closed = true;
+        break;
+      }
+    }
+    if (downstream_closed) break;
+    if (fresh.empty()) {
+      if (miner_was_done) break;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.poll_interval_us));
+    }
+  }
+  addresses_.close();
+}
+
+bool StreamCoordinator::submit_one(const evm::Address& address, bool fresh) {
+  std::optional<std::future<serve::ScoreResult>> future =
+      engine_->try_submit(address);
+  if (!future.has_value()) return false;  // engine shut down underneath us
+  submitted_ += 1;
+  metrics_.submitted.inc();
+  if (fresh) {
+    metrics_.fresh.inc();
+  } else {
+    metrics_.requery.inc();
+  }
+  if (generator_.last_in_burst()) metrics_.burst.inc();
+  // Blocking push: a full future queue is collector backpressure and
+  // simply stalls the arrival schedule (open-loop ⇒ later arrivals bunch).
+  return futures_.push(std::move(*future));
+}
+
+void StreamCoordinator::generator_loop() {
+  bool engine_alive = true;
+  while (engine_alive && !drain_requested_.load(std::memory_order_acquire)) {
+    if (config_.max_requests != 0 && submitted_ >= config_.max_requests) {
+      break;
+    }
+    generator_.next_arrival();
+    if (config_.paced) {
+      std::this_thread::sleep_until(
+          epoch_ + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           generator_.virtual_time_s())));
+    }
+    const bool want_requery = generator_.draw_requery() && !known_.empty();
+    if (want_requery) {
+      engine_alive = submit_one(known_[generator_.draw_index(known_.size())],
+                                /*fresh=*/false);
+      continue;
+    }
+    if (std::optional<evm::Address> address = addresses_.try_pop()) {
+      known_.push_back(*address);
+      engine_alive = submit_one(*address, /*fresh=*/true);
+      continue;
+    }
+    if (!known_.empty()) {
+      // Fresh feed momentarily empty — the arrival still lands, as a
+      // re-query (real traffic doesn't pause because no one deployed).
+      engine_alive = submit_one(known_[generator_.draw_index(known_.size())],
+                                /*fresh=*/false);
+      continue;
+    }
+    metrics_.starved.inc();
+    std::this_thread::sleep_for(kStarvedBackoff);
+  }
+
+  // Flush: every address the follower forwarded gets submitted (unless
+  // max_requests cuts the run short) — this is what makes
+  // fresh_submits == follower.forwarded a drain invariant.
+  while (engine_alive &&
+         (config_.max_requests == 0 || submitted_ < config_.max_requests)) {
+    std::optional<evm::Address> address = addresses_.pop();
+    if (!address.has_value()) break;  // follower closed and drained
+    known_.push_back(*address);
+    engine_alive = submit_one(*address, /*fresh=*/true);
+  }
+
+  // Always close both queues on the way out: a blocked follower push
+  // unblocks (false) and the collector sees end-of-stream after draining.
+  addresses_.close();
+  futures_.close();
+  generator_done_.store(true, std::memory_order_release);
+}
+
+void StreamCoordinator::collector_loop() {
+  for (;;) {
+    std::optional<std::future<serve::ScoreResult>> future = futures_.pop();
+    if (!future.has_value()) break;
+    serve::ScoreResult result;
+    try {
+      result = future->get();
+    } catch (const std::exception&) {
+      // Engine futures never throw by contract; a broken promise (engine
+      // destroyed mid-run) is accounted as shed, same as score_all does.
+      result.status = serve::ScoreStatus::kShed;
+    }
+    switch (result.status) {
+      case serve::ScoreStatus::kOk:
+      case serve::ScoreStatus::kEmptyCode:
+        metrics_.completed.inc();
+        break;
+      case serve::ScoreStatus::kExtractError:
+      case serve::ScoreStatus::kModelError:
+        metrics_.failed.inc();
+        break;
+      case serve::ScoreStatus::kShed:
+        metrics_.shed.inc();
+        break;
+    }
+    if (result.cache_hit) metrics_.cache_hits.inc();
+  }
+  collector_done_.store(true, std::memory_order_release);
+}
+
+StreamReport StreamCoordinator::report() const {
+  StreamReport report;
+  report.elapsed_s = elapsed_s_;
+  report.miner = chain_->miner_stats();
+  report.follower = follower_.stats();
+  report.submitted = metrics_.submitted.value();
+  report.fresh_submits = metrics_.fresh.value();
+  report.requery_submits = metrics_.requery.value();
+  report.starved_arrivals = metrics_.starved.value();
+  report.burst_arrivals = metrics_.burst.value();
+  report.completed = metrics_.completed.value();
+  report.failed = metrics_.failed.value();
+  report.shed = metrics_.shed.value();
+  report.cache_hit_results = metrics_.cache_hits.value();
+  report.sustained_rows_per_s =
+      report.elapsed_s > 0.0
+          ? static_cast<double>(report.completed) / report.elapsed_s
+          : 0.0;
+  report.ingest_lag_blocks = report.follower.last_lag_blocks;
+  report.max_ingest_lag_blocks = report.follower.max_lag_blocks;
+  return report;
+}
+
+}  // namespace phishinghook::stream

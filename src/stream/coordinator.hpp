@@ -1,0 +1,187 @@
+// StreamCoordinator: wires miner → follower → load generator → engine
+// into a running pipeline with a graceful start/drain lifecycle.
+//
+// Four single-purpose threads, hand-offs over bounded queues:
+//
+//   miner      keeps LiveChain producing blocks (paced to blocks_per_s)
+//   follower   tails the chain via BlockFollower, pushes fresh addresses
+//   generator  open-loop arrivals (LoadGenerator schedule): each arrival
+//              re-queries a known address or pops a fresh one, submits to
+//              the ScoringEngine, pushes the future
+//   collector  resolves futures, tallies completed/failed/shed
+//
+// The drain protocol runs strictly upstream-to-downstream: stop the miner,
+// let the follower surface the last blocks and close the address queue,
+// let the generator flush every remaining fresh address (so after a full
+// drain fresh_submits == follower.forwarded — an asserted invariant), then
+// close the future queue and let the collector finish. No stage is ever
+// cancelled with work still owed to it; the accounting identity
+// submitted == completed + failed + shed holds at the end of every run.
+//
+// Reproducibility contract (tested): chain content, dedup counts, and —
+// when max_requests bounds the run — the submitted count are pure
+// functions of the seeds. Timing-coupled splits (requery vs fresh, shed
+// counts, lag highs) legitimately vary run to run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/scoring_engine.hpp"
+#include "stream/block_follower.hpp"
+#include "stream/bounded_queue.hpp"
+#include "stream/live_chain.hpp"
+#include "stream/load_generator.hpp"
+
+namespace phishinghook::stream {
+
+struct StreamConfig {
+  FollowerConfig follower;
+  ArrivalConfig arrivals;
+  /// Chain production rate in paced mode (mainnet ~0.083; dial up to
+  /// compress hours of chain time into seconds of wall clock).
+  double blocks_per_s = 50.0;
+  /// Follower sleep between empty polls.
+  std::uint64_t poll_interval_us = 2000;
+  /// Paced mode sleeps the miner/generator onto their virtual-time
+  /// schedules (honest rates, wall-clock runtime). Unpaced free-runs —
+  /// for tests and smoke benches where only the accounting matters.
+  bool paced = true;
+  std::size_t address_queue_capacity = 4096;
+  std::size_t future_queue_capacity = 8192;
+  /// Stop mining after this many blocks (0 = mine until drain).
+  std::uint64_t max_blocks = 0;
+  /// Stop generating after this many submissions (0 = until drain).
+  std::uint64_t max_requests = 0;
+};
+
+/// End-of-run summary. All fields are totals for this coordinator's run
+/// (engine-shared state like the score cache is *not* reset; cache hits
+/// here count this run's results only).
+struct StreamReport {
+  double elapsed_s = 0.0;
+  synth::MinerStats miner;
+  FollowerStats follower;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t fresh_submits = 0;    ///< popped from the follower feed
+  std::uint64_t requery_submits = 0;  ///< re-query of a known address
+  std::uint64_t starved_arrivals = 0; ///< arrival with nothing to query
+  std::uint64_t burst_arrivals = 0;   ///< submissions inside burst windows
+
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t cache_hit_results = 0;
+
+  double sustained_rows_per_s = 0.0;  ///< completed / elapsed_s
+  std::uint64_t ingest_lag_blocks = 0;      ///< at the follower's last poll
+  std::uint64_t max_ingest_lag_blocks = 0;
+
+  /// The conservation law the engine + pipeline jointly guarantee once
+  /// drained: every submission resolved exactly one way.
+  bool accounting_ok() const {
+    return submitted == completed + failed + shed;
+  }
+};
+
+class StreamCoordinator {
+ public:
+  /// Borrows everything; `chain` and `engine` must outlive the
+  /// coordinator. `follower_view` overrides the explorer the follower
+  /// tails (defaults to chain.explorer()) — pass a chaos decorator
+  /// wrapped around chain.explorer() to fault-inject the ingest path.
+  StreamCoordinator(LiveChain& chain, serve::ScoringEngine& engine,
+                    StreamConfig config = {},
+                    const chain::Explorer* follower_view = nullptr);
+
+  /// Drains if still running.
+  ~StreamCoordinator();
+
+  StreamCoordinator(const StreamCoordinator&) = delete;
+  StreamCoordinator& operator=(const StreamCoordinator&) = delete;
+
+  /// Launches the four pipeline threads. Throws StateError on re-start.
+  void start();
+
+  /// True once the generator and collector finished on their own
+  /// (max_blocks/max_requests reached and every future resolved). Poll
+  /// this to detect natural completion, then drain() to join.
+  bool finished() const;
+
+  /// Graceful stop: miner → follower → generator flush → collector, in
+  /// order, joining each. Idempotent; also run by the destructor.
+  void drain();
+
+  /// Valid after drain().
+  StreamReport report() const;
+
+  /// Per-stage stream_* counters/gauges (live during the run).
+  obs::MetricsRegistry& registry() { return metrics_.registry; }
+
+ private:
+  struct StreamMetrics {
+    obs::MetricsRegistry registry;
+    obs::Counter submitted = registry.counter("stream_requests_submitted");
+    obs::Counter fresh = registry.counter("stream_fresh_submits");
+    obs::Counter requery = registry.counter("stream_requery_submits");
+    obs::Counter starved = registry.counter("stream_starved_arrivals");
+    obs::Counter burst = registry.counter("stream_burst_arrivals");
+    obs::Counter completed = registry.counter("stream_requests_completed");
+    obs::Counter failed = registry.counter("stream_requests_failed");
+    obs::Counter shed = registry.counter("stream_requests_shed");
+    obs::Counter cache_hits = registry.counter("stream_cache_hit_results");
+    obs::Gauge blocks_mined = registry.gauge("stream_blocks_mined");
+    obs::Gauge deployments_seen = registry.gauge("stream_deployments_seen");
+    obs::Gauge forwarded = registry.gauge("stream_forwarded_total");
+    obs::Gauge dedup_hit_rate = registry.gauge("stream_dedup_hit_rate");
+    obs::Gauge ingest_lag = registry.gauge("stream_ingest_lag_blocks");
+    obs::Gauge max_ingest_lag =
+        registry.gauge("stream_max_ingest_lag_blocks");
+  };
+
+  void miner_loop();
+  void follower_loop();
+  void generator_loop();
+  void collector_loop();
+  /// One submission from the generator thread; false when the engine
+  /// stopped accepting work or the future queue closed.
+  bool submit_one(const evm::Address& address, bool fresh);
+
+  LiveChain* chain_;
+  serve::ScoringEngine* engine_;
+  StreamConfig config_;
+  BlockFollower follower_;
+  LoadGenerator generator_;
+  StreamMetrics metrics_;
+
+  BoundedQueue<evm::Address> addresses_;
+  BoundedQueue<std::future<serve::ScoreResult>> futures_;
+
+  std::chrono::steady_clock::time_point epoch_{};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<bool> stop_mining_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> miner_done_{false};
+  std::atomic<bool> generator_done_{false};
+  std::atomic<bool> collector_done_{false};
+
+  /// Generator-thread state (touched only there, read after join).
+  std::vector<evm::Address> known_;
+  std::uint64_t submitted_ = 0;
+
+  double elapsed_s_ = 0.0;
+
+  std::thread miner_thread_;
+  std::thread follower_thread_;
+  std::thread generator_thread_;
+  std::thread collector_thread_;
+};
+
+}  // namespace phishinghook::stream

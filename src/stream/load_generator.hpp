@@ -1,0 +1,88 @@
+// Open-loop arrival model for the streaming load generator.
+//
+// "Open-loop" is the defining property: arrivals are a function of time
+// and the seed only, never of how fast the engine is answering. A closed
+// loop (submit, wait, submit) self-throttles and can never observe shed —
+// the paper's serving claims need the opposite, a client population that
+// keeps querying at its own pace while the engine sinks or swims.
+//
+// Arrivals are a Poisson process with a piecewise-constant rate: a steady
+// base rate, optionally interrupted by periodic "mempool burst" windows at
+// a much higher rate (the thundering-herd shape of a hyped deployment hit
+// by every wallet's token-screening backend at once). Inter-arrival gaps
+// are exponential at the rate in effect when the gap is drawn, so the
+// whole schedule is a pure function of (seed, config) — two same-seed
+// generators produce bit-identical schedules, which the reproducibility
+// tests assert.
+//
+// The request mix is two-sided, matching real screening traffic: a
+// `requery_fraction` of arrivals re-query an already-seen contract
+// (keeping the score cache under realistic pressure) and the rest demand
+// the newest unscored deployment.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace phishinghook::stream {
+
+struct ArrivalConfig {
+  /// Base arrival rate, requests per second of virtual time. Must be > 0.
+  double rate_per_s = 2000.0;
+  /// Rate inside burst windows; 0 disables bursts entirely.
+  double burst_rate_per_s = 0.0;
+  /// Burst window period and width (a burst starts every `burst_every_s`
+  /// and lasts `burst_duration_s`).
+  double burst_every_s = 0.5;
+  double burst_duration_s = 0.05;
+  std::uint64_t seed = 99;
+  /// Fraction of arrivals that re-query a previously surfaced address
+  /// instead of asking for a fresh deployment.
+  double requery_fraction = 0.5;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(ArrivalConfig config = {});
+
+  /// Steady Poisson traffic at the base rate — the "quiet day" scenario.
+  static ArrivalConfig steady_scenario();
+
+  /// Base-rate traffic punctuated by short mempool bursts at many times
+  /// the base rate — the scenario that forces shed/backpressure to act.
+  static ArrivalConfig mempool_burst_scenario();
+
+  /// Advances virtual time to the next arrival and returns the gap just
+  /// consumed, in seconds. Pure function of (seed, call count).
+  double next_arrival();
+
+  /// Virtual-time position of the most recent arrival, seconds since the
+  /// schedule's start. The pacing loop sleeps until wall-clock epoch +
+  /// this value — if it can't keep up, arrivals bunch (open loop).
+  double virtual_time_s() const { return virtual_time_s_; }
+
+  /// Whether the most recent arrival fell inside a burst window.
+  bool last_in_burst() const { return last_in_burst_; }
+
+  bool in_burst(double t) const;
+  double rate_at(double t) const;
+
+  /// Draws the requery-vs-fresh coin for the current arrival.
+  bool draw_requery();
+
+  /// Uniform index into an `n`-element known-address pool. n must be > 0.
+  std::size_t draw_index(std::size_t n);
+
+  std::uint64_t arrivals() const { return arrivals_; }
+  const ArrivalConfig& config() const { return config_; }
+
+ private:
+  ArrivalConfig config_;
+  common::Rng rng_;
+  double virtual_time_s_ = 0.0;
+  bool last_in_burst_ = false;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace phishinghook::stream

@@ -1,0 +1,91 @@
+#include "synth/chain_miner.hpp"
+
+namespace phishinghook::synth {
+
+using chain::ContractFlag;
+using chain::ContractRecord;
+
+ChainMiner::ChainMiner(chain::ChainStore& chain, chain::Explorer& explorer,
+                       MinerConfig config)
+    : chain_(&chain),
+      explorer_(&explorer),
+      config_(config),
+      synth_(config.synth),
+      rng_(config.seed) {}
+
+std::uint64_t ChainMiner::mine_next_block() {
+  chain_->mine_next_block();
+  stats_.blocks_mined += 1;
+  const int deployments = rng_.poisson(config_.deployments_per_block);
+  for (int i = 0; i < deployments; ++i) deploy_one();
+  return chain_->head_block();
+}
+
+void ChainMiner::deploy_one() {
+  stats_.deployments += 1;
+  if (campaign_.has_value()) {
+    // Campaign follower: one more bit-identical deployment of the active
+    // runtime, flagged like its implementation.
+    const Address deployer = random_address(rng_);
+    const ContractRecord& record =
+        chain_->register_contract(deployer, campaign_->runtime);
+    if (campaign_->phishing) {
+      explorer_->flag(record.address, ContractFlag::kPhishHack);
+      stats_.phishing_deployments += 1;
+    } else {
+      stats_.benign_deployments += 1;
+    }
+    stats_.clone_deployments += 1;
+    if (--campaign_->remaining <= 0) campaign_.reset();
+    return;
+  }
+  start_campaign();
+}
+
+void ChainMiner::start_campaign() {
+  const Month month = chain_->head_month();
+  const Address deployer = random_address(rng_);
+  if (rng_.bernoulli(config_.phishing_fraction)) {
+    const Address owner = random_address(rng_);
+    const SynthContract impl = synth_.phishing(month, rng_, owner);
+    const ContractRecord& record =
+        chain_->register_contract(deployer, impl.runtime);
+    explorer_->flag(record.address, ContractFlag::kPhishHack);
+    stats_.phishing_deployments += 1;
+    const int clones =
+        rng_.geometric(1.0 - 1.0 / config_.duplicate_rate, /*cap=*/24);
+    if (clones > 0) {
+      // Half the campaigns redeploy the drainer verbatim, half deploy an
+      // ERC-1167 proxy army pointing at it — bit-identical either way.
+      Campaign campaign;
+      campaign.phishing = true;
+      campaign.remaining = clones;
+      campaign.runtime =
+          rng_.bernoulli(0.5)
+              ? synth_.minimal_proxy(record.address, /*implementation_is_phishing=*/true)
+                    .runtime
+              : impl.runtime;
+      campaign_ = std::move(campaign);
+      stats_.campaigns_started += 1;
+    }
+  } else {
+    const SynthContract contract = synth_.benign(month, rng_);
+    const ContractRecord& record =
+        chain_->register_contract(deployer, contract.runtime);
+    stats_.benign_deployments += 1;
+    if (rng_.bernoulli(config_.benign_proxy_prob)) {
+      // Duplicates exist on both sides: legitimate implementations get
+      // proxy farms too (same shape the dataset builder emits).
+      Campaign campaign;
+      campaign.phishing = false;
+      campaign.remaining = 1 + rng_.geometric(0.5, /*cap=*/6);
+      campaign.runtime =
+          synth_.minimal_proxy(record.address, /*implementation_is_phishing=*/false)
+              .runtime;
+      campaign_ = std::move(campaign);
+      stats_.campaigns_started += 1;
+    }
+  }
+}
+
+}  // namespace phishinghook::synth

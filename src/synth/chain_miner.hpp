@@ -1,0 +1,92 @@
+// Streaming block producer: keeps the synthetic chain mining past the
+// batch corpus, one block at a time, under the paper's deployment mix.
+//
+// The batch DatasetBuilder populates a whole study window up front; the
+// streaming subsystem (src/stream) instead needs the chain to keep
+// producing blocks while a follower tails it. ChainMiner is that producer:
+// each mine_next_block() appends one ~12 s slot and deploys a
+// Poisson-distributed number of contracts with the same campaign structure
+// the dataset builder uses — phishing implementations trailed by armies of
+// bit-identical ERC-1167 clones or verbatim redeploys (the ~5x raw:unique
+// duplication of Fig. 2), benign contracts with occasional proxy farms of
+// their own. Deployment content is a pure function of the seed and the
+// call sequence, so a seeded streaming run is replayable deployment by
+// deployment — the reproducible-accounting tests lean on this.
+//
+// Not thread-safe: the stream coordinator serializes miner and reader
+// access behind one lock (see stream::LiveChain).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/chain_store.hpp"
+#include "chain/explorer.hpp"
+#include "common/rng.hpp"
+#include "synth/contract_synthesizer.hpp"
+
+namespace phishinghook::synth {
+
+struct MinerConfig {
+  std::uint64_t seed = 7;
+  /// Mean contract deployments per mined block (Poisson).
+  double deployments_per_block = 3.0;
+  /// Probability a fresh (non-campaign) deployment starts a phishing
+  /// campaign rather than a benign contract.
+  double phishing_fraction = 0.35;
+  /// Mean raw:unique ratio for phishing campaigns (Fig. 2: ~5.0); drives
+  /// how many bit-identical clones trail each implementation.
+  double duplicate_rate = 5.0;
+  /// Probability a benign deployment spawns a small proxy farm.
+  double benign_proxy_prob = 0.12;
+  SynthConfig synth;
+};
+
+struct MinerStats {
+  std::uint64_t blocks_mined = 0;
+  std::uint64_t deployments = 0;
+  std::uint64_t phishing_deployments = 0;
+  std::uint64_t benign_deployments = 0;
+  std::uint64_t clone_deployments = 0;  ///< campaign followers (bit-identical)
+  std::uint64_t campaigns_started = 0;
+};
+
+class ChainMiner {
+ public:
+  /// Borrows `chain` and `explorer` (the label write path); both must
+  /// outlive the miner.
+  ChainMiner(chain::ChainStore& chain, chain::Explorer& explorer,
+             MinerConfig config = {});
+
+  /// Appends one slot plus this block's deployments (each deployment
+  /// occupies its own follow-up slot, matching ChainStore's journal
+  /// semantics). Returns the new head block.
+  std::uint64_t mine_next_block();
+
+  const MinerStats& stats() const { return stats_; }
+  const MinerConfig& config() const { return config_; }
+
+ private:
+  void deploy_one();
+  void start_campaign();
+
+  chain::ChainStore* chain_;
+  chain::Explorer* explorer_;
+  MinerConfig config_;
+  ContractSynthesizer synth_;
+  Rng rng_;
+  MinerStats stats_;
+
+  /// Active clone campaign: the next `remaining` deployments re-emit
+  /// `runtime` verbatim. Clone armies arrive as bursts trailing their
+  /// implementation, not as background noise — that burstiness is what
+  /// makes the follower's dedup and the score cache earn their keep.
+  struct Campaign {
+    Bytecode runtime;
+    bool phishing = false;
+    int remaining = 0;
+  };
+  std::optional<Campaign> campaign_;
+};
+
+}  // namespace phishinghook::synth
