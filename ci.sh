@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# CI driver: builds and tests the Release tree, the ASan/UBSan variant, and
-# a TSan variant running the threaded suites (the serving engine plus the
-# thread-pool-backed training paths and the telemetry layer). The Release
+# CI driver: builds and tests the Release tree, the ASan/UBSan variant, a
+# TSan variant running the threaded suites (the serving engine plus the
+# thread-pool-backed training paths and the telemetry layer), and a no-SIMD
+# variant proving the scalar fallbacks bit-identical. The Release
 # leg also runs bench_train_parallel (validating BENCH_train.json),
 # bench_extract + bench_infer in --smoke mode (validating
-# BENCH_extract.json / BENCH_infer.json and the >= 5x single-thread
-# LUT-extraction speedup floor), bench_serve_throughput (validating its
+# BENCH_extract.json / BENCH_infer.json, the >= 8x single-thread
+# LUT-extraction speedup floor, and the >= 1x flat-vs-nodewalk floor on
+# every tree model), bench_serve_throughput (validating its
 # Prometheus exposition), and contract_scanner under PHISHINGHOOK_TRACE
 # (validating the span trace), a chaos smoke (contract_scanner against
 # a 10% fault-injecting explorer, checking that every request resolves to a
@@ -92,9 +94,12 @@ for required in ("legacy", "fast"):
     assert required in by_path, f"missing path {required}"
 fast = by_path["fast"]
 assert fast["threads"] == 1, "fast row must be single-thread"
-assert fast["speedup_vs_legacy"] >= 5.0, (
+# Floor raised 5x -> 8x with the banked-histogram accumulator (the CI box
+# measures ~35x; 8x leaves headroom for noisy hosts without letting the
+# fast path quietly decay to the old scalar scan).
+assert fast["speedup_vs_legacy"] >= 8.0, (
     f"LUT extraction speedup {fast['speedup_vs_legacy']:.2f}x "
-    "below the 5x floor")
+    "below the 8x floor")
 print(f"BENCH_extract.json ok: {len(rows)} rows, "
       f"fast path {fast['speedup_vs_legacy']:.1f}x legacy "
       f"at {fast['mb_per_s']:.0f} MB/s")
@@ -123,8 +128,8 @@ rows = doc["results"]
 assert rows, "empty results"
 seen = set()
 for row in rows:
-    for key in ("model", "path", "threads", "ms", "rows_per_s",
-                "speedup_vs_nodewalk"):
+    for key in ("model", "path", "traversal", "row_block", "threads", "ms",
+                "rows_per_s", "speedup_vs_nodewalk"):
         assert key in row, f"missing {key}"
     assert row["rows_per_s"] > 0, (
         f"zero throughput for {row['model']}/{row['path']}")
@@ -132,17 +137,32 @@ for row in rows:
 for model in ("random_forest", "xgboost", "lightgbm", "catboost"):
     for path in ("nodewalk", "flat"):
         assert (model, path) in seen, f"missing row {model}/{path}"
-# Warn-only regression signal: the flattened SoA traversal is expected to
-# beat the per-row nodewalk, but two ensembles are known to sit below 1x
-# on some hosts (ROADMAP: xgboost ~0.72x, lightgbm ~0.79x single-thread).
-# Surface every sub-1x flat row without failing the build.
+# Enforced floor: the compiled flat traversal must beat the per-row
+# nodewalk on EVERY model at one thread (DESIGN.md §10). The floors are
+# "never slower" (1.0), not the measured speedups (~3.3x RF, ~1.9x XGB,
+# ~1.8x LGBM, ~1.25x CatBoost on the CI box) — pinning the measured
+# numbers would flake on host noise, while 1.0 catches any regression to
+# the pre-rewrite state, where xgboost/lightgbm sat at ~0.7-0.8x.
+min_speedup = {"random_forest": 1.0, "xgboost": 1.0,
+               "lightgbm": 1.0, "catboost": 1.0}
+checked = set()
 for row in rows:
-    if row["path"] == "flat" and row.get("threads") == 1 \
-            and row["speedup_vs_nodewalk"] < 1.0:
-        print(f"WARNING: flat inference slower than nodewalk for "
-              f"{row['model']} ({row['speedup_vs_nodewalk']:.2f}x)")
+    if row["path"] != "flat" or row.get("threads") != 1:
+        continue
+    floor = min_speedup.get(row["model"])
+    if floor is None:
+        continue
+    assert row["speedup_vs_nodewalk"] >= floor, (
+        f"flat inference for {row['model']} at "
+        f"{row['speedup_vs_nodewalk']:.2f}x nodewalk "
+        f"({row['traversal']}, block {row['row_block']}), below the "
+        f"{floor:.1f}x floor")
+    checked.add(row["model"])
+assert checked == set(min_speedup), (
+    f"missing single-thread flat rows for {set(min_speedup) - checked}")
 print(f"BENCH_infer.json ok: {len(rows)} rows over "
-      f"{len({m for m, _ in seen})} models")
+      f"{len({m for m, _ in seen})} models, flat >= nodewalk on all of "
+      + ", ".join(sorted(checked)))
 PY
   else
     grep -q '"results"' "${json}" && grep -q '"rows_per_s"' "${json}" &&
@@ -308,5 +328,17 @@ run_variant asan address
 # chaos/fault-injection suite, the thread-pool unit tests, the pool-backed
 # training determinism suite, and the telemetry layer itself.
 run_variant tsan thread "-R test_serve|test_serve_faults|test_thread_pool|test_parallel_determinism|test_obs|test_stream"
+
+# No-SIMD leg: build with PHISHINGHOOK_SIMD compiled out (and gcc's
+# autovectorizers off) and run the fast-vs-legacy equivalence suite. The
+# scalar fallbacks must be bit-identical to the vectorized build — this is
+# the proof that the SIMD pragmas are an optimization, never a semantic.
+echo "=== nosimd: configure ==="
+cmake -B build-ci-nosimd -S . -DCMAKE_BUILD_TYPE=Release \
+      -DPHISHINGHOOK_NO_SIMD=ON >/dev/null
+echo "=== nosimd: build ==="
+cmake --build build-ci-nosimd -j "${JOBS}" --target test_features_fast
+echo "=== nosimd: test_features_fast ==="
+(cd build-ci-nosimd && ./tests/test_features_fast)
 
 echo "=== ci.sh: all variants green ==="

@@ -1,7 +1,9 @@
 #include "core/features.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
@@ -24,6 +26,33 @@ const std::array<std::uint8_t, 256>& immediate_width_lut() {
     return out;
   }();
   return lut;
+}
+
+/// The declared PUSH immediate width as pure arithmetic: PUSH1..PUSH32
+/// are the contiguous bytes 0x60..0x7f skipping 1..32 operand bytes;
+/// everything else (including 0x5f PUSH0) skips none. Keeping this out
+/// of a table removes the dependent LUT load from the scan's
+/// `pc += 1 + skip` critical path.
+inline std::size_t arithmetic_push_skip(std::uint8_t byte) {
+  return static_cast<std::uint8_t>(byte - 0x60) < 32
+             ? static_cast<std::size_t>(byte) - 0x5f
+             : 0;
+}
+
+/// Verified once at first use: the arithmetic skip must agree with the
+/// Shanghai opcode table for every byte. If a future table revision adds
+/// immediates outside the PUSH range, the scan falls back to the LUT.
+bool arithmetic_skip_matches_table() {
+  static const bool matches = [] {
+    const std::array<std::uint8_t, 256>& lut = immediate_width_lut();
+    for (std::size_t b = 0; b < 256; ++b) {
+      if (arithmetic_push_skip(static_cast<std::uint8_t>(b)) != lut[b]) {
+        return false;
+      }
+    }
+    return true;
+  }();
+  return matches;
 }
 
 /// Fast-path volume counters + the transform_all latency histogram.
@@ -104,15 +133,62 @@ void HistogramVocabulary::transform_into(const Bytecode& code,
                           std::to_string(mnemonics_.size()));
   }
   std::fill(out.begin(), out.end(), 0.0);
-  const std::array<std::uint8_t, 256>& skip = immediate_width_lut();
   const std::vector<std::uint8_t>& bytes = code.bytes();
+  const std::uint8_t* data = bytes.data();
   const std::size_t n = bytes.size();
-  std::size_t pc = 0;
-  while (pc < n) {
-    const std::uint8_t byte = bytes[pc];
-    const std::int32_t column = byte_column_[byte];
-    if (column >= 0) out[static_cast<std::size_t>(column)] += 1.0;
-    pc += 1 + static_cast<std::size_t>(skip[byte]);
+  const bool arithmetic_skip = arithmetic_skip_matches_table();
+  if (n >= kBankedHistogramBytes && arithmetic_skip) {
+    // Large codes: integer opcode histogram in four banks — consecutive
+    // occurrences of the same opcode land on different counters, so the
+    // increment never stalls on a store-to-load forward of the previous
+    // iteration. The pc chase itself is the serial dependency; the
+    // arithmetic PUSH skip keeps it a one-add chain instead of a load.
+    std::uint32_t banks[4][256] = {};
+    std::size_t pc = 0;
+    std::size_t lane = 0;
+    while (pc < n) {
+      const std::uint8_t byte = data[pc];
+      ++banks[lane & 3][byte];
+      ++lane;
+      pc += 1 + arithmetic_push_skip(byte);
+    }
+    // Bank merge is a straight vectorizable sum; the final scatter through
+    // byte_column_ converts each exact integer count to its double (the
+    // legacy path summed 1.0 per instruction — identical values).
+    std::uint32_t counts[256];
+    PHISHINGHOOK_SIMD
+    for (std::size_t b = 0; b < 256; ++b) {
+      counts[b] = banks[0][b] + banks[1][b] + banks[2][b] + banks[3][b];
+    }
+    for (std::size_t b = 0; b < 256; ++b) {
+      const std::int32_t column = byte_column_[b];
+      if (counts[b] != 0 && column >= 0) {
+        out[static_cast<std::size_t>(column)] +=
+            static_cast<double>(counts[b]);
+      }
+    }
+  } else if (arithmetic_skip) {
+    // Small codes: the ~1.5 KB of bank zero/merge would outweigh the walk
+    // itself, so accumulate straight into the output doubles (sums of 1.0
+    // — the same values the banked path produces).
+    std::size_t pc = 0;
+    while (pc < n) {
+      const std::uint8_t byte = data[pc];
+      const std::int32_t column = byte_column_[byte];
+      if (column >= 0) out[static_cast<std::size_t>(column)] += 1.0;
+      pc += 1 + arithmetic_push_skip(byte);
+    }
+  } else {
+    // Table fallback: a revised opcode table added immediates outside the
+    // PUSH range, so honor the LUT.
+    const std::array<std::uint8_t, 256>& skip = immediate_width_lut();
+    std::size_t pc = 0;
+    while (pc < n) {
+      const std::uint8_t byte = data[pc];
+      const std::int32_t column = byte_column_[byte];
+      if (column >= 0) out[static_cast<std::size_t>(column)] += 1.0;
+      pc += 1 + static_cast<std::size_t>(skip[byte]);
+    }
   }
   FeatureInstruments& instruments = feature_instruments();
   instruments.rows.inc();

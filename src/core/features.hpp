@@ -81,6 +81,12 @@ struct CodeHashHash {
 /// allocation beyond the output vector (`transform_into` avoids even that).
 class HistogramVocabulary {
  public:
+  /// Codes at least this large count opcodes through the banked integer
+  /// histogram (SIMD bank merge); smaller codes accumulate doubles
+  /// directly — the bank zero/merge overhead would outweigh their walk.
+  /// Both paths produce bit-identical counts (exact small integers).
+  static constexpr std::size_t kBankedHistogramBytes = 4096;
+
   HistogramVocabulary() { byte_column_.fill(-1); }
 
   /// Collects every mnemonic present in `corpus` (first-seen order),

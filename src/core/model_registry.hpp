@@ -39,6 +39,14 @@ class PhishingClassifier {
 
   virtual std::string name() const = 0;
   virtual ModelCategory category() const = 0;
+
+  /// The compiled branch-free tree ensemble serving this detector's
+  /// predict_proba, when one exists (fitted/loaded HSC tree models);
+  /// nullptr for everything else. ScoringEngine exports its compile
+  /// stats as serve gauges.
+  virtual const ml::FlatTreeEnsemble* flat_ensemble() const {
+    return nullptr;
+  }
 };
 
 /// Histogram (HSC) adapter: vocabulary + a tabular classifier.
@@ -58,6 +66,11 @@ class HistogramAdapter final : public PhishingClassifier {
       const std::vector<const Bytecode*>& codes) override;
   std::string name() const override { return name_; }
   ModelCategory category() const override { return ModelCategory::kHistogram; }
+
+  /// The inner model's compiled ensemble (tree models after fit/load).
+  const ml::FlatTreeEnsemble* flat_ensemble() const override {
+    return model_->flat_ensemble();
+  }
 
   /// The fitted vocabulary and inner model (SHAP analysis needs both).
   const HistogramVocabulary& vocabulary() const { return vocabulary_; }

@@ -49,6 +49,10 @@ class CatBoostClassifier final : public TabularClassifier {
   /// The original per-row level-walk path (equivalence oracle).
   std::vector<double> predict_proba_nodewalk(const Matrix& x) const;
 
+  const FlatTreeEnsemble* flat_ensemble() const override {
+    return flat_.empty() ? nullptr : &flat_;
+  }
+
   std::string name() const override { return "CatBoost"; }
 
   void save(std::ostream& out) const override;

@@ -15,6 +15,8 @@
 
 namespace phishinghook::ml {
 
+class FlatTreeEnsemble;  // flat_tree.hpp
+
 class TabularClassifier {
  public:
   virtual ~TabularClassifier() = default;
@@ -24,6 +26,12 @@ class TabularClassifier {
 
   /// P(phishing) per row. Requires fit() first (StateError otherwise).
   virtual std::vector<double> predict_proba(const Matrix& x) const = 0;
+
+  /// The compiled branch-free ensemble behind predict_proba, when the
+  /// model has one (tree ensembles after fit()/load); nullptr otherwise.
+  /// Serving uses this to route batches through FlatTreeEnsemble
+  /// explicitly and to export compile stats.
+  virtual const FlatTreeEnsemble* flat_ensemble() const { return nullptr; }
 
   /// Hard labels at the 0.5 threshold.
   std::vector<int> predict(const Matrix& x) const {

@@ -1,20 +1,47 @@
-// Flattened tree-ensemble inference (DESIGN.md §10).
+// Flattened, branch-free tree-ensemble inference (DESIGN.md §10).
 //
 // The fitted ensembles walk node-based trees one row at a time on the
 // legacy path (`predict_proba_nodewalk` / `raw_score` / `predict_row`).
-// This compiles any of them into one contiguous structure-of-arrays node
-// pool plus a batched traversal that processes rows in cache-blocked
-// chunks: for each block of rows, every tree is walked for the whole block
-// before moving to the next tree, so a tree's nodes stay hot across the
-// block, the per-row accumulators stay in registers/L1, and nothing is
-// allocated per row.
+// This compiles any of them into quantized flat structures evaluated in
+// cache-blocked row batches with no data-dependent branches on the hot
+// paths:
 //
-// Bit-identity contract: the flat walk performs exactly the legacy
-// comparisons (x[f] <= t for binary trees, x[f] > t for CatBoost's
-// oblivious level tests) and accumulates per-row tree contributions in the
-// legacy tree order, so probabilities are identical doubles — asserted
-// against the node-walk oracles in tests/test_features_fast.cpp, at every
-// thread count in tests/test_parallel_determinism.cpp.
+//  * Every split threshold is quantized into a per-feature sorted
+//    cut-point table at compile time; compiled tests store the cut index
+//    (rank) plus the interned double. Evaluation compares the raw feature
+//    value against the interned cut directly: measured on the 48-feature
+//    histogram workload, per-row rank binarization (a binary search per
+//    feature per row) costs more than the whole node walk, while the
+//    mask loops below are 64-bit-bound and gain nothing from integer
+//    operands — see DESIGN.md §10 for the numbers.
+//  * A block's feature values are transposed once into a feature-major
+//    scratch pane so every per-test loop reads a contiguous vectorizable
+//    lane of the block.
+//  * Trees with at most 64 leaves (every XGBoost/LightGBM tree at the
+//    shipped depths) evaluate QuickScorer-style: leaves are numbered
+//    left-to-right, each internal node carries a bitvector with zeros over
+//    its left subtree's leaves, a row starts from the all-leaves mask and
+//    ANDs in the bitvector of every *failed* test, and the exit leaf is
+//    the first surviving bit. The per-test inner loop over the row block
+//    is branch-free and vectorizable (one compare, one OR, one AND per
+//    row).
+//  * Larger trees (deep Random Forest CARTs) use a compact 16-byte node
+//    layout (children adjacent, leaves self-looping) chased for a fixed
+//    per-tree depth with four interleaved rows, so the walk is branch-free
+//    and the four pointer chases overlap in the memory pipeline.
+//  * CatBoost's oblivious levels run as straight-line mask arithmetic,
+//    level-outer / row-inner: `leaf[i] = (leaf[i] << 1) | (x[f] > t)`.
+//
+// Bit-identity contract: every compiled test performs the same double
+// comparison as the legacy walk (thresholds are interned verbatim), the
+// selected leaf is therefore the legacy leaf, and per-row tree
+// contributions accumulate in legacy tree order, so probabilities are
+// identical doubles — asserted against the node-walk oracles in
+// tests/test_features_fast.cpp (every traversal × row-block combination),
+// at every thread count in tests/test_parallel_determinism.cpp, and in
+// the no-SIMD scalar-fallback CI build. The branch-free traversals
+// require finite feature values (opcode histograms always are); NaN rows
+// would diverge from the `x <= t` oracle semantics.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +63,23 @@ class FlatTreeEnsemble {
     kSigmoidSum,  ///< sigmoid(base + sum of leaf values) (boosters)
   };
 
+  /// Which compiled evaluation runs. kAuto (production default) picks the
+  /// measured winner: the interleaved branch-free walk for binary trees
+  /// and the row-outer mask walk for oblivious trees (bench_infer's sweep
+  /// shows a depth-5 walk doing 5 tests/row beating the bitvector's ~31,
+  /// and the oblivious transpose costing more than cross-row SIMD saves
+  /// at depth ≤ 6). kWalk forces the same walks explicitly; kBitvector
+  /// forces the QuickScorer path where eligible (≤64 leaves, walk
+  /// fallback above) and the transposed level-outer mask path for
+  /// oblivious trees.
+  enum class Traversal { kAuto, kWalk, kBitvector };
+
+  /// Rows per cache block (transposed pane, masks and accumulators all
+  /// live per-block). Default 32 (best across the bench_infer sweep);
+  /// bench_infer sweeps 16..128.
+  static constexpr std::size_t kDefaultRowBlock = 32;
+  static constexpr std::size_t kMaxRowBlock = 256;
+
   FlatTreeEnsemble() = default;
 
   /// Random Forest: averages fitted CART leaf fractions.
@@ -53,39 +97,113 @@ class FlatTreeEnsemble {
 
   bool empty() const { return tree_count_ == 0; }
   std::size_t tree_count() const { return tree_count_; }
-  std::size_t node_count() const { return feature_.size(); }
+  std::size_t node_count() const { return node_count_; }
+  /// 1 + the highest feature id any test consults; predict requires at
+  /// least this many columns.
+  std::size_t n_features() const { return n_features_; }
+  /// Distinct interned split thresholds across all cut-point tables.
+  std::size_t cut_count() const { return cuts_.size(); }
+
+  /// Trees evaluated on the QuickScorer bitvector (or oblivious mask)
+  /// path under the current traversal setting.
+  std::size_t bitvector_tree_count() const;
+
+  void set_traversal(Traversal traversal) { traversal_ = traversal; }
+  Traversal traversal() const { return traversal_; }
+  /// Stable label of the path the current setting resolves to for this
+  /// ensemble: "bitvector", "flat" (walk), or "mixed".
+  const char* traversal_label() const;
+
+  /// Rows per block, clamped to [4, kMaxRowBlock].
+  void set_row_block(std::size_t rows);
+  std::size_t row_block() const { return row_block_; }
 
   /// P(phishing) per row, parallelized over row chunks on the
   /// common::ThreadPool (each output slot written by exactly one task).
   std::vector<double> predict_proba(const Matrix& x) const;
 
-  /// Allocation-free variant into a caller buffer of x.rows() doubles.
-  /// Throws InvalidArgument on size mismatch, StateError when empty.
+  /// Allocation-light variant into a caller buffer of x.rows() doubles
+  /// (one scratch allocation per parallel chunk). Throws InvalidArgument
+  /// on size mismatch or when x has fewer than n_features() columns,
+  /// StateError when empty.
   void predict_into(const Matrix& x, std::span<double> out) const;
 
  private:
-  /// Rows per cache block: 64 accumulators (one cache line's worth of
-  /// probability state per 8 rows) keeps the block's feature rows and the
-  /// current tree resident while bounding the accumulator footprint.
-  static constexpr std::size_t kRowBlock = 64;
+  enum class Kind { kBinary, kOblivious };
+
+  /// Compact walk node: 16 bytes, children adjacent (`right == left + 1`),
+  /// stepped branch-free as `left + (x[feature] > threshold)`. Leaves
+  /// self-loop (`left` = own index, `threshold` = +inf so the step never
+  /// advances) and the walk runs a *fixed* per-tree depth with no leaf
+  /// test; the landing node's payload lives in walk_node_value_.
+  struct WalkNode {
+    double threshold = 0.0;    ///< interned cut; +inf on leaves
+    std::int32_t feature = 0;  ///< consulted even by leaves (always left)
+    std::int32_t left = 0;
+  };
+
+  /// One QuickScorer test: AND `keep_mask` into the row's leaf mask when
+  /// the test fails (x > threshold). Zeros cover the left subtree.
+  struct BvTest {
+    double threshold = 0.0;      ///< interned cut
+    std::uint64_t keep_mask = 0;
+    std::int32_t feature = 0;
+  };
+
+  /// Per-tree dispatch record, in legacy tree order.
+  struct TreeRef {
+    bool bitvector_eligible = false;
+    std::uint32_t depth = 0;        ///< walk: fixed chase length
+    std::uint32_t walk_root = 0;    ///< into walk_nodes_
+    std::uint32_t test_begin = 0;   ///< into bv_tests_
+    std::uint32_t test_end = 0;
+    std::uint32_t leaf_begin = 0;   ///< into bv_leaf_value_
+    std::uint64_t init_mask = 0;    ///< all leaves set
+  };
+
+  struct Scratch;  // per-chunk rank/mask buffers (flat_tree.cpp)
+
+  void compile_binary(const std::vector<std::span<const TreeNode>>& trees);
+  void compile_oblivious(const std::vector<ObliviousTree>& trees);
+  /// Builds cuts_/cut_offset_/cut_len_ from every (feature, threshold)
+  /// pair; rank_of returns a test threshold's index in its feature's cut
+  /// table and intern_threshold the (bit-identical) interned double.
+  void build_cut_tables(std::vector<std::pair<std::int32_t, double>> tests);
+  std::uint32_t rank_of(std::int32_t feature, double threshold) const;
+  double intern_threshold(std::int32_t feature, double threshold) const;
 
   void predict_block(const Matrix& x, std::size_t begin, std::size_t end,
-                     std::span<double> out) const;
-
-  enum class Kind { kBinary, kOblivious };
+                     std::span<double> out, Scratch& scratch) const;
+  /// Copies rows [row0, row0 + rows) into the feature-major scratch pane.
+  void transpose_block(const Matrix& x, std::size_t row0, std::size_t rows,
+                       Scratch& scratch) const;
 
   Kind kind_ = Kind::kBinary;
   Output output_ = Output::kAverage;
+  Traversal traversal_ = Traversal::kAuto;
   double base_score_ = 0.0;
   std::size_t tree_count_ = 0;
+  std::size_t node_count_ = 0;
+  std::size_t n_features_ = 0;
+  std::size_t row_block_ = kDefaultRowBlock;
+  std::size_t eligible_trees_ = 0;
 
-  // Binary section (RF / GBDT / LightGBM): SoA node pool, root per tree.
-  std::vector<std::int32_t> feature_;   ///< -1 marks a leaf
-  std::vector<double> threshold_;       ///< leaf: unused (0)
-  std::vector<std::int32_t> left_;      ///< absolute node index
-  std::vector<std::int32_t> right_;     ///< absolute node index
-  std::vector<double> value_;           ///< leaf payload
-  std::vector<std::uint32_t> roots_;
+  // Quantized cut-point tables: cuts_ holds each feature's sorted unique
+  // thresholds back to back; cut_offset_/cut_len_ index it per feature.
+  // Compiled tests store doubles interned through these tables.
+  std::vector<double> cuts_;
+  std::vector<std::uint32_t> cut_offset_;
+  std::vector<std::uint32_t> cut_len_;
+  /// Features with at least one cut — the only panes transpose_block
+  /// fills (the pane itself stays indexed by raw feature id).
+  std::vector<std::uint32_t> active_features_;
+
+  // Binary section (RF / GBDT / LightGBM).
+  std::vector<TreeRef> trees_;
+  std::vector<WalkNode> walk_nodes_;
+  std::vector<double> walk_node_value_;  ///< per node; leaves carry payload
+  std::vector<BvTest> bv_tests_;
+  std::vector<double> bv_leaf_value_;    ///< leaf payloads, in-order ids
 
   // Oblivious section (CatBoost): per-tree level tests + leaf table,
   // stored contiguously across trees.

@@ -39,6 +39,10 @@ class LightGbmClassifier final : public TabularClassifier {
   /// The original per-row node-walk path (equivalence oracle).
   std::vector<double> predict_proba_nodewalk(const Matrix& x) const;
 
+  const FlatTreeEnsemble* flat_ensemble() const override {
+    return flat_.empty() ? nullptr : &flat_;
+  }
+
   std::string name() const override { return "LightGBM"; }
 
   void save(std::ostream& out) const override;

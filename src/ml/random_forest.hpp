@@ -33,6 +33,10 @@ class RandomForestClassifier final : public TabularClassifier {
   /// for the flattened ensemble.
   std::vector<double> predict_proba_nodewalk(const Matrix& x) const;
 
+  const FlatTreeEnsemble* flat_ensemble() const override {
+    return flat_.empty() ? nullptr : &flat_;
+  }
+
   std::string name() const override { return "Random Forest"; }
 
   void save(std::ostream& out) const override;

@@ -44,6 +44,10 @@ struct ServiceMetrics {
   obs::Counter model_invocations = registry.counter("serve_model_invocations");
   obs::Counter model_rows =
       registry.counter("serve_model_rows");  ///< rows through predict_proba
+  obs::Gauge flat_tree_count =
+      registry.gauge("serve_flat_tree_count");  ///< compiled ensemble trees
+  obs::Gauge flat_node_count =
+      registry.gauge("serve_flat_node_count");  ///< compiled ensemble nodes
 
   LatencyHistogram& request_latency =
       registry.histogram("serve_request_latency_us");  ///< submit -> future done

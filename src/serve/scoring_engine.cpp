@@ -8,6 +8,7 @@
 
 #include "common/errors.hpp"
 #include "common/thread_pool.hpp"
+#include "ml/flat_tree.hpp"
 #include "obs/trace.hpp"
 
 namespace phishinghook::serve {
@@ -50,6 +51,12 @@ ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
     config_.workers = common::ThreadPool::configured_threads();
   }
   if (config_.max_batch == 0) throw InvalidArgument("max_batch must be > 0");
+  // Tree detectors serve through a compiled FlatTreeEnsemble; export its
+  // compile-time shape so operators can see which inference path is live.
+  if (const ml::FlatTreeEnsemble* flat = detector_->flat_ensemble()) {
+    metrics_.flat_tree_count.set(static_cast<double>(flat->tree_count()));
+    metrics_.flat_node_count.set(static_cast<double>(flat->node_count()));
+  }
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -15,6 +18,8 @@
 #include "common/rng.hpp"
 #include "core/features.hpp"
 #include "ml/catboost.hpp"
+#include "ml/flat_tree.hpp"
+#include "ml/gbdt_common.hpp"
 #include "ml/gradient_boosting.hpp"
 #include "ml/lightgbm.hpp"
 #include "ml/random_forest.hpp"
@@ -152,6 +157,31 @@ TEST(HistogramFast, TransformAllMatchesPerRowLegacy) {
     for (std::size_t c = 0; c < legacy.size(); ++c) {
       ASSERT_EQ(row[c], legacy[c]) << "row " << r << " col " << c;
     }
+  }
+}
+
+TEST(HistogramFast, BankedHistogramMatchesLegacyAcrossSizeThreshold) {
+  // transform_into switches to the 4-bank u32 histogram at
+  // kBankedHistogramBytes; codes straddling the threshold must agree with
+  // the legacy scan on both sides of the switch. Random bytes land on PUSH
+  // opcodes often enough to exercise the arithmetic immediate skip,
+  // including a truncated trailing PUSH.
+  common::Rng rng(911);
+  const std::size_t kb = HistogramVocabulary::kBankedHistogramBytes;
+  std::vector<Bytecode> codes;
+  for (const std::size_t n : {kb - 1, kb, kb + 1, 2 * kb + 33}) {
+    std::vector<std::uint8_t> bytes(n);
+    for (std::uint8_t& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    codes.emplace_back(std::move(bytes));
+  }
+  // A small code rides along so the direct-scatter path shares the vocab.
+  codes.push_back(Bytecode::from_hex("0x6080604052fe"));
+  HistogramVocabulary vocab;
+  vocab.fit(pointers(codes));
+  for (const Bytecode& code : codes) {
+    ASSERT_EQ(vocab.transform(code), vocab.transform_legacy(code));
   }
 }
 
@@ -360,6 +390,200 @@ TEST(FlatEnsemble, CatBoostMatchesNodewalk) {
   config.depth = 5;
   ml::CatBoostClassifier model(config);
   expect_flat_matches_nodewalk(model, train, test);
+}
+
+// --- Traversal x row-block sweep ----------------------------------------------
+//
+// Every traversal mode (auto, forced walk, forced bitvector) at every
+// supported row block must reproduce the node-walk oracle bit-for-bit, on
+// odd row counts that straddle block boundaries. This is the contract that
+// lets bench_infer sweep configurations without a correctness caveat.
+
+using Traversal = ml::FlatTreeEnsemble::Traversal;
+
+template <typename Model>
+void expect_sweep_matches_nodewalk(ml::FlatTreeEnsemble flat,
+                                   const Model& model,
+                                   std::size_t n_features) {
+  for (const std::size_t rows :
+       {std::size_t{63}, std::size_t{65}, std::size_t{97}}) {
+    const Dataset probe = make_dataset(rows, n_features, 500 + rows);
+    const std::vector<double> walked = model.predict_proba_nodewalk(probe.x);
+    for (const Traversal traversal :
+         {Traversal::kAuto, Traversal::kWalk, Traversal::kBitvector}) {
+      for (const std::size_t block :
+           {std::size_t{4}, std::size_t{16}, std::size_t{32}, std::size_t{64},
+            std::size_t{128}}) {
+        flat.set_traversal(traversal);
+        flat.set_row_block(block);
+        const std::vector<double> fast = flat.predict_proba(probe.x);
+        ASSERT_EQ(fast.size(), walked.size());
+        for (std::size_t i = 0; i < fast.size(); ++i) {
+          ASSERT_EQ(fast[i], walked[i])
+              << "traversal " << static_cast<int>(traversal) << " block "
+              << block << " rows " << rows << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatEnsembleSweep, RandomForestAllTraversalsAllBlocks) {
+  const Dataset train = make_dataset(220, 7, 401);
+  ml::RandomForestConfig config;
+  config.n_trees = 12;
+  // Depth 9 grows trees past 64 leaves: forced kBitvector must mix
+  // QuickScorer trees with walk-fallback trees inside one ensemble.
+  config.max_depth = 9;
+  ml::RandomForestClassifier model(config);
+  model.fit(train.x, train.y);
+  expect_sweep_matches_nodewalk(
+      ml::FlatTreeEnsemble::from_forest(model.trees()), model, 7);
+}
+
+TEST(FlatEnsembleSweep, GradientBoostingAllTraversalsAllBlocks) {
+  const Dataset train = make_dataset(200, 6, 402);
+  ml::GradientBoostingConfig config;
+  config.n_rounds = 14;
+  config.max_depth = 4;
+  ml::GradientBoostingClassifier model(config);
+  model.fit(train.x, train.y);
+  expect_sweep_matches_nodewalk(
+      ml::FlatTreeEnsemble::from_boosted(model.trees(), model.base_score()),
+      model, 6);
+}
+
+TEST(FlatEnsembleSweep, LightGbmAllTraversalsAllBlocks) {
+  const Dataset train = make_dataset(200, 6, 403);
+  ml::LightGbmConfig config;
+  config.n_rounds = 12;
+  ml::LightGbmClassifier model(config);
+  model.fit(train.x, train.y);
+  expect_sweep_matches_nodewalk(
+      ml::FlatTreeEnsemble::from_boosted(model.trees(), model.base_score()),
+      model, 6);
+}
+
+TEST(FlatEnsembleSweep, CatBoostAllTraversalsAllBlocks) {
+  const Dataset train = make_dataset(200, 6, 404);
+  ml::CatBoostConfig config;
+  config.n_rounds = 10;
+  config.depth = 6;
+  ml::CatBoostClassifier model(config);
+  model.fit(train.x, train.y);
+  expect_sweep_matches_nodewalk(
+      ml::FlatTreeEnsemble::from_oblivious(model.trees(), model.base_score()),
+      model, 6);
+}
+
+/// Complete binary tree of the given depth (2^depth leaves) with
+/// deterministic pseudo-random splits; `extra_split` converts the first
+/// leaf into one more split, pushing the leaf count past a power of two.
+std::vector<ml::TreeNode> complete_tree(std::size_t depth, bool extra_split,
+                                        std::size_t n_features,
+                                        std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<ml::TreeNode> nodes;
+  const std::function<int(std::size_t)> grow =
+      [&](std::size_t level) -> int {
+    const int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    if (level == 0) {
+      nodes[id].value = rng.uniform(-1.0, 1.0);
+      return id;  // feature stays -1: leaf
+    }
+    nodes[id].feature = static_cast<int>(rng.next_below(n_features));
+    nodes[id].threshold = rng.uniform(-2.0, 2.0);
+    const int left = grow(level - 1);
+    const int right = grow(level - 1);
+    nodes[id].left = left;  // re-index: grow() may reallocate `nodes`
+    nodes[id].right = right;
+    return id;
+  };
+  grow(depth);
+  if (extra_split) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!nodes[i].is_leaf()) continue;
+      const int left = static_cast<int>(nodes.size());
+      nodes.emplace_back();
+      nodes.emplace_back();
+      nodes[left].value = 0.25;
+      nodes[left + 1].value = -0.25;
+      nodes[i].feature = 0;
+      nodes[i].threshold = 0.5;
+      nodes[i].left = left;
+      nodes[i].right = left + 1;
+      break;
+    }
+  }
+  return nodes;
+}
+
+TEST(FlatEnsembleSweep, BitvectorEligibilityBoundaryAt64Leaves) {
+  // A depth-6 complete tree has exactly 64 leaves — the last QuickScorer-
+  // eligible shape (leaf masks are one u64). One extra split (65 leaves)
+  // must silently fall back to the walk, with identical predictions.
+  const std::size_t n_features = 5;
+  const Dataset probe = make_dataset(65, n_features, 405);
+  for (const bool extra : {false, true}) {
+    std::vector<std::vector<ml::TreeNode>> trees;
+    trees.push_back(complete_tree(6, extra, n_features, 406));
+    ml::FlatTreeEnsemble flat = ml::FlatTreeEnsemble::from_boosted(trees, 0.1);
+    flat.set_traversal(Traversal::kBitvector);
+    EXPECT_EQ(flat.bitvector_tree_count(), extra ? 0u : 1u);
+    const std::vector<double> bitvector = flat.predict_proba(probe.x);
+    flat.set_traversal(Traversal::kWalk);
+    ASSERT_EQ(flat.predict_proba(probe.x), bitvector);
+  }
+}
+
+TEST(FlatEnsembleSweep, DenormalThresholdsStayBitIdentical) {
+  // Thresholds at denormal spacing around zero: interning must keep each
+  // distinct double distinct, and every traversal must agree with the
+  // scalar oracle exactly at the boundary values themselves.
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  ml::ObliviousTree tree;
+  tree.features = {0, 1, 0};
+  tree.thresholds = {0.0, denorm, -denorm};
+  tree.leaf_values.resize(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    tree.leaf_values[i] = 0.125 * static_cast<double>(i) - 0.5;
+  }
+  const std::vector<ml::ObliviousTree> trees = {tree};
+  const double base_score = 0.25;
+
+  const std::vector<double> grid = {-2.0 * denorm, -denorm, -0.0, 0.0,
+                                    denorm,        2.0 * denorm, 1.0};
+  ml::Matrix x(grid.size() * grid.size(), 2);
+  std::size_t r = 0;
+  for (const double a : grid) {
+    for (const double b : grid) {
+      x.at(r, 0) = a;
+      x.at(r, 1) = b;
+      ++r;
+    }
+  }
+
+  ml::FlatTreeEnsemble flat =
+      ml::FlatTreeEnsemble::from_oblivious(trees, base_score);
+  for (const Traversal traversal :
+       {Traversal::kAuto, Traversal::kWalk, Traversal::kBitvector}) {
+    flat.set_traversal(traversal);
+    const std::vector<double> got = flat.predict_proba(x);
+    ASSERT_EQ(got.size(), x.rows());
+    for (std::size_t row = 0; row < x.rows(); ++row) {
+      std::size_t leaf = 0;
+      for (std::size_t level = 0; level < tree.features.size(); ++level) {
+        const std::size_t feature =
+            static_cast<std::size_t>(tree.features[level]);
+        leaf = (leaf << 1) |
+               (x.at(row, feature) > tree.thresholds[level] ? 1u : 0u);
+      }
+      const double want = ml::gbdt::sigmoid(base_score + tree.leaf_values[leaf]);
+      ASSERT_EQ(got[row], want)
+          << "traversal " << static_cast<int>(traversal) << " row " << row;
+    }
+  }
 }
 
 TEST(FlatEnsemble, PredictBeforeFitThrows) {

@@ -16,6 +16,7 @@
 #include "core/features.hpp"
 #include "ml/catboost.hpp"
 #include "ml/cross_validation.hpp"
+#include "ml/flat_tree.hpp"
 #include "ml/gradient_boosting.hpp"
 #include "ml/hyper_search.hpp"
 #include "ml/knn.hpp"
@@ -151,6 +152,36 @@ TEST_F(ParallelDeterminism, CatBoostBitIdentical) {
   config.n_rounds = 10;
   const auto run = [&] { return fit_predict<CatBoostClassifier>(config, data); };
   expect_identical(at_threads(1, run), at_threads(4, run));
+}
+
+TEST_F(ParallelDeterminism, FlatEnsembleTraversalsBitIdenticalAcrossThreads) {
+  // The serving-side flat predictor chunks rows across the pool with each
+  // chunk's accumulation fully row-local, so 1 and 4 threads must produce
+  // the same bytes — for the production auto traversal and the forced
+  // bitvector path alike, on both tree kinds (binary and oblivious).
+  const Dataset data = make_dataset(230, 6, 108);
+  RandomForestConfig rf_config;
+  rf_config.n_trees = 10;
+  rf_config.max_depth = 8;
+  RandomForestClassifier forest(rf_config);
+  forest.fit(data.x, data.y);
+  CatBoostConfig cb_config;
+  cb_config.n_rounds = 8;
+  CatBoostClassifier catboost(cb_config);
+  catboost.fit(data.x, data.y);
+
+  std::vector<FlatTreeEnsemble> flats;
+  flats.push_back(FlatTreeEnsemble::from_forest(forest.trees()));
+  flats.push_back(
+      FlatTreeEnsemble::from_oblivious(catboost.trees(), catboost.base_score()));
+  for (FlatTreeEnsemble& flat : flats) {
+    for (const auto traversal : {FlatTreeEnsemble::Traversal::kAuto,
+                                 FlatTreeEnsemble::Traversal::kBitvector}) {
+      flat.set_traversal(traversal);
+      const auto run = [&] { return flat.predict_proba(data.x); };
+      expect_identical(at_threads(1, run), at_threads(4, run));
+    }
+  }
 }
 
 TEST_F(ParallelDeterminism, HistogramTransformAllBitIdentical) {
