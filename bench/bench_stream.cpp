@@ -4,9 +4,12 @@
 // mempool bursts — and written as BENCH_stream.json next to the binary.
 //
 // Reported per scenario: sustained scored rows/s, shed and error rates,
-// ingest lag in blocks, dedup/cache hit rates, and the accounting
-// identity (submitted == completed + failed + shed) that must hold after
-// every drain.
+// ingest lag in blocks, dedup/cache hit rates, the accounting identity
+// (submitted == completed + failed + shed) that must hold after every
+// drain, a mid-run sliding-window sample (rate, p99, SLO burn rate, shed
+// pressure — the live view an operator would scrape), and per-stage
+// latency attribution rows splitting each request's journey into
+// queue-wait vs. service time (addr_queue / queue / extract / predict).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +26,18 @@
 namespace {
 
 using namespace phishinghook;
+
+/// One per-stage latency-attribution row: where requests spent time.
+struct StageRow {
+  std::string stage;  ///< addr_queue | queue | extract | predict
+  std::string kind;   ///< "wait" (parked) or "service" (being worked)
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
 
 struct ScenarioResult {
   std::string scenario;
@@ -41,6 +56,15 @@ struct ScenarioResult {
   double dedup_hit_rate = 0.0;
   double cache_hit_rate = 0.0;
   bool accounting_ok = false;
+
+  // Sliding-window sample taken mid-run, under load (not after drain,
+  // when idle decay would have emptied the window).
+  double window_rate_per_sec = 0.0;
+  double window_p99_us = 0.0;
+  double window_error_burn_rate = 0.0;
+  double shed_pressure = 0.0;
+
+  std::vector<StageRow> stages;
 };
 
 core::HistogramAdapter fit_detector(bool smoke) {
@@ -87,12 +111,24 @@ ScenarioResult run_scenario(const std::string& name,
 
   stream::StreamCoordinator coordinator(live, engine, config);
   coordinator.start();
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(duration_s);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double>(duration_s);
+  const auto sample_at =
+      start + std::chrono::duration<double>(duration_s * 0.5);
+  // The windowed sample must be taken while traffic is flowing — that is
+  // the whole point of the window (an operator's live p99, not a
+  // post-mortem aggregate).
+  bool sampled = false;
+  obs::SloEvaluator::Evaluation live_eval;
   while (!coordinator.finished() &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (!sampled && std::chrono::steady_clock::now() >= sample_at) {
+      live_eval = coordinator.evaluate_slo();
+      sampled = true;
+    }
   }
+  if (!sampled) live_eval = coordinator.evaluate_slo();
   coordinator.drain();
   const stream::StreamReport report = coordinator.report();
 
@@ -122,6 +158,32 @@ ScenarioResult run_scenario(const std::string& name,
                               : static_cast<double>(report.cache_hit_results) /
                                     static_cast<double>(report.completed);
   result.accounting_ok = report.accounting_ok();
+  result.window_rate_per_sec = live_eval.window.rate_per_sec;
+  result.window_p99_us = live_eval.window.p99_us;
+  result.window_error_burn_rate = live_eval.burn_rate;
+  result.shed_pressure = live_eval.shed_pressure;
+
+  const auto stage_row = [](const char* stage, const char* kind,
+                            const obs::LatencyHistogram& h) {
+    StageRow row;
+    row.stage = stage;
+    row.kind = kind;
+    row.count = h.count();
+    row.mean_us = h.mean();
+    row.p50_us = h.quantile(0.50);
+    row.p95_us = h.quantile(0.95);
+    row.p99_us = h.quantile(0.99);
+    row.max_us = h.max_value();
+    return row;
+  };
+  const serve::ServiceMetrics& sm = engine.metrics();
+  result.stages.push_back(stage_row(
+      "addr_queue", "wait",
+      coordinator.registry().histogram("stream_stage_wait_us",
+                                       obs::label("stage", "addr_queue"))));
+  result.stages.push_back(stage_row("queue", "wait", sm.stage_queue_wait));
+  result.stages.push_back(stage_row("extract", "service", sm.stage_extract));
+  result.stages.push_back(stage_row("predict", "service", sm.stage_predict));
   return result;
 }
 
@@ -159,6 +221,17 @@ int main(int argc, char** argv) {
         r.error_rate, static_cast<unsigned long long>(r.ingest_lag_blocks),
         r.dedup_hit_rate, r.cache_hit_rate,
         r.accounting_ok ? "accounting-ok" : "ACCOUNTING-BROKEN");
+    std::printf(
+        "  %-14s window: %.0f req/s p99=%.0fus burn=%.2f pressure=%.2f\n",
+        "", r.window_rate_per_sec, r.window_p99_us,
+        r.window_error_burn_rate, r.shed_pressure);
+    for (const StageRow& s : r.stages) {
+      std::printf("  %-14s stage %-10s %-7s n=%-7llu p50=%8.1fus "
+                  "p99=%8.1fus\n",
+                  "", s.stage.c_str(), s.kind.c_str(),
+                  static_cast<unsigned long long>(s.count), s.p50_us,
+                  s.p99_us);
+    }
   }
 
   FILE* out = std::fopen("BENCH_stream.json", "w");
@@ -180,7 +253,7 @@ int main(int argc, char** argv) {
         "\"shed_rate\": %.6f, \"error_rate\": %.6f, "
         "\"ingest_lag_blocks\": %llu, \"max_ingest_lag_blocks\": %llu, "
         "\"dedup_hit_rate\": %.6f, \"cache_hit_rate\": %.6f, "
-        "\"accounting_ok\": %s}%s\n",
+        "\"accounting_ok\": %s,\n",
         r.scenario.c_str(), r.elapsed_s,
         static_cast<unsigned long long>(r.blocks),
         static_cast<unsigned long long>(r.deployments),
@@ -192,8 +265,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.ingest_lag_blocks),
         static_cast<unsigned long long>(r.max_ingest_lag_blocks),
         r.dedup_hit_rate, r.cache_hit_rate,
-        r.accounting_ok ? "true" : "false",
-        i + 1 < results.size() ? "," : "");
+        r.accounting_ok ? "true" : "false");
+    std::fprintf(
+        out,
+        "     \"window_rate_per_sec\": %.2f, \"window_p99_us\": %.2f, "
+        "\"window_error_burn_rate\": %.6f, \"shed_pressure\": %.6f,\n",
+        r.window_rate_per_sec, r.window_p99_us, r.window_error_burn_rate,
+        r.shed_pressure);
+    std::fprintf(out, "     \"stages\": [\n");
+    for (std::size_t s = 0; s < r.stages.size(); ++s) {
+      const StageRow& row = r.stages[s];
+      std::fprintf(
+          out,
+          "       {\"stage\": \"%s\", \"kind\": \"%s\", \"count\": %llu, "
+          "\"mean_us\": %.2f, \"p50_us\": %.2f, \"p95_us\": %.2f, "
+          "\"p99_us\": %.2f, \"max_us\": %.2f}%s\n",
+          row.stage.c_str(), row.kind.c_str(),
+          static_cast<unsigned long long>(row.count), row.mean_us,
+          row.p50_us, row.p95_us, row.p99_us, row.max_us,
+          s + 1 < r.stages.size() ? "," : "");
+    }
+    std::fprintf(out, "     ]}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

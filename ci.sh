@@ -8,14 +8,19 @@
 # BENCH_extract.json / BENCH_infer.json, the >= 8x single-thread
 # LUT-extraction speedup floor, and the >= 1x flat-vs-nodewalk floor on
 # every tree model), bench_serve_throughput (validating its
-# Prometheus exposition), and contract_scanner under PHISHINGHOOK_TRACE
-# (validating the span trace), a chaos smoke (contract_scanner against
-# a 10% fault-injecting explorer, checking that every request resolves to a
-# definite status), and bench_stream in --smoke mode (validating
-# BENCH_stream.json: both arrival scenarios present, finite rows/s and
-# shed/error rates, accounting identity intact), so the perf trajectory,
-# the telemetry surface, and the fault-isolation contract all stay
-# machine-checked across PRs. The ASan leg runs the full suite, including
+# Prometheus exposition, including HELP/TYPE pairing), and contract_scanner
+# under PHISHINGHOOK_TRACE (validating the span trace, now including the
+# async request lanes and flow arrows — at least one trace id must connect
+# the request umbrella to its queue/extract stage slices), a chaos smoke
+# (contract_scanner against a 10% fault-injecting explorer, checking that
+# every request resolves to a definite status), bench_stream in --smoke
+# mode (validating BENCH_stream.json: both arrival scenarios present,
+# finite rows/s and shed/error rates, accounting identity intact, windowed
+# SLO sample and per-stage queue-wait/service-time attribution rows), and a
+# scrape smoke (stream_follower serving /metrics,/vars,/healthz on loopback
+# mid-run, exposition linted, health JSON schema-checked), so the perf
+# trajectory, the telemetry surface, and the fault-isolation contract all
+# stay machine-checked across PRs. The ASan leg runs the full suite, including
 # the fast-vs-legacy equivalence tests (test_features_fast). The TSan leg
 # adds test_stream, racing the four streaming pipeline threads against the
 # engine workers.
@@ -193,7 +198,10 @@ for row in rows:
                 "submitted", "completed", "failed", "shed",
                 "accounting_ok"):
         assert key in row, f"missing {key}"
-    for key in ("sustained_rows_per_s", "shed_rate", "error_rate"):
+    for key in ("sustained_rows_per_s", "shed_rate", "error_rate",
+                "window_rate_per_sec", "window_p99_us",
+                "window_error_burn_rate", "shed_pressure"):
+        assert key in row, f"missing {key}"
         assert math.isfinite(row[key]), f"non-finite {key}"
     assert row["accounting_ok"] is True, (
         f"accounting broken for {row['scenario']}")
@@ -201,6 +209,22 @@ for row in rows:
         f"submitted != completed+failed+shed for {row['scenario']}")
     assert row["sustained_rows_per_s"] > 0, (
         f"zero throughput for {row['scenario']}")
+    assert 0.0 <= row["shed_pressure"] <= 1.0, "shed_pressure out of [0,1]"
+    # Per-stage latency attribution: every scenario reports where time went
+    # (queue-wait vs service-time) for the four instrumented stages.
+    stages = {s["stage"]: s for s in row["stages"]}
+    for stage, kind in (("addr_queue", "wait"), ("queue", "wait"),
+                        ("extract", "service"), ("predict", "service")):
+        assert stage in stages, f"missing stage row {stage}"
+        s = stages[stage]
+        assert s["kind"] == kind, f"stage {stage} kind {s['kind']} != {kind}"
+        for key in ("count", "mean_us", "p50_us", "p95_us", "p99_us",
+                    "max_us"):
+            assert key in s, f"stage {stage} missing {key}"
+            assert math.isfinite(s[key]), f"stage {stage} non-finite {key}"
+    # Real traffic flowed through the engine stages in every scenario.
+    assert stages["queue"]["count"] > 0, "no queue-wait samples"
+    assert stages["extract"]["count"] > 0, "no extract samples"
     scenarios.add(row["scenario"])
 for required in ("steady", "mempool_burst"):
     assert required in scenarios, f"missing scenario {required}"
@@ -234,8 +258,15 @@ line_re = re.compile(
 lines = [l.rstrip() for l in open(sys.argv[1]) if l.strip()]
 assert lines, "empty exposition"
 samples = 0
+helped = set()
 for line in lines:
+    if line.startswith("# HELP "):
+        helped.add(line.split()[2])
+        continue
     if line.startswith("# TYPE "):
+        # Exposition-format conformance: HELP precedes TYPE per name.
+        name = line.split()[2]
+        assert name in helped, f"# TYPE {name} without a preceding # HELP"
         continue
     assert line_re.match(line), f"malformed exposition line: {line!r}"
     samples += 1
@@ -262,18 +293,38 @@ check_trace() {
   if command -v python3 >/dev/null 2>&1; then
     python3 - "${trace}" <<'PY'
 import json, sys
+from collections import defaultdict
 doc = json.load(open(sys.argv[1]))
 events = doc["traceEvents"]
 assert events, "empty trace"
+lanes = defaultdict(set)  # async trace id -> stage names on that lane
 for event in events:
-    for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+    ph = event["ph"]
+    for key in ("name", "ph", "pid", "tid", "ts"):
         assert key in event, f"missing {key}"
-    assert event["ph"] == "X", "expected complete events"
-names = {event["name"].split(":")[0] for event in events}
+    if ph == "X":
+        assert "dur" in event, "complete event without dur"
+    elif ph in ("b", "e"):
+        assert event.get("cat") == "phook.req", f"async event cat {event}"
+        assert event["id"].startswith("0x"), "async event without hex id"
+        lanes[event["id"]].add(event["name"])
+    elif ph in ("s", "t", "f"):
+        assert event.get("cat") == "phook.flow", f"flow event cat {event}"
+        assert event["id"].startswith("0x"), "flow event without hex id"
+        if ph == "f":
+            assert event.get("bp") == "e", "flow finish must bind enclosing"
+    else:
+        raise AssertionError(f"unexpected phase {ph!r}")
+names = {e["name"].split(":")[0] for e in events if e["ph"] == "X"}
 for required in ("serve.batch", "features.transform_all", "model.predict"):
     assert required in names, f"missing span {required} (have {sorted(names)})"
-print(f"{sys.argv[1]} ok: {len(events)} events, "
-      f"{len(names)} distinct spans")
+# Causal lanes: at least one request's trace id must connect the umbrella
+# slice with the per-stage slices (queue wait + extract at minimum).
+connected = [i for i, stages in lanes.items()
+             if {"request", "req.queue", "req.extract"} <= stages]
+assert connected, f"no connected request lane (lanes: {len(lanes)})"
+print(f"{sys.argv[1]} ok: {len(events)} events, {len(names)} distinct spans, "
+      f"{len(lanes)} request lanes ({len(connected)} fully connected)")
 PY
   else
     grep -q '"traceEvents"' "${trace}" && grep -q 'serve.batch' "${trace}" ||
@@ -295,6 +346,116 @@ check_chaos_smoke() {
   fi
   grep '^status counts:' "${out}"
   grep '^chaos accounting:' "${out}"
+}
+
+fetch_url() {
+  local url="$1" out="$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf --max-time 5 "${url}" -o "${out}"
+  else
+    python3 - "${url}" "${out}" <<'PY'
+import sys, urllib.request
+body = urllib.request.urlopen(sys.argv[1], timeout=5).read()
+open(sys.argv[2], "wb").write(body)
+PY
+  fi
+}
+
+# Scrape smoke: stream_follower serving /metrics, /vars and /healthz on an
+# ephemeral loopback port while the pipeline runs. Pulls all three paths
+# mid-run, lints the /metrics exposition (grammar + HELP/TYPE pairing +
+# the windowed SLO series the pre-scrape hooks refresh), and checks the
+# health JSON and the follower's own exit status.
+run_scrape_smoke() {
+  local dir="$1"
+  echo "=== stream_follower: scrape smoke ==="
+  rm -f "${dir}/scrape_smoke.out"
+  (cd "${dir}" && ./examples/stream_follower --seconds 6 --rate 200 \
+    --metrics-port 0 > scrape_smoke.out 2>&1) &
+  local follower_pid=$!
+
+  # The follower prints the bound port before the pipeline starts.
+  local url="" tries=0
+  while [[ -z "${url}" && ${tries} -lt 100 ]]; do
+    url="$(grep -o 'http://127\.0\.0\.1:[0-9]*' "${dir}/scrape_smoke.out" \
+           2>/dev/null | head -n1 || true)"
+    [[ -z "${url}" ]] && sleep 0.1 && tries=$((tries + 1))
+  done
+  if [[ -z "${url}" ]]; then
+    echo "ci.sh: scrape smoke never printed its metrics URL" >&2
+    cat "${dir}/scrape_smoke.out" >&2 || true
+    kill "${follower_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  local base="${url%/metrics}"
+
+  local path
+  for path in metrics vars healthz; do
+    if ! fetch_url "${base}/${path}" "${dir}/scrape_${path}.out.tmp"; then
+      echo "ci.sh: scrape smoke could not fetch ${base}/${path}" >&2
+      cat "${dir}/scrape_smoke.out" >&2 || true
+      kill "${follower_pid}" 2>/dev/null || true
+      exit 1
+    fi
+  done
+  mv "${dir}/scrape_metrics.out.tmp" "${dir}/scrape_metrics.prom"
+  mv "${dir}/scrape_vars.out.tmp" "${dir}/scrape_vars.json"
+  mv "${dir}/scrape_healthz.out.tmp" "${dir}/scrape_healthz.json"
+  if ! wait "${follower_pid}"; then
+    echo "ci.sh: stream_follower exited nonzero under the scrape smoke" >&2
+    cat "${dir}/scrape_smoke.out" >&2 || true
+    exit 1
+  fi
+
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${dir}/scrape_metrics.prom" "${dir}/scrape_vars.json" \
+      "${dir}/scrape_healthz.json" <<'PY'
+import json, re, sys
+line_re = re.compile(
+    r'^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|nan|inf)$')
+lines = [l.rstrip() for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty /metrics body"
+helped = set()
+samples = 0
+for line in lines:
+    if line.startswith("# HELP "):
+        helped.add(line.split()[2])
+        continue
+    if line.startswith("# TYPE "):
+        name = line.split()[2]
+        assert name in helped, f"# TYPE {name} without a preceding # HELP"
+        continue
+    assert line_re.match(line), f"malformed exposition line: {line!r}"
+    samples += 1
+text = "\n".join(lines)
+for required in ("stream_requests_submitted", "stream_window_rate_per_sec",
+                 "stream_window_p99_us", "stream_error_burn_rate",
+                 "stream_shed_pressure", "stream_stage_wait_us",
+                 "trace_events_buffered", "serve_requests_completed"):
+    assert required in text, f"missing metric {required} in /metrics"
+
+doc = json.load(open(sys.argv[2]))
+assert isinstance(doc.get("registries"), list) and doc["registries"], \
+    "/vars missing registries array"
+
+health = json.load(open(sys.argv[3]))
+assert health.get("status") in ("running", "draining", "drained"), \
+    f"unexpected health status {health.get('status')!r}"
+for key in ("submitted", "completed", "failed", "shed", "queues"):
+    assert key in health, f"/healthz missing {key}"
+for queue in ("addresses", "futures"):
+    for key in ("size", "capacity", "closed"):
+        assert key in health["queues"][queue], \
+            f"/healthz queue {queue} missing {key}"
+print(f"scrape smoke ok: {samples} exposition samples, "
+      f"health status {health['status']!r}")
+PY
+  else
+    grep -q 'stream_window_rate_per_sec' "${dir}/scrape_metrics.prom" &&
+      grep -q '"registries"' "${dir}/scrape_vars.json" &&
+      grep -q '"status"' "${dir}/scrape_healthz.json" ||
+      { echo "ci.sh: scrape smoke responses malformed" >&2; exit 1; }
+  fi
 }
 
 run_variant release ""
@@ -320,6 +481,7 @@ check_trace build-ci-release/scanner_trace.json
 (cd build-ci-release && ./examples/contract_scanner --chaos 0.10 \
   | tee chaos_smoke.out >/dev/null)
 check_chaos_smoke build-ci-release/chaos_smoke.out
+run_scrape_smoke build-ci-release
 
 run_variant asan address
 

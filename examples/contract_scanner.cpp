@@ -28,6 +28,16 @@
 //                      (completed + failed + shed == submitted); the ci.sh
 //                      chaos smoke step runs this at 10% and checks the
 //                      per-status summary.
+//   --metrics-port <p> serve /metrics, /vars and /healthz on
+//                      127.0.0.1:<p> for the lifetime of the run (0 picks
+//                      an ephemeral port, printed at startup); the
+//                      exposition covers the engine registry and the
+//                      process-wide registry, with tracer ring health
+//                      synced on every scrape
+//   --linger <secs>    keep the process (and the scrape server) alive for
+//                      <secs> after the scan so an external scraper can
+//                      pull the final state
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +53,7 @@
 #include "core/experiment.hpp"
 #include "ml/random_forest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scrape_server.hpp"
 #include "obs/trace.hpp"
 #include "serve/artifact.hpp"
 #include "serve/scoring_engine.hpp"
@@ -54,6 +65,8 @@ int main(int argc, char** argv) {
   const char* metrics_path = nullptr;
   const char* trace_path = nullptr;
   double chaos_rate = 0.0;
+  int metrics_port = -1;
+  double linger_s = 0.0;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
       metrics_path = argv[++a];
@@ -61,10 +74,15 @@ int main(int argc, char** argv) {
       trace_path = argv[++a];
     } else if (std::strcmp(argv[a], "--chaos") == 0 && a + 1 < argc) {
       chaos_rate = std::atof(argv[++a]);
+    } else if (std::strcmp(argv[a], "--metrics-port") == 0 && a + 1 < argc) {
+      metrics_port = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--linger") == 0 && a + 1 < argc) {
+      linger_s = std::atof(argv[++a]);
     } else {
       std::fprintf(stderr,
                    "usage: contract_scanner [--metrics <path>] "
-                   "[--trace <path>] [--chaos <rate>]\n");
+                   "[--trace <path>] [--chaos <rate>] "
+                   "[--metrics-port <port>] [--linger <secs>]\n");
       return 2;
     }
   }
@@ -139,6 +157,22 @@ int main(int argc, char** argv) {
   engine_config.workers = 4;
   engine_config.max_batch = 16;
   serve::ScoringEngine engine(upstream, *detector, engine_config);
+
+  // Scrape endpoint over the engine's registry + the process-wide one;
+  // cache stats and tracer ring health are synced per scrape by hooks.
+  obs::ScrapeServer scrape;
+  if (metrics_port >= 0) {
+    scrape.add_registry(engine.prometheus_registry());
+    scrape.add_registry(obs::MetricsRegistry::global());
+    scrape.add_pre_scrape_hook([&engine] { engine.export_cache_metrics(); });
+    scrape.add_pre_scrape_hook([] {
+      obs::Tracer::global().export_metrics(obs::MetricsRegistry::global());
+    });
+    scrape.start(static_cast<std::uint16_t>(metrics_port));
+    std::printf("metrics: http://127.0.0.1:%u/metrics (also /vars, /healthz)\n",
+                scrape.port());
+    std::fflush(stdout);  // external scrapers poll stdout for this URL
+  }
 
   std::printf("scanning fresh deployments (2024-08..2024-10) on %zu workers, "
               "%d producers:\n",
@@ -231,6 +265,11 @@ int main(int argc, char** argv) {
     obs::Tracer::global().write_to_file(trace_path);
     std::printf("trace written to %s (open in chrome://tracing)\n",
                 trace_path);
+  }
+  if (metrics_port >= 0 && linger_s > 0.0) {
+    std::printf("lingering %.1fs for scrapes on port %u...\n", linger_s,
+                scrape.port());
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
   }
   std::filesystem::remove(artifact_path);
   return 0;

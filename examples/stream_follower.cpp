@@ -18,6 +18,13 @@
 //   --chaos <rate>     fault-inject the follower's code fetches:
 //                      eth_getCode throws at <rate> on a seeded schedule
 //   --metrics <path>   write the stream + engine Prometheus expositions
+//   --metrics-port <p> serve /metrics, /vars and /healthz on
+//                      127.0.0.1:<p> while the pipeline runs (0 = pick an
+//                      ephemeral port, printed at startup). Scrapes show
+//                      the stream + engine registries with the windowed
+//                      SLO gauges (stream_window_*, stream_error_burn_rate,
+//                      stream_shed_pressure) refreshed per scrape;
+//                      /healthz reports live drain/queue state.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +35,8 @@
 
 #include "chain/fault_injection.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/scrape_server.hpp"
+#include "obs/trace.hpp"
 #include "serve/scoring_engine.hpp"
 #include "stream/coordinator.hpp"
 #include "synth/dataset_builder.hpp"
@@ -41,6 +50,7 @@ int main(int argc, char** argv) {
   double blocks_per_s = 50.0;
   double chaos_rate = 0.0;
   const char* metrics_path = nullptr;
+  int metrics_port = -1;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--seconds") == 0 && a + 1 < argc) {
       seconds = std::atof(argv[++a]);
@@ -54,6 +64,8 @@ int main(int argc, char** argv) {
       chaos_rate = std::atof(argv[++a]);
     } else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
       metrics_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics-port") == 0 && a + 1 < argc) {
+      metrics_port = std::atoi(argv[++a]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[a]);
       return 2;
@@ -113,6 +125,29 @@ int main(int argc, char** argv) {
               seconds, burst ? "mempool-burst" : "steady", rate, blocks_per_s,
               chaos ? ", chaos on the follower" : "");
   stream::StreamCoordinator coordinator(live, engine, config, chaos.get());
+
+  // Scrape endpoint over both registries. Hooks re-evaluate the SLO window
+  // and sync cache/tracer state on every pull, and /healthz exposes the
+  // coordinator's live drain/queue state.
+  obs::ScrapeServer scrape;
+  if (metrics_port >= 0) {
+    scrape.add_registry(coordinator.registry());
+    scrape.add_registry(engine.prometheus_registry());
+    scrape.add_pre_scrape_hook([&coordinator] { coordinator.evaluate_slo(); });
+    scrape.add_pre_scrape_hook([&engine] { engine.export_cache_metrics(); });
+    scrape.add_pre_scrape_hook([&coordinator] {
+      obs::Tracer::global().export_metrics(coordinator.registry());
+    });
+    scrape.set_health([&coordinator] { return coordinator.health_json(); });
+    scrape.start(static_cast<std::uint16_t>(metrics_port));
+    std::printf("== metrics: http://127.0.0.1:%u/metrics "
+                "(also /vars, /healthz)\n",
+                scrape.port());
+    // Scrapers watching our stdout (the ci.sh smoke) need the URL the
+    // moment the server is up, not when the stdio buffer happens to drain.
+    std::fflush(stdout);
+  }
+
   coordinator.start();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(seconds);
@@ -154,6 +189,11 @@ int main(int argc, char** argv) {
               report.sustained_rows_per_s);
   std::printf("  accounting: submitted == completed + failed + shed: %s\n",
               report.accounting_ok() ? "OK" : "BROKEN");
+  std::printf("  window:   %.0f req/s, p99 %.0f us, burn %.2f, "
+              "shed pressure %.2f (last %.0fs; may have decayed post-drain)\n",
+              report.window.rate_per_sec, report.window.p99_us,
+              report.error_burn_rate, report.shed_pressure,
+              report.window.window_seconds);
 
   if (metrics_path != nullptr) {
     std::ofstream out(metrics_path);

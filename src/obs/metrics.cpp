@@ -58,17 +58,101 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+namespace {
+
+bool name_start_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool name_char(char c) { return name_start_char(c) || (c >= '0' && c <= '9'); }
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "summary";
+  }
+}
+
+}  // namespace
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty() || !name_start_char(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!name_char(c)) return false;
+  }
+  return true;
+}
+
+bool valid_label_fragment(std::string_view labels) {
+  // Grammar: key="value"(,key="value")* — exactly what obs::label() joined
+  // by commas produces. Colons are not legal in label keys.
+  std::size_t at = 0;
+  while (at < labels.size()) {
+    std::size_t key_end = at;
+    while (key_end < labels.size() && labels[key_end] != '=' &&
+           labels[key_end] != ':') {
+      ++key_end;
+    }
+    const std::string_view key = labels.substr(at, key_end - at);
+    if (key.empty() || !name_start_char(key[0]) || key[0] == ':') return false;
+    for (char c : key.substr(1)) {
+      if (!name_char(c) || c == ':') return false;
+    }
+    if (key_end >= labels.size() || labels[key_end] != '=' ||
+        key_end + 1 >= labels.size() || labels[key_end + 1] != '"') {
+      return false;
+    }
+    std::size_t cursor = key_end + 2;
+    bool closed = false;
+    while (cursor < labels.size()) {
+      if (labels[cursor] == '\\') {
+        if (cursor + 1 >= labels.size()) return false;
+        cursor += 2;
+        continue;
+      }
+      if (labels[cursor] == '"') {
+        closed = true;
+        ++cursor;
+        break;
+      }
+      ++cursor;
+    }
+    if (!closed) return false;
+    if (cursor == labels.size()) return true;
+    if (labels[cursor] != ',' || cursor + 1 == labels.size()) return false;
+    at = cursor + 1;
+  }
+  return labels.empty();
+}
+
 const MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     std::string_view name, std::string_view labels, Kind kind) {
   // Caller holds mutex_.
   for (const Entry& entry : entries_) {
     if (entry.name == name && entry.labels == labels) {
       if (entry.kind != kind) {
-        throw InvalidArgument("metric '" + std::string(name) +
-                              "' already registered with a different kind");
+        throw InvalidArgument(
+            "metric '" + std::string(name) + "' is already registered as a " +
+            kind_name(static_cast<int>(entry.kind)) +
+            "; cannot re-register it as a " +
+            kind_name(static_cast<int>(kind)) +
+            " (one name, one kind — pick a new name or reuse the handle)");
       }
       return entry;
     }
+  }
+  if (!valid_metric_name(name)) {
+    throw InvalidArgument("metric name '" + std::string(name) +
+                          "' is not a valid Prometheus name "
+                          "([a-zA-Z_:][a-zA-Z0-9_:]*)");
+  }
+  if (!valid_label_fragment(labels)) {
+    throw InvalidArgument("label fragment '" + std::string(labels) +
+                          "' for metric '" + std::string(name) +
+                          "' is not well-formed key=\"value\" pairs "
+                          "(build it with obs::label())");
   }
   Entry entry;
   entry.name = std::string(name);
@@ -109,6 +193,17 @@ LatencyHistogram& MetricsRegistry::histogram(std::string_view name,
   return histograms_[find_or_create(name, labels, Kind::kHistogram).index];
 }
 
+void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [known, text] : help_) {
+    if (known == name) {
+      text = std::string(help);
+      return;
+    }
+  }
+  help_.emplace_back(std::string(name), std::string(help));
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
@@ -139,12 +234,21 @@ std::string exposition_name(const std::string& name, const std::string& labels,
   return joined.empty() ? name : name + '{' + joined + '}';
 }
 
-const char* kind_name(int kind) {
-  switch (kind) {
-    case 0: return "counter";
-    case 1: return "gauge";
-    default: return "summary";
+/// `# HELP` text must keep the exposition line-oriented: escape the two
+/// characters the format reserves (backslash and newline).
+std::string help_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
   }
+  return out;
 }
 
 }  // namespace
@@ -155,6 +259,22 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
   const std::string* last_name = nullptr;
   for (const Entry* entry : sorted) {
     if (last_name == nullptr || *last_name != entry->name) {
+      // HELP precedes TYPE per the exposition format. Metrics without
+      // registered help text get a self-describing default so scrapers
+      // that require the comment pair never see a bare TYPE.
+      const std::string* help = nullptr;
+      for (const auto& [known, text] : help_) {
+        if (known == entry->name) {
+          help = &text;
+          break;
+        }
+      }
+      out << "# HELP " << entry->name << ' '
+          << (help != nullptr ? help_escape(*help)
+                              : "phishinghook " +
+                                    std::string(kind_name(
+                                        static_cast<int>(entry->kind))))
+          << '\n';
       out << "# TYPE " << entry->name << ' '
           << kind_name(static_cast<int>(entry->kind)) << '\n';
       last_name = &entry->name;

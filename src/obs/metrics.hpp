@@ -84,18 +84,27 @@ class MetricsRegistry {
   /// Registers (or finds) the metric named `name` with an optional
   /// comma-joined label fragment built via obs::label(). Re-registering the
   /// same (name, labels) returns a handle onto the same cell; registering
-  /// it as a different kind throws InvalidArgument.
+  /// it as a different kind throws InvalidArgument (naming both kinds), as
+  /// does a name outside [a-zA-Z_:][a-zA-Z0-9_:]* or a label fragment that
+  /// is not well-formed key="value" pairs — exposition-breaking names fail
+  /// at registration, not at scrape time.
   Counter counter(std::string_view name, std::string_view labels = {});
   Gauge gauge(std::string_view name, std::string_view labels = {});
   LatencyHistogram& histogram(std::string_view name,
                               std::string_view labels = {});
 
+  /// Attaches Prometheus `# HELP` text to a metric name (any labels).
+  /// Idempotent — the last call wins; unknown names are remembered and
+  /// apply when the metric registers later.
+  void set_help(std::string_view name, std::string_view help);
+
   std::size_t size() const;
 
-  /// Prometheus-style text exposition: `# TYPE` comments per metric name,
-  /// `name{labels} value` lines sorted by (name, labels); histograms render
-  /// as summaries (quantile lines plus _sum/_count/_max). Values are read
-  /// relaxed, so a concurrent scrape sees a near-consistent snapshot.
+  /// Prometheus-style text exposition: `# HELP` + `# TYPE` comments per
+  /// metric name, `name{labels} value` lines sorted by (name, labels);
+  /// histograms render as summaries (quantile lines plus _sum/_count/_max).
+  /// Values are read relaxed, so a concurrent scrape sees a near-consistent
+  /// snapshot.
   void write_prometheus(std::ostream& out) const;
 
   /// JSON object with "counters"/"gauges"/"histograms" arrays, same
@@ -122,10 +131,19 @@ class MetricsRegistry {
 
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, std::string>> help_;  ///< name -> text
   // Deques: stable addresses across registration, required by the handles.
   std::deque<std::atomic<std::uint64_t>> counters_;
   std::deque<std::atomic<double>> gauges_;
   std::deque<LatencyHistogram> histograms_;
 };
+
+/// Exposition-grammar validators (shared with the registry's registration
+/// checks and the tests): Prometheus metric names are
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, label keys [a-zA-Z_][a-zA-Z0-9_]*, and a
+/// label fragment is zero or more key="value" pairs joined by commas with
+/// only \\ and \" escapes inside the value.
+bool valid_metric_name(std::string_view name);
+bool valid_label_fragment(std::string_view labels);
 
 }  // namespace phishinghook::obs

@@ -1,0 +1,95 @@
+// Request-scoped causal identity for the serving/streaming path.
+//
+// A RequestContext is minted where a request enters the system (the block
+// follower forwarding a fresh deployment, the load generator drawing a
+// re-query, or ScoringEngine::submit for direct callers) and travels *by
+// value* with the request through every hand-off: bounded queues, the
+// engine's request queue, batching, extraction, inference, delivery. It
+// carries two things:
+//
+//   * a process-unique 64-bit trace id — the key that stitches the
+//     request's async stage slices (Tracer::async_begin/async_end) and
+//     flow arrows into one connected lane in Perfetto, and
+//   * the timestamps needed to split latency into *queue-wait* (sitting
+//     in a hand-off, nobody working on it) vs. *service time* (a stage
+//     actually executing) — born_us anchors end-to-end, handoff_us is
+//     restamped at every queue push so the next pop knows how long the
+//     request waited.
+//
+// The stamps use Tracer::now_us() so stage events and X spans share one
+// clock; they are read even when tracing is disabled, because the
+// per-stage LatencyHistograms (queue-wait vs. service-time) are always on.
+// Minting is one relaxed atomic increment + one clock read — cheap enough
+// for every request at open-loop rates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/trace.hpp"
+
+namespace phishinghook::obs {
+
+struct RequestContext {
+  std::uint64_t trace_id = 0;  ///< 0 = unminted (no identity yet)
+  double born_us = 0.0;        ///< mint time, tracer clock
+  double handoff_us = 0.0;     ///< last queue push, tracer clock
+
+  bool valid() const { return trace_id != 0; }
+
+  /// Queue-wait for a pop happening at `now_us`, clamped nonnegative
+  /// (enable()/clear() mid-run can rebase the tracer clock).
+  double wait_us(double now_us) const {
+    const double wait = now_us - handoff_us;
+    return wait > 0.0 ? wait : 0.0;
+  }
+};
+
+namespace detail {
+inline std::atomic<std::uint64_t>& trace_id_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+}  // namespace detail
+
+/// Mints a fresh context: unique nonzero trace id, born/handoff stamped
+/// now. When `tracer` is enabled this also opens the request's umbrella
+/// async slice ("request", closed by whoever terminates the request) and
+/// starts its flow arrow.
+inline RequestContext mint_request(Tracer& tracer = Tracer::global()) {
+  RequestContext ctx;
+  ctx.trace_id =
+      detail::trace_id_counter().fetch_add(1, std::memory_order_relaxed) + 1;
+  ctx.born_us = tracer.now_us();
+  ctx.handoff_us = ctx.born_us;
+  if (tracer.enabled()) {
+    tracer.async_begin("request", ctx.trace_id, ctx.born_us);
+    tracer.flow_start(ctx.trace_id);
+  }
+  return ctx;
+}
+
+/// Closes the request's umbrella slice and finishes its flow arrow — call
+/// exactly once, at the terminal stage (delivery or collection).
+inline void finish_request(RequestContext& ctx,
+                           Tracer& tracer = Tracer::global()) {
+  if (!ctx.valid()) return;
+  if (tracer.enabled()) {
+    tracer.flow_finish(ctx.trace_id);
+    tracer.async_end("request", ctx.trace_id, tracer.now_us());
+  }
+  ctx.trace_id = 0;
+}
+
+/// Emits one completed stage slice [start_us, end_us] on the request's
+/// async lane. Call sites record the same interval into their per-stage
+/// LatencyHistogram; this only draws it.
+inline void stage_slice(const RequestContext& ctx, const char* stage,
+                        double start_us, double end_us,
+                        Tracer& tracer = Tracer::global()) {
+  if (!ctx.valid() || !tracer.enabled()) return;
+  tracer.async_begin(stage, ctx.trace_id, start_us);
+  tracer.async_end(stage, ctx.trace_id, end_us);
+}
+
+}  // namespace phishinghook::obs

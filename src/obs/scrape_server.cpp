@@ -1,0 +1,187 @@
+#include "obs/scrape_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/errors.hpp"
+
+namespace phishinghook::obs {
+
+namespace {
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << code << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+/// Request target out of "GET /path HTTP/1.1"; empty when malformed.
+std::string parse_target(const std::string& request) {
+  const std::size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) return {};
+  if (request.compare(0, method_end, "GET") != 0 &&
+      request.compare(0, method_end, "HEAD") != 0) {
+    return {};
+  }
+  const std::size_t target_end = request.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return {};
+  std::string target =
+      request.substr(method_end + 1, target_end - method_end - 1);
+  // Scrapers may append a query string (?seconds=...); the paths ignore it.
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  return target;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away mid-response: nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+void ScrapeServer::add_registry(const MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registries_.push_back(&registry);
+}
+
+void ScrapeServer::add_pre_scrape_hook(Hook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hooks_.push_back(std::move(hook));
+}
+
+void ScrapeServer::set_health(HealthFn health) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  health_ = std::move(health);
+}
+
+void ScrapeServer::start(std::uint16_t port) {
+  if (running_.load(std::memory_order_acquire) || listen_fd_ >= 0) {
+    throw StateError("ScrapeServer::start: already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw StateError(std::string("ScrapeServer: socket() failed: ") +
+                     std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw StateError("ScrapeServer: cannot listen on 127.0.0.1:" +
+                     std::to_string(port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void ScrapeServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept(); close() alone is not reliable
+  // for that on all kernels.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ScrapeServer::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (stop()) or unrecoverable
+    }
+    // One short read covers any real scrape request line + headers; a
+    // slow-loris peer just gets a 400 for whatever arrived first.
+    char buffer[2048];
+    const ssize_t got = ::recv(conn, buffer, sizeof(buffer) - 1, 0);
+    std::string response;
+    if (got > 0) {
+      buffer[got] = '\0';
+      const std::string target = parse_target(buffer);
+      response = target.empty()
+                     ? http_response(400, "Bad Request", "text/plain",
+                                     "expected GET /metrics|/vars|/healthz\n")
+                     : respond(target);
+    } else {
+      response = http_response(400, "Bad Request", "text/plain", "\n");
+    }
+    write_all(conn, response);
+    ::close(conn);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string ScrapeServer::respond(const std::string& target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (target == "/metrics" || target == "/vars") {
+    for (const Hook& hook : hooks_) hook();
+  }
+  if (target == "/metrics") {
+    std::ostringstream body;
+    for (const MetricsRegistry* registry : registries_) {
+      registry->write_prometheus(body);
+    }
+    return http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                         body.str());
+  }
+  if (target == "/vars") {
+    std::ostringstream body;
+    body << "{\"registries\":[";
+    for (std::size_t i = 0; i < registries_.size(); ++i) {
+      if (i > 0) body << ',';
+      registries_[i]->write_json(body);
+    }
+    body << "]}";
+    return http_response(200, "OK", "application/json", body.str());
+  }
+  if (target == "/healthz") {
+    const std::string body = health_ ? health_() : "{\"status\":\"ok\"}";
+    return http_response(200, "OK", "application/json", body);
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "unknown path (try /metrics, /vars, /healthz)\n");
+}
+
+}  // namespace phishinghook::obs

@@ -64,6 +64,7 @@ void Tracer::enable(std::size_t ring_capacity) {
   capacity_ = round_up_pow2(std::max<std::size_t>(1, ring_capacity));
   rings_.clear();
   next_tid_ = 1;
+  dropped_exported_ = 0;
   generation_.fetch_add(1, std::memory_order_release);
   epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
@@ -75,6 +76,7 @@ void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   rings_.clear();
   next_tid_ = 1;
+  dropped_exported_ = 0;
   generation_.fetch_add(1, std::memory_order_release);
   epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
@@ -116,10 +118,48 @@ void Tracer::record(const char* name, const char* detail, double start_us) {
     }
   }
   event.name[n] = '\0';
+  event.ph = 'X';
   event.ts_us = start_us;
   event.dur_us = end_us - start_us;
+  event.id = 0;
   // Publishes the slot: the exporter acquires head and reads only below it.
   ring.head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::record_event(char ph, const char* name, std::uint64_t id,
+                          double ts_us, double dur_us) {
+  if (!enabled()) return;
+  Ring& ring = ring_for_this_thread();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  Event& event = ring.slots[head & (ring.slots.size() - 1)];
+  std::size_t n = 0;
+  for (; n < kMaxNameLength && name[n] != '\0'; ++n) event.name[n] = name[n];
+  event.name[n] = '\0';
+  event.ph = ph;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.id = id;
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::async_begin(const char* name, std::uint64_t id, double ts_us) {
+  record_event('b', name, id, ts_us);
+}
+
+void Tracer::async_end(const char* name, std::uint64_t id, double ts_us) {
+  record_event('e', name, id, ts_us);
+}
+
+void Tracer::flow_start(std::uint64_t id) {
+  record_event('s', "req", id, now_us());
+}
+
+void Tracer::flow_step(std::uint64_t id) {
+  record_event('t', "req", id, now_us());
+}
+
+void Tracer::flow_finish(std::uint64_t id) {
+  record_event('f', "req", id, now_us());
 }
 
 std::uint64_t Tracer::events_buffered() const {
@@ -142,6 +182,29 @@ std::uint64_t Tracer::events_dropped() const {
   return dropped;
 }
 
+void Tracer::export_metrics(MetricsRegistry& registry) const {
+  std::uint64_t buffered = 0;
+  std::uint64_t dropped_delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t dropped = 0;
+    for (const auto& ring : rings_) {
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      buffered += std::min<std::uint64_t>(head, ring->slots.size());
+      if (head > ring->slots.size()) dropped += head - ring->slots.size();
+    }
+    // The counter delta is computed under the same lock that enable()/
+    // clear() reset dropped_exported_ under, so it can never go negative.
+    if (dropped > dropped_exported_) {
+      dropped_delta = dropped - dropped_exported_;
+      dropped_exported_ = dropped;
+    }
+  }
+  registry.gauge("trace_events_buffered").set(static_cast<double>(buffered));
+  registry.gauge("trace_enabled").set(enabled() ? 1.0 : 0.0);
+  registry.counter("trace_events_dropped_total").inc(dropped_delta);
+}
+
 void Tracer::write_chrome_trace(std::ostream& out) const {
   struct Row {
     const Event* event;
@@ -159,15 +222,45 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       }
     }
     std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-      return a.event->ts_us < b.event->ts_us;
+      // Stable tiebreak: an async begin sorts before its end at equal ts.
+      return a.event->ts_us != b.event->ts_us
+                 ? a.event->ts_us < b.event->ts_us
+                 : a.event->ph < b.event->ph;
     });
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char id_hex[24];
     for (std::size_t i = 0; i < rows.size(); ++i) {
       if (i > 0) out << ',';
-      out << "{\"name\":\"" << json_escape(rows[i].event->name)
-          << "\",\"cat\":\"phook\",\"ph\":\"X\",\"pid\":1,\"tid\":"
-          << rows[i].tid << ",\"ts\":" << rows[i].event->ts_us
-          << ",\"dur\":" << rows[i].event->dur_us << '}';
+      const Event& event = *rows[i].event;
+      switch (event.ph) {
+        case 'b':
+        case 'e':
+          // Async slice boundary: (cat, id, name) pairs b with e; one id =
+          // one request lane, regardless of the recording thread.
+          std::snprintf(id_hex, sizeof(id_hex), "0x%llx",
+                        static_cast<unsigned long long>(event.id));
+          out << "{\"name\":\"" << json_escape(event.name)
+              << "\",\"cat\":\"phook.req\",\"ph\":\"" << event.ph
+              << "\",\"id\":\"" << id_hex << "\",\"pid\":1,\"tid\":"
+              << rows[i].tid << ",\"ts\":" << event.ts_us << '}';
+          break;
+        case 's':
+        case 't':
+        case 'f':
+          std::snprintf(id_hex, sizeof(id_hex), "0x%llx",
+                        static_cast<unsigned long long>(event.id));
+          out << "{\"name\":\"" << json_escape(event.name)
+              << "\",\"cat\":\"phook.flow\",\"ph\":\"" << event.ph
+              << "\",\"id\":\"" << id_hex << "\",\"pid\":1,\"tid\":"
+              << rows[i].tid << ",\"ts\":" << event.ts_us
+              << (event.ph == 'f' ? ",\"bp\":\"e\"}" : "}");
+          break;
+        default:
+          out << "{\"name\":\"" << json_escape(event.name)
+              << "\",\"cat\":\"phook\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+              << rows[i].tid << ",\"ts\":" << event.ts_us
+              << ",\"dur\":" << event.dur_us << '}';
+      }
     }
     out << "]}";
   }

@@ -4,6 +4,15 @@
 //   obs::ScopedSpan span("rf.fit");            // or span("fit", name)
 //   ...                                         // nested spans nest by time
 //
+// Besides the thread-local "X" complete events, the tracer records
+// *causal* events for request-scoped telemetry: chrome async slices
+// (ph "b"/"e", keyed by a 64-bit id — one request's stages render as a
+// connected lane in Perfetto regardless of which thread ran them) and
+// flow arrows (ph "s"/"t"/"f") stitching the per-thread spans a request
+// passed through. Async events take explicit timestamps, so a stage whose
+// start was only known retroactively (e.g. queue-wait measured at pop)
+// can still be drawn where it actually began.
+//
 // Disabled (the default), a span costs one relaxed atomic load and a
 // branch — no clock read, no allocation. Enabled, each span closes with a
 // clock read and a write into a bounded lock-free per-thread ring buffer
@@ -35,6 +44,7 @@
 
 namespace phishinghook::obs {
 
+class MetricsRegistry;
 class ScopedSpan;
 
 class Tracer {
@@ -64,8 +74,31 @@ class Tracer {
   std::uint64_t events_buffered() const;
   std::uint64_t events_dropped() const;
 
-  /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds,
-  /// one tid per recording thread), sorted by start time.
+  /// Publishes ring health into `registry` so overflow is visible on a
+  /// metrics scrape without opening the trace file:
+  /// `trace_events_buffered` / `trace_enabled` gauges plus a monotone
+  /// `trace_events_dropped_total` counter (incremented by the drop delta
+  /// since the previous export — call it from a pre-scrape hook).
+  void export_metrics(MetricsRegistry& registry) const;
+
+  /// Async slice boundary (chrome ph "b"/"e") at an explicit timestamp
+  /// (pass now_us(), or an earlier stamp for a retroactive stage start).
+  /// Events with the same (name, id) pair up into one slice on the
+  /// request's async lane. No-op while disabled.
+  void async_begin(const char* name, std::uint64_t id, double ts_us);
+  void async_end(const char* name, std::uint64_t id, double ts_us);
+
+  /// Flow arrow through the current thread (chrome ph "s"/"t"/"f"): start
+  /// at the producing span, step at each relay, finish at the consumer.
+  /// Binds to the enclosing "X" slice at that timestamp. No-op while
+  /// disabled.
+  void flow_start(std::uint64_t id);
+  void flow_step(std::uint64_t id);
+  void flow_finish(std::uint64_t id);
+
+  /// Chrome trace-event JSON ("X" complete events with ts/dur in
+  /// microseconds, async "b"/"e" slices and flow "s"/"t"/"f" arrows with
+  /// their ids, one tid per recording thread), sorted by start time.
   void write_chrome_trace(std::ostream& out) const;
 
   /// write_chrome_trace to `path`; false (plus a stderr note) on IO error.
@@ -82,8 +115,10 @@ class Tracer {
 
   struct Event {
     char name[kMaxNameLength + 1];
+    char ph;           ///< 'X' span, 'b'/'e' async, 's'/'t'/'f' flow
     double ts_us;
-    double dur_us;
+    double dur_us;     ///< meaningful for 'X' only
+    std::uint64_t id;  ///< async/flow correlation id (0 for 'X')
   };
 
   struct Ring {
@@ -100,6 +135,10 @@ class Tracer {
   /// is appended to the name as "name:detail" (truncated, no allocation).
   void record(const char* name, const char* detail, double start_us);
 
+  /// One ring write of an arbitrary event (the async/flow entry points).
+  void record_event(char ph, const char* name, std::uint64_t id,
+                    double ts_us, double dur_us = 0.0);
+
   Ring& ring_for_this_thread();
 
   std::atomic<bool> enabled_{false};
@@ -110,6 +149,9 @@ class Tracer {
   std::vector<std::unique_ptr<Ring>> rings_;
   std::size_t capacity_ = kDefaultRingCapacity;
   std::uint32_t next_tid_ = 1;
+  /// Drop count already folded into trace_events_dropped_total, so the
+  /// exported counter stays monotone across scrapes (guarded by mutex_).
+  mutable std::uint64_t dropped_exported_ = 0;
 };
 
 /// RAII span against the global tracer (or an explicit one via

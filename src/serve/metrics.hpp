@@ -54,6 +54,33 @@ struct ServiceMetrics {
   LatencyHistogram& batch_latency =
       registry.histogram("serve_batch_latency_us");  ///< one drain+score cycle
 
+  // Per-stage latency attribution: where a request's end-to-end latency
+  // actually went. Queue-wait is time parked in the request queue (nobody
+  // working on it); service is a stage executing on the request's behalf.
+  LatencyHistogram& stage_queue_wait = registry.histogram(
+      "serve_stage_wait_us", obs::label("stage", "queue"));
+  LatencyHistogram& stage_extract = registry.histogram(
+      "serve_stage_service_us", obs::label("stage", "extract"));
+  LatencyHistogram& stage_predict = registry.histogram(
+      "serve_stage_service_us", obs::label("stage", "predict"));
+
+  ServiceMetrics() {
+    registry.set_help("serve_requests_submitted",
+                      "Scoring requests accepted by submit()/try_submit()");
+    registry.set_help("serve_requests_shed",
+                      "Requests dropped by admission control or deadline");
+    registry.set_help("serve_queue_depth",
+                      "Requests admitted but not yet pulled into a batch");
+    registry.set_help("serve_request_latency_us",
+                      "End-to-end latency, submit to future completion");
+    registry.set_help(
+        "serve_stage_wait_us",
+        "Queue-wait per pipeline stage (parked, no work happening)");
+    registry.set_help(
+        "serve_stage_service_us",
+        "Service time per pipeline stage (work done on the request)");
+  }
+
   double mean_batch_occupancy() const {
     const std::uint64_t n = batches.value();
     return n == 0 ? 0.0

@@ -68,6 +68,11 @@ ScoringEngine::~ScoringEngine() { shutdown(); }
 void ScoringEngine::deliver(Request& request, ScoreResult result) {
   result.address = request.address;
   result.latency_us = request.queued.seconds() * 1e6;
+  result.queue_wait_us = request.queue_wait_us;
+  result.trace_id = request.ctx.trace_id;
+  // Terminal stage of the causal lane: close the umbrella async slice and
+  // finish the flow arrow before the promise wakes the consumer.
+  obs::finish_request(request.ctx);
   // Every terminal outcome records latency — failed and shed requests held
   // capacity too, and hiding them would flatter the percentiles.
   metrics_.request_latency.record(result.latency_us);
@@ -88,7 +93,13 @@ void ScoringEngine::deliver(Request& request, ScoreResult result) {
 }
 
 std::future<ScoreResult> ScoringEngine::submit(const evm::Address& address) {
-  std::optional<std::future<ScoreResult>> future = try_submit(address);
+  return submit(address, obs::RequestContext{});
+}
+
+std::future<ScoreResult> ScoringEngine::submit(const evm::Address& address,
+                                               obs::RequestContext ctx) {
+  std::optional<std::future<ScoreResult>> future =
+      try_submit(address, std::move(ctx));
   if (!future.has_value()) {
     throw StateError("ScoringEngine::submit after shutdown");
   }
@@ -97,13 +108,30 @@ std::future<ScoreResult> ScoringEngine::submit(const evm::Address& address) {
 
 std::optional<std::future<ScoreResult>> ScoringEngine::try_submit(
     const evm::Address& address) {
+  return try_submit(address, obs::RequestContext{});
+}
+
+std::optional<std::future<ScoreResult>> ScoringEngine::try_submit(
+    const evm::Address& address, obs::RequestContext ctx) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!ctx.valid()) ctx = obs::mint_request(tracer);
+  // Restamp the hand-off: from here queue-wait means *this* queue, not
+  // whatever upstream hop the context already traveled.
+  ctx.handoff_us = tracer.now_us();
   Request request;
   request.address = address;
+  request.ctx = ctx;
   std::future<ScoreResult> future = request.promise.get_future();
   bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) return std::nullopt;
+    if (stopping_) {
+      // The lane ends here (whether we minted it or it arrived from
+      // upstream, it was handed to us by value) — close it instead of
+      // leaving an unclosed async slice in the trace.
+      obs::finish_request(ctx, tracer);
+      return std::nullopt;
+    }
     if (config_.max_queue == 0 || queue_.size() < config_.max_queue) {
       queue_.push_back(std::move(request));
       metrics_.queue_depth.set(static_cast<double>(queue_.size()));
@@ -206,6 +234,19 @@ evm::Bytecode ScoringEngine::extract_code(const evm::Address& address) {
 
 void ScoringEngine::process_batch(std::vector<Request> batch) {
   obs::ScopedSpan batch_span("serve.batch");
+  obs::Tracer& tracer = obs::Tracer::global();
+
+  // Every popped request just finished its queue-wait stage — attribute it
+  // before anything else (deadline-shed requests waited too, and their
+  // wait is exactly why they are being shed).
+  const double popped_us = tracer.now_us();
+  for (Request& request : batch) {
+    request.queue_wait_us = request.ctx.wait_us(popped_us);
+    metrics_.stage_queue_wait.record(request.queue_wait_us);
+    obs::stage_slice(request.ctx, "req.queue", request.ctx.handoff_us,
+                     popped_us, tracer);
+    if (request.ctx.valid()) tracer.flow_step(request.ctx.trace_id);
+  }
 
   // Deadline shedding first: a request that already blew its budget gets no
   // extract or model work, and does not count toward batch occupancy.
@@ -251,41 +292,51 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
   obs::ScopedSpan extract_span("serve.extract");
   for (std::size_t i = 0; i < live.size(); ++i) {
     Slot& slot = slots[i];
-    try {
-      slot.code = extract_code(live[i].address);
-    } catch (const std::exception& e) {
-      slot.status = ScoreStatus::kExtractError;
-      slot.error = e.what();
-      continue;
-    } catch (...) {
-      slot.status = ScoreStatus::kExtractError;
-      slot.error = "unknown extract error";
-      continue;
-    }
-    if (slot.code.empty()) {
-      slot.status = ScoreStatus::kEmptyCode;
-      metrics_.empty_code_requests.inc();
-      continue;
-    }
-    slot.hash = slot.code.code_hash();
-    if (const std::optional<double> cached = cache_.get(slot.hash)) {
-      slot.probability = *cached;
-      slot.cache_hit = true;
-      continue;
-    }
-    const auto [it, inserted] = miss_index.try_emplace(slot.hash,
-                                                       miss_codes.size());
-    if (inserted) {
-      miss_codes.push_back(&slot.code);
-      miss_slots.emplace_back();
-    }
-    miss_slots[it->second].push_back(i);
+    // Per-slot service timing: fetch + hash + cache probe is the extract
+    // stage this request experienced, whatever its outcome.
+    const double slot_start_us = tracer.now_us();
+    [&] {
+      try {
+        slot.code = extract_code(live[i].address);
+      } catch (const std::exception& e) {
+        slot.status = ScoreStatus::kExtractError;
+        slot.error = e.what();
+        return;
+      } catch (...) {
+        slot.status = ScoreStatus::kExtractError;
+        slot.error = "unknown extract error";
+        return;
+      }
+      if (slot.code.empty()) {
+        slot.status = ScoreStatus::kEmptyCode;
+        metrics_.empty_code_requests.inc();
+        return;
+      }
+      slot.hash = slot.code.code_hash();
+      if (const std::optional<double> cached = cache_.get(slot.hash)) {
+        slot.probability = *cached;
+        slot.cache_hit = true;
+        return;
+      }
+      const auto [it, inserted] = miss_index.try_emplace(slot.hash,
+                                                         miss_codes.size());
+      if (inserted) {
+        miss_codes.push_back(&slot.code);
+        miss_slots.emplace_back();
+      }
+      miss_slots[it->second].push_back(i);
+    }();
+    const double slot_end_us = tracer.now_us();
+    metrics_.stage_extract.record(slot_end_us - slot_start_us);
+    obs::stage_slice(live[i].ctx, "req.extract", slot_start_us, slot_end_us,
+                     tracer);
   }
   extract_span.end();
 
   if (!miss_codes.empty()) {
     std::vector<double> probabilities;
     std::string model_error;
+    const double predict_start_us = tracer.now_us();
     try {
       obs::ScopedSpan predict_span("serve.predict");
       probabilities = detector_->predict_proba(miss_codes);
@@ -293,6 +344,17 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
       model_error = e.what();
     } catch (...) {
       model_error = "unknown model error";
+    }
+    const double predict_end_us = tracer.now_us();
+    // The whole miss group shares one model invocation, so each request in
+    // it experienced the full invocation as its predict service time —
+    // success or failure alike (a throwing model still cost the wall time).
+    for (const std::vector<std::size_t>& group : miss_slots) {
+      for (std::size_t slot_id : group) {
+        metrics_.stage_predict.record(predict_end_us - predict_start_us);
+        obs::stage_slice(live[slot_id].ctx, "req.predict", predict_start_us,
+                         predict_end_us, tracer);
+      }
     }
     if (probabilities.size() == miss_codes.size()) {
       metrics_.model_invocations.inc();

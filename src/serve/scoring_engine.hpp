@@ -49,6 +49,7 @@
 #include "common/timer.hpp"
 #include "core/bem.hpp"
 #include "core/model_registry.hpp"
+#include "obs/request_context.hpp"
 #include "serve/metrics.hpp"
 #include "serve/score_cache.hpp"
 
@@ -98,6 +99,8 @@ struct ScoreResult {
   bool cache_hit = false;     ///< served from the score cache
   std::string error;          ///< diagnostic, empty when ok/empty_code
   double latency_us = 0.0;    ///< submit -> completion
+  double queue_wait_us = 0.0;  ///< time parked in the engine queue
+  std::uint64_t trace_id = 0;  ///< causal id; nonzero once a ctx was minted
 
   /// The request produced a usable score (kOk or the deliberate 0.0 of
   /// kEmptyCode).
@@ -121,8 +124,15 @@ class ScoringEngine {
   /// Enqueues one address; the future completes when a worker scores it
   /// (or immediately, with kShed, when the queue is full). Callable from
   /// any thread. Throws StateError after shutdown() began — the only
-  /// exception this API surfaces.
+  /// exception this API surfaces. The ctx-less form mints a fresh
+  /// RequestContext at admission; the ctx-carrying form continues a causal
+  /// lane that began upstream (block follower, load generator), so one
+  /// trace id spans ingest -> queue -> extract -> predict in the exported
+  /// trace. Either way the context's hand-off stamp is refreshed at
+  /// enqueue, so queue-wait attribution measures *this* queue only.
   std::future<ScoreResult> submit(const evm::Address& address);
+  std::future<ScoreResult> submit(const evm::Address& address,
+                                  obs::RequestContext ctx);
 
   /// Non-throwing submit for streaming producers racing shutdown: returns
   /// nullopt once shutdown() began (instead of StateError), otherwise
@@ -130,6 +140,8 @@ class ScoringEngine {
   /// future — nullopt strictly means "engine no longer accepts work".
   std::optional<std::future<ScoreResult>> try_submit(
       const evm::Address& address);
+  std::optional<std::future<ScoreResult>> try_submit(
+      const evm::Address& address, obs::RequestContext ctx);
 
   /// Convenience: submit + wait for a whole address list. Never throws out
   /// of the collection loop — a future that cannot deliver (e.g. its
@@ -147,10 +159,20 @@ class ScoringEngine {
     metrics_.dump(out, cache_.stats().hit_rate());
   }
 
+  /// Syncs pull-model state (score-cache stats) into the engine registry.
+  /// Wire as an obs::ScrapeServer pre-scrape hook so /metrics always shows
+  /// fresh serve_cache_* values.
+  void export_cache_metrics() { cache_.export_metrics(metrics_.registry); }
+
+  /// The engine's private registry, scrapable alongside the global one.
+  const obs::MetricsRegistry& prometheus_registry() const {
+    return metrics_.registry;
+  }
+
   /// Full Prometheus-style exposition of the engine's private registry
   /// (ServiceMetrics counters/histograms plus a serve_cache_* snapshot).
   void dump_prometheus(std::ostream& out) {
-    cache_.export_metrics(metrics_.registry);
+    export_cache_metrics();
     metrics_.registry.write_prometheus(out);
   }
 
@@ -158,7 +180,9 @@ class ScoringEngine {
   struct Request {
     evm::Address address;
     std::promise<ScoreResult> promise;
-    common::Timer queued;  ///< starts at submit()
+    common::Timer queued;        ///< starts at submit()
+    obs::RequestContext ctx;     ///< causal identity, hand-off restamped
+    double queue_wait_us = 0.0;  ///< filled when the batch pops it
   };
 
   void worker_loop();

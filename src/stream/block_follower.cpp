@@ -17,7 +17,9 @@ BlockFollower::BlockFollower(const chain::Explorer& explorer,
 
 std::vector<chain::ContractRecord> BlockFollower::poll() {
   obs::ScopedSpan span("stream.poll");
+  obs::ScopedSpan crawl_span("stream.crawl");
   const chain::ChainTail tail = explorer_->crawl_after(cursor_);
+  crawl_span.end();
   stats_.polls += 1;
   // Lag is measured against the cursor *before* this poll consumes the
   // tail: "when we looked, how many blocks had we not yet ingested".
@@ -28,6 +30,7 @@ std::vector<chain::ContractRecord> BlockFollower::poll() {
 
   std::vector<chain::ContractRecord> out;
   out.reserve(tail.records.size());
+  obs::ScopedSpan fetch_span("stream.fetch_dedup");
   for (const chain::ContractRecord& record : tail.records) {
     stats_.deployments_seen += 1;
     bool duplicate = false;
@@ -60,6 +63,7 @@ std::vector<chain::ContractRecord> BlockFollower::poll() {
     stats_.forwarded += 1;
     out.push_back(record);
   }
+  fetch_span.end();
   cursor_ = std::max(cursor_, tail.head_block);
   return out;
 }

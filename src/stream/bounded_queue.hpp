@@ -12,6 +12,11 @@
 // Mutex + two condition variables rather than a lock-free ring: hand-offs
 // here happen at request rate (thousands/s), not at per-opcode rate, and
 // the blocking semantics *are* the feature.
+//
+// Because blocking is the backpressure mechanism, it is also worth seeing:
+// when tracing is enabled, a push or pop that *actually* waits records a
+// "queue.push_wait:<name>" / "queue.pop_wait:<name>" span covering the
+// wait — the uncontended fast path stays trace-silent.
 #pragma once
 
 #include <condition_variable>
@@ -21,13 +26,17 @@
 #include <optional>
 
 #include "common/errors.hpp"
+#include "obs/trace.hpp"
 
 namespace phishinghook::stream {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  /// `name`, when given, tags this queue's blocking-wait spans (the
+  /// pointer is kept, not copied — pass a string literal).
+  explicit BoundedQueue(std::size_t capacity, const char* name = nullptr)
+      : capacity_(capacity), name_(name) {
     if (capacity == 0) {
       throw InvalidArgument("BoundedQueue capacity must be > 0");
     }
@@ -39,8 +48,11 @@ class BoundedQueue {
   /// Blocks while full; returns false (dropping `value`) once closed.
   bool push(T value) {
     std::unique_lock<std::mutex> lock(mutex_);
-    space_cv_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    if (!closed_ && items_.size() >= capacity_) {
+      obs::ScopedSpan wait_span("queue.push_wait", name_);
+      space_cv_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+    }
     if (closed_) return false;
     items_.push_back(std::move(value));
     pushed_ += 1;
@@ -65,7 +77,10 @@ class BoundedQueue {
   /// stream — queued items are always delivered before the close shows).
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    items_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (!closed_ && items_.empty()) {
+      obs::ScopedSpan wait_span("queue.pop_wait", name_);
+      items_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    }
     if (items_.empty()) return std::nullopt;
     std::optional<T> value(std::move(items_.front()));
     items_.pop_front();
@@ -124,6 +139,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  const char* name_;  ///< span detail tag; may be nullptr
   mutable std::mutex mutex_;
   std::condition_variable items_cv_;  ///< signaled on push/close
   std::condition_variable space_cv_;  ///< signaled on pop/close

@@ -1,6 +1,7 @@
 #include "stream/coordinator.hpp"
 
 #include <exception>
+#include <sstream>
 
 #include "common/errors.hpp"
 #include "obs/trace.hpp"
@@ -21,8 +22,10 @@ StreamCoordinator::StreamCoordinator(LiveChain& chain,
       follower_(follower_view != nullptr ? *follower_view : chain.explorer(),
                 config.follower),
       generator_(config.arrivals),
-      addresses_(config.address_queue_capacity),
-      futures_(config.future_queue_capacity) {}
+      addresses_(config.address_queue_capacity, "addresses"),
+      futures_(config.future_queue_capacity, "futures"),
+      window_(config.window),
+      slo_(window_, config.slo) {}
 
 StreamCoordinator::~StreamCoordinator() { drain(); }
 
@@ -80,12 +83,15 @@ void StreamCoordinator::miner_loop() {
 }
 
 void StreamCoordinator::follower_loop() {
+  obs::Tracer& tracer = obs::Tracer::global();
   for (;;) {
     // Read the flag *before* polling: a poll that races the miner's last
     // block may come back empty while that block is still unread, but the
     // next iteration's poll (flag already true) re-checks before exiting.
     const bool miner_was_done = miner_done_.load(std::memory_order_acquire);
+    const double poll_start_us = tracer.now_us();
     const std::vector<chain::ContractRecord> fresh = follower_.poll();
+    const double poll_end_us = tracer.now_us();
     const FollowerStats& stats = follower_.stats();
     metrics_.deployments_seen.set(
         static_cast<double>(stats.deployments_seen));
@@ -95,9 +101,17 @@ void StreamCoordinator::follower_loop() {
     metrics_.max_ingest_lag.set(static_cast<double>(stats.max_lag_blocks));
     bool downstream_closed = false;
     for (const chain::ContractRecord& record : fresh) {
-      if (!addresses_.push(record.address)) {
+      // Birth of the causal lane: everything from here to delivery shares
+      // this trace id. The ingest work (crawl + fetch + dedup) already
+      // happened inside the poll, so the stage slice is drawn over the
+      // poll interval — where it actually ran.
+      obs::RequestContext ctx = obs::mint_request(tracer);
+      obs::stage_slice(ctx, "req.ingest", poll_start_us, poll_end_us, tracer);
+      ctx.handoff_us = tracer.now_us();
+      if (!addresses_.push({record.address, ctx})) {
         // Generator exited (max_requests) and closed the queue — nothing
         // downstream wants the rest.
+        obs::finish_request(ctx, tracer);
         downstream_closed = true;
         break;
       }
@@ -112,9 +126,19 @@ void StreamCoordinator::follower_loop() {
   addresses_.close();
 }
 
-bool StreamCoordinator::submit_one(const evm::Address& address, bool fresh) {
+void StreamCoordinator::note_addr_queue_wait(StampedAddress& stamped) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const double now_us = tracer.now_us();
+  metrics_.addr_queue_wait.record(stamped.ctx.wait_us(now_us));
+  obs::stage_slice(stamped.ctx, "req.addr_queue", stamped.ctx.handoff_us,
+                   now_us, tracer);
+  if (stamped.ctx.valid()) tracer.flow_step(stamped.ctx.trace_id);
+}
+
+bool StreamCoordinator::submit_one(const evm::Address& address, bool fresh,
+                                   obs::RequestContext ctx) {
   std::optional<std::future<serve::ScoreResult>> future =
-      engine_->try_submit(address);
+      engine_->try_submit(address, std::move(ctx));
   if (!future.has_value()) return false;  // engine shut down underneath us
   submitted_ += 1;
   metrics_.submitted.inc();
@@ -143,15 +167,20 @@ void StreamCoordinator::generator_loop() {
                        std::chrono::duration<double>(
                            generator_.virtual_time_s())));
     }
+    // Span covers handling only (draws + pop + submit), not the pacing
+    // sleep — arrival handling cost is the signal, schedule gaps are not.
+    obs::ScopedSpan arrival_span("stream.arrival");
     const bool want_requery = generator_.draw_requery() && !known_.empty();
     if (want_requery) {
       engine_alive = submit_one(known_[generator_.draw_index(known_.size())],
                                 /*fresh=*/false);
       continue;
     }
-    if (std::optional<evm::Address> address = addresses_.try_pop()) {
-      known_.push_back(*address);
-      engine_alive = submit_one(*address, /*fresh=*/true);
+    if (std::optional<StampedAddress> fresh = addresses_.try_pop()) {
+      note_addr_queue_wait(*fresh);
+      known_.push_back(fresh->address);
+      engine_alive = submit_one(fresh->address, /*fresh=*/true,
+                                std::move(fresh->ctx));
       continue;
     }
     if (!known_.empty()) {
@@ -170,15 +199,23 @@ void StreamCoordinator::generator_loop() {
   // fresh_submits == follower.forwarded a drain invariant.
   while (engine_alive &&
          (config_.max_requests == 0 || submitted_ < config_.max_requests)) {
-    std::optional<evm::Address> address = addresses_.pop();
-    if (!address.has_value()) break;  // follower closed and drained
-    known_.push_back(*address);
-    engine_alive = submit_one(*address, /*fresh=*/true);
+    std::optional<StampedAddress> fresh = addresses_.pop();
+    if (!fresh.has_value()) break;  // follower closed and drained
+    note_addr_queue_wait(*fresh);
+    known_.push_back(fresh->address);
+    engine_alive = submit_one(fresh->address, /*fresh=*/true,
+                              std::move(fresh->ctx));
   }
 
   // Always close both queues on the way out: a blocked follower push
   // unblocks (false) and the collector sees end-of-stream after draining.
   addresses_.close();
+  // Addresses the run ended without submitting (max_requests hit, engine
+  // gone) still hold open trace lanes — close them so the exported trace
+  // has no dangling async slices.
+  while (std::optional<StampedAddress> leftover = addresses_.try_pop()) {
+    obs::finish_request(leftover->ctx);
+  }
   futures_.close();
   generator_done_.store(true, std::memory_order_release);
 }
@@ -209,6 +246,13 @@ void StreamCoordinator::collector_loop() {
         break;
     }
     if (result.cache_hit) metrics_.cache_hits.inc();
+    // Windowed view: anything that didn't produce a score (failure *or*
+    // shed) burns the SLO's error budget.
+    if (result.ok()) {
+      window_.record_ok(result.latency_us);
+    } else {
+      window_.record_error(result.latency_us);
+    }
   }
   collector_done_.store(true, std::memory_order_release);
 }
@@ -233,7 +277,40 @@ StreamReport StreamCoordinator::report() const {
           : 0.0;
   report.ingest_lag_blocks = report.follower.last_lag_blocks;
   report.max_ingest_lag_blocks = report.follower.max_lag_blocks;
+  const obs::SloEvaluator::Evaluation eval = slo_.evaluate();
+  report.window = eval.window;
+  report.error_burn_rate = eval.burn_rate;
+  report.shed_pressure = eval.shed_pressure;
   return report;
+}
+
+obs::SloEvaluator::Evaluation StreamCoordinator::evaluate_slo() {
+  std::lock_guard<std::mutex> lock(slo_mutex_);
+  return slo_.export_to(metrics_.registry, "stream");
+}
+
+std::string StreamCoordinator::health_json() const {
+  const bool started = started_.load(std::memory_order_acquire);
+  const bool drained = drained_.load(std::memory_order_acquire);
+  const bool draining = drain_requested_.load(std::memory_order_acquire);
+  const char* status = !started ? "idle"
+                       : drained ? "drained"
+                       : draining ? "draining"
+                                  : "running";
+  std::ostringstream out;
+  out << "{\"status\":\"" << status << '"'
+      << ",\"finished\":" << (finished() ? "true" : "false")
+      << ",\"submitted\":" << metrics_.submitted.value()
+      << ",\"completed\":" << metrics_.completed.value()
+      << ",\"failed\":" << metrics_.failed.value()
+      << ",\"shed\":" << metrics_.shed.value()
+      << ",\"queues\":{\"addresses\":{\"size\":" << addresses_.size()
+      << ",\"capacity\":" << addresses_.capacity()
+      << ",\"closed\":" << (addresses_.closed() ? "true" : "false")
+      << "},\"futures\":{\"size\":" << futures_.size()
+      << ",\"capacity\":" << futures_.capacity()
+      << ",\"closed\":" << (futures_.closed() ? "true" : "false") << "}}}";
+  return out.str();
 }
 
 }  // namespace phishinghook::stream

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
+#include "obs/window.hpp"
 #include "serve/scoring_engine.hpp"
 #include "stream/block_follower.hpp"
 #include "stream/bounded_queue.hpp"
@@ -58,6 +60,13 @@ struct StreamConfig {
   std::uint64_t max_blocks = 0;
   /// Stop generating after this many submissions (0 = until drain).
   std::uint64_t max_requests = 0;
+  /// Sliding window over collector outcomes (rate, error ratio,
+  /// latency quantiles for the last window_seconds).
+  obs::WindowConfig window;
+  /// SLO targets evaluated over that window. "Error" here means a
+  /// submission that did not produce a score: extract/model failures
+  /// *and* shed requests both burn the budget.
+  obs::SloConfig slo;
 };
 
 /// End-of-run summary. All fields are totals for this coordinator's run
@@ -82,6 +91,12 @@ struct StreamReport {
   double sustained_rows_per_s = 0.0;  ///< completed / elapsed_s
   std::uint64_t ingest_lag_blocks = 0;      ///< at the follower's last poll
   std::uint64_t max_ingest_lag_blocks = 0;
+
+  /// Windowed view at report time (idle decay applies: after a long
+  /// drain the window may already be empty) plus the SLO verdict on it.
+  obs::SlidingWindowAggregator::Snapshot window;
+  double error_burn_rate = 0.0;
+  double shed_pressure = 0.0;
 
   /// The conservation law the engine + pipeline jointly guarantee once
   /// drained: every submission resolved exactly one way.
@@ -124,6 +139,19 @@ class StreamCoordinator {
   /// Per-stage stream_* counters/gauges (live during the run).
   obs::MetricsRegistry& registry() { return metrics_.registry; }
 
+  /// Windowed aggregation over collector outcomes (live during the run).
+  const obs::SlidingWindowAggregator& window() const { return window_; }
+
+  /// Evaluates the SLO over the current window and publishes the result
+  /// into registry() (stream_window_* gauges, stream_error_burn_rate,
+  /// stream_shed_pressure, edge-triggered stream_slo_breach_total).
+  /// Thread-safe; wire it as a scrape-server pre-scrape hook or call it
+  /// from a control loop that wants the shed-pressure signal.
+  obs::SloEvaluator::Evaluation evaluate_slo();
+
+  /// Pipeline drain/queue state as a JSON object — the /healthz body.
+  std::string health_json() const;
+
  private:
   struct StreamMetrics {
     obs::MetricsRegistry registry;
@@ -143,6 +171,18 @@ class StreamCoordinator {
     obs::Gauge ingest_lag = registry.gauge("stream_ingest_lag_blocks");
     obs::Gauge max_ingest_lag =
         registry.gauge("stream_max_ingest_lag_blocks");
+    /// Queue-wait between follower push and generator pop — the stream
+    /// pipeline's own stage-attribution histogram (the engine covers its
+    /// queue/extract/predict stages in serve_stage_*).
+    obs::LatencyHistogram& addr_queue_wait = registry.histogram(
+        "stream_stage_wait_us", obs::label("stage", "addr_queue"));
+  };
+
+  /// A fresh address plus the causal identity minted at ingest; travels
+  /// by value through the address queue into the engine.
+  struct StampedAddress {
+    evm::Address address;
+    obs::RequestContext ctx;
   };
 
   void miner_loop();
@@ -150,8 +190,14 @@ class StreamCoordinator {
   void generator_loop();
   void collector_loop();
   /// One submission from the generator thread; false when the engine
-  /// stopped accepting work or the future queue closed.
-  bool submit_one(const evm::Address& address, bool fresh);
+  /// stopped accepting work or the future queue closed. `ctx` continues a
+  /// lane minted at ingest (fresh pops); requeries pass none and the
+  /// engine mints at admission.
+  bool submit_one(const evm::Address& address, bool fresh,
+                  obs::RequestContext ctx = {});
+  /// Records how long a popped fresh address sat in the address queue
+  /// (histogram + "req.addr_queue" stage slice + flow step).
+  void note_addr_queue_wait(StampedAddress& stamped);
 
   LiveChain* chain_;
   serve::ScoringEngine* engine_;
@@ -160,8 +206,12 @@ class StreamCoordinator {
   LoadGenerator generator_;
   StreamMetrics metrics_;
 
-  BoundedQueue<evm::Address> addresses_;
+  BoundedQueue<StampedAddress> addresses_;
   BoundedQueue<std::future<serve::ScoreResult>> futures_;
+
+  obs::SlidingWindowAggregator window_;
+  obs::SloEvaluator slo_;      ///< evaluates window_; guarded by slo_mutex_
+  std::mutex slo_mutex_;
 
   std::chrono::steady_clock::time_point epoch_{};
   std::atomic<bool> started_{false};

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,6 +21,7 @@
 
 #include "chain/fault_injection.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/trace.hpp"
 #include "serve/scoring_engine.hpp"
 #include "stream/bounded_queue.hpp"
 #include "stream/coordinator.hpp"
@@ -537,6 +539,132 @@ TEST(StreamCoordinatorTest, MetricsExpositionCarriesStreamSeries) {
   EXPECT_NE(exposition.find("stream_ingest_lag_blocks"), std::string::npos);
   EXPECT_NE(exposition.find("stream_fresh_submits"), std::string::npos);
   EXPECT_NE(exposition.find("stream_requests_shed"), std::string::npos);
+}
+
+TEST(StreamTelemetryTest, OneTraceIdConnectsAtLeastFourPipelineStages) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(1 << 15);
+
+  stream::LiveChain live;
+  serve::EngineConfig engine_config;
+  engine_config.workers = 2;
+  serve::ScoringEngine engine(live.explorer(), detector(), engine_config);
+  stream::StreamConfig config;
+  config.paced = false;
+  config.follower.start_block = 0;
+  config.poll_interval_us = 500;
+  config.max_blocks = 10;
+  config.max_requests = 40;
+  stream::StreamCoordinator coordinator(live, engine, config);
+  coordinator.start();
+  while (!coordinator.finished()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  coordinator.drain();
+  engine.shutdown();  // quiesce every recording thread before the export
+  tracer.disable();
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string json = out.str();
+  tracer.clear();
+
+  // Group the async stage slices by trace id: each exported object is flat,
+  // so scanning "{...}" substrings is enough.
+  std::map<std::string, std::set<std::string>> stages_by_id;
+  std::size_t at = 0;
+  while ((at = json.find("{\"name\":\"", at)) != std::string::npos) {
+    const std::size_t end = json.find('}', at);
+    const std::string object = json.substr(at, end - at + 1);
+    at = end;
+    if (object.find("\"cat\":\"phook.req\"") == std::string::npos) continue;
+    if (object.find("\"ph\":\"b\"") == std::string::npos) continue;
+    const std::size_t name_begin = 9;  // after {"name":"
+    const std::string name =
+        object.substr(name_begin, object.find('"', name_begin) - name_begin);
+    const std::size_t id_begin = object.find("\"id\":\"") + 6;
+    const std::string id =
+        object.substr(id_begin, object.find('"', id_begin) - id_begin);
+    if (name != "request") stages_by_id[id].insert(name);
+  }
+
+  // The acceptance bar: a single request's journey is visible as one
+  // connected lane across >= 4 pipeline stages. A fresh submission passes
+  // ingest -> addr_queue -> engine queue -> extract (and usually predict).
+  bool connected = false;
+  for (const auto& [id, stages] : stages_by_id) {
+    if (stages.count("req.ingest") != 0 && stages.count("req.addr_queue") != 0 &&
+        stages.count("req.queue") != 0 && stages.count("req.extract") != 0) {
+      connected = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(connected)
+      << "no trace id spans ingest/addr_queue/queue/extract; lanes seen: "
+      << stages_by_id.size();
+
+  // The flow arrows stitching the lane to the per-thread spans made it out
+  // too, including the consumer-side finish.
+  EXPECT_NE(json.find("\"cat\":\"phook.flow\",\"ph\":\"s\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(StreamTelemetryTest, WindowSloAndHealthSurfaceAfterDrain) {
+  stream::LiveChain live;
+  serve::EngineConfig engine_config;
+  engine_config.workers = 2;
+  serve::ScoringEngine engine(live.explorer(), detector(), engine_config);
+  stream::StreamConfig config;
+  config.paced = false;
+  config.follower.start_block = 0;
+  config.max_blocks = 10;
+  config.max_requests = 60;
+  // A window far wider than the test runtime, so nothing decays between
+  // the last result and the assertions below.
+  config.window.window_seconds = 300.0;
+  config.window.bucket_count = 10;
+  config.slo.target_error_ratio = 0.5;
+  stream::StreamCoordinator coordinator(live, engine, config);
+
+  EXPECT_NE(coordinator.health_json().find("\"status\":\"idle\""),
+            std::string::npos);
+  coordinator.start();
+  while (!coordinator.finished()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  coordinator.drain();
+
+  // Every collected result landed in the sliding window.
+  const stream::StreamReport report = coordinator.report();
+  ASSERT_TRUE(report.accounting_ok());
+  EXPECT_EQ(report.window.total, report.completed + report.failed + report.shed);
+  EXPECT_GT(report.window.total, 0u);
+  EXPECT_GT(report.window.rate_per_sec, 0.0);
+  EXPECT_GT(report.window.p99_us, 0.0);
+  EXPECT_GE(report.shed_pressure, 0.0);
+  EXPECT_LE(report.shed_pressure, 1.0);
+
+  // evaluate_slo publishes the windowed series into the stream registry.
+  const obs::SloEvaluator::Evaluation eval = coordinator.evaluate_slo();
+  EXPECT_EQ(eval.window.total, report.window.total);
+  std::ostringstream out;
+  coordinator.registry().write_prometheus(out);
+  const std::string exposition = out.str();
+  EXPECT_NE(exposition.find("stream_window_rate_per_sec"), std::string::npos);
+  EXPECT_NE(exposition.find("stream_window_p99_us"), std::string::npos);
+  EXPECT_NE(exposition.find("stream_error_burn_rate"), std::string::npos);
+  EXPECT_NE(exposition.find("stream_shed_pressure"), std::string::npos);
+  // The addr-queue hop recorded its hand-off waits.
+  EXPECT_NE(exposition.find("stream_stage_wait_us{stage=\"addr_queue\""),
+            std::string::npos);
+
+  // /healthz-shaped state: drained, every queue closed, counts present.
+  const std::string health = coordinator.health_json();
+  EXPECT_NE(health.find("\"status\":\"drained\""), std::string::npos);
+  EXPECT_NE(health.find("\"finished\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"queues\":{\"addresses\":{"), std::string::npos);
+  EXPECT_NE(health.find("\"closed\":true"), std::string::npos);
 }
 
 TEST(StreamCoordinatorTest, StartTwiceThrows) {
