@@ -10,17 +10,33 @@
 // pressure — the live view an operator would scrape), and per-stage
 // latency attribution rows splitting each request's journey into
 // queue-wait vs. service time (addr_queue / queue / extract / predict).
+// The network mode (run last) drives the same open-loop LoadGenerator
+// schedules through the JSON-RPC front door over real loopback sockets:
+// client threads pace POST phook_score frames against serve::RpcFrontend,
+// and the "network" JSON object attributes each request's journey across
+// connect (client) / parse + dispatch + handle (net layer) / queue +
+// extract + predict (engine), alongside client-observed RTT, RPS and the
+// shed ratio.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ml/random_forest.hpp"
+#include "serve/rpc_frontend.hpp"
 #include "serve/scoring_engine.hpp"
 #include "stream/coordinator.hpp"
+#include "stream/load_generator.hpp"
 #include "synth/dataset_builder.hpp"
 
 namespace {
@@ -187,6 +203,201 @@ ScenarioResult run_scenario(const std::string& name,
   return result;
 }
 
+/// Result of the socket-path scenario: LoadGenerator arrivals POSTed as
+/// JSON-RPC frames at the RpcFrontend by real client connections.
+struct NetworkResult {
+  std::string scenario;
+  double elapsed_s = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;             ///< engine kShed or HTTP 503
+  std::uint64_t transport_errors = 0; ///< connect/send/recv failures
+  double rps = 0.0;
+  double shed_rate = 0.0;
+  std::vector<StageRow> stages;
+};
+
+/// One blocking HTTP/1.1 request (Connection: close) against 127.0.0.1.
+/// Returns the full response, or empty on a transport failure.
+std::string rpc_round_trip(std::uint16_t port, const std::string& body,
+                           obs::LatencyHistogram& connect_us) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const auto connect_start = std::chrono::steady_clock::now();
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  connect_us.record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - connect_start)
+                        .count());
+  std::string request =
+      "POST / HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: application/json"
+      "\r\nContent-Length: " + std::to_string(body.size()) +
+      "\r\nConnection: close\r\n\r\n" + body;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+NetworkResult run_network_scenario(const std::string& name,
+                                   stream::ArrivalConfig arrivals,
+                                   core::HistogramAdapter& detector,
+                                   double duration_s) {
+  // Address pool: pre-mine so every arrival has a real contract to score
+  // (the socket path benches the serving stack, not the miner).
+  stream::LiveChain live;
+  for (int i = 0; i < 40; ++i) live.mine_next_block();
+  const chain::ChainTail tail = live.explorer().crawl_after(0);
+  std::vector<evm::Address> pool;
+  pool.reserve(tail.records.size());
+  for (const chain::ContractRecord& record : tail.records) {
+    pool.push_back(record.address);
+  }
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = 2;
+  engine_config.max_queue = 256;
+  serve::ScoringEngine engine(live.explorer(), detector, engine_config);
+
+  net::RpcConfig rpc_config;
+  rpc_config.dispatchers = 4;
+  rpc_config.queue_capacity = 512;
+  serve::RpcFrontend frontend(engine, rpc_config);
+  frontend.start(0);  // ephemeral loopback port
+  const std::uint16_t port = frontend.port();
+
+  obs::LatencyHistogram connect_hist;
+  obs::LatencyHistogram rtt_hist;
+  std::atomic<std::uint64_t> requests{0}, ok{0}, shed{0}, transport{0};
+
+  // One shared open-loop schedule, paced against a common epoch; client
+  // threads take arrivals off it under a mutex so the aggregate traffic
+  // matches the configured Poisson process.
+  stream::LoadGenerator generator(arrivals);
+  std::mutex generator_mutex;
+  const auto epoch = std::chrono::steady_clock::now();
+  const auto deadline = epoch + std::chrono::duration<double>(duration_s);
+
+  const auto client = [&] {
+    while (true) {
+      double arrival_s = 0.0;
+      std::size_t index = 0;
+      {
+        std::lock_guard<std::mutex> lock(generator_mutex);
+        generator.next_arrival();
+        arrival_s = generator.virtual_time_s();
+        index = generator.draw_index(pool.size());
+      }
+      const auto when = epoch + std::chrono::duration<double>(arrival_s);
+      if (when >= deadline) return;
+      std::this_thread::sleep_until(when);
+      const std::string body =
+          "{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"phook_score\","
+          "\"params\":[\"" + pool[index].to_hex() + "\"]}";
+      requests.fetch_add(1, std::memory_order_relaxed);
+      const auto sent_at = std::chrono::steady_clock::now();
+      const std::string response = rpc_round_trip(port, body, connect_hist);
+      if (response.empty()) {
+        transport.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      rtt_hist.record(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - sent_at)
+                          .count());
+      if (response.find(" 503 ") != std::string::npos ||
+          response.find("\"shed\"") != std::string::npos) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+      } else if (response.find("\"result\"") != std::string::npos) {
+        ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        transport.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) clients.emplace_back(client);
+  for (std::thread& t : clients) t.join();
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - epoch)
+                               .count();
+
+  NetworkResult result;
+  result.scenario = name;
+  result.elapsed_s = elapsed_s;
+  result.requests = requests.load();
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.transport_errors = transport.load();
+  result.rps = elapsed_s > 0.0
+                   ? static_cast<double>(result.ok) / elapsed_s
+                   : 0.0;
+  result.shed_rate = result.requests == 0
+                         ? 0.0
+                         : static_cast<double>(result.shed) /
+                               static_cast<double>(result.requests);
+
+  const auto stage_row = [](const char* stage, const char* kind,
+                            const obs::LatencyHistogram& h) {
+    StageRow row;
+    row.stage = stage;
+    row.kind = kind;
+    row.count = h.count();
+    row.mean_us = h.mean();
+    row.p50_us = h.quantile(0.50);
+    row.p95_us = h.quantile(0.95);
+    row.p99_us = h.quantile(0.99);
+    row.max_us = h.max_value();
+    return row;
+  };
+  obs::MetricsRegistry& net_registry = frontend.server().metrics_registry();
+  const serve::ServiceMetrics& sm = engine.metrics();
+  result.stages.push_back(stage_row("connect", "service", connect_hist));
+  result.stages.push_back(stage_row("rtt", "service", rtt_hist));
+  result.stages.push_back(stage_row(
+      "parse", "service",
+      net_registry.histogram("net_stage_service_us",
+                             obs::label("stage", "parse"))));
+  result.stages.push_back(stage_row(
+      "dispatch", "wait",
+      net_registry.histogram("net_stage_wait_us",
+                             obs::label("stage", "dispatch"))));
+  result.stages.push_back(stage_row(
+      "handle", "service",
+      net_registry.histogram("net_stage_service_us",
+                             obs::label("stage", "handle"))));
+  result.stages.push_back(stage_row("queue", "wait", sm.stage_queue_wait));
+  result.stages.push_back(stage_row("extract", "service", sm.stage_extract));
+  result.stages.push_back(stage_row("predict", "service", sm.stage_predict));
+  frontend.stop();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +424,14 @@ int main(int argc, char** argv) {
   results.push_back(
       run_scenario("mempool_burst", burst, detector, duration_s));
 
+  // Socket path: the same arrival model, but every request crosses a real
+  // loopback TCP connection into the JSON-RPC front door. Per-request
+  // connects bound the sane rate well below the in-process scenarios'.
+  stream::ArrivalConfig rpc_arrivals = stream::LoadGenerator::steady_scenario();
+  rpc_arrivals.rate_per_s = smoke ? 300.0 : 800.0;
+  const NetworkResult network =
+      run_network_scenario("rpc_steady", rpc_arrivals, detector, duration_s);
+
   for (const ScenarioResult& r : results) {
     std::printf(
         "  %-14s %7.0f rows/s  shed=%.3f err=%.3f lag=%llu dedup=%.2f "
@@ -232,6 +451,20 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.count), s.p50_us,
                   s.p99_us);
     }
+  }
+
+  std::printf(
+      "  %-14s %7.0f req/s  requests=%llu ok=%llu shed=%llu transport=%llu\n",
+      network.scenario.c_str(), network.rps,
+      static_cast<unsigned long long>(network.requests),
+      static_cast<unsigned long long>(network.ok),
+      static_cast<unsigned long long>(network.shed),
+      static_cast<unsigned long long>(network.transport_errors));
+  for (const StageRow& s : network.stages) {
+    std::printf("  %-14s stage %-10s %-7s n=%-7llu p50=%8.1fus "
+                "p99=%8.1fus\n",
+                "", s.stage.c_str(), s.kind.c_str(),
+                static_cast<unsigned long long>(s.count), s.p50_us, s.p99_us);
   }
 
   FILE* out = std::fopen("BENCH_stream.json", "w");
@@ -287,11 +520,39 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out, "     ]}%s\n", i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(
+      out,
+      "  \"network\": {\"scenario\": \"%s\", \"elapsed_s\": %.4f, "
+      "\"requests\": %llu, \"ok\": %llu, \"shed\": %llu, "
+      "\"transport_errors\": %llu, \"rps\": %.2f, \"shed_rate\": %.6f,\n",
+      network.scenario.c_str(), network.elapsed_s,
+      static_cast<unsigned long long>(network.requests),
+      static_cast<unsigned long long>(network.ok),
+      static_cast<unsigned long long>(network.shed),
+      static_cast<unsigned long long>(network.transport_errors), network.rps,
+      network.shed_rate);
+  std::fprintf(out, "   \"stages\": [\n");
+  for (std::size_t s = 0; s < network.stages.size(); ++s) {
+    const StageRow& row = network.stages[s];
+    std::fprintf(
+        out,
+        "     {\"stage\": \"%s\", \"kind\": \"%s\", \"count\": %llu, "
+        "\"mean_us\": %.2f, \"p50_us\": %.2f, \"p95_us\": %.2f, "
+        "\"p99_us\": %.2f, \"max_us\": %.2f}%s\n",
+        row.stage.c_str(), row.kind.c_str(),
+        static_cast<unsigned long long>(row.count), row.mean_us, row.p50_us,
+        row.p95_us, row.p99_us, row.max_us,
+        s + 1 < network.stages.size() ? "," : "");
+  }
+  std::fprintf(out, "   ]}\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_stream.json\n");
 
   bool ok = true;
   for (const ScenarioResult& r : results) ok = ok && r.accounting_ok;
+  // The socket path must have moved real traffic: zero scored responses
+  // means the front door (or the clients) silently broke.
+  ok = ok && network.ok > 0;
   return ok ? 0 : 1;
 }

@@ -16,14 +16,18 @@
 # every request resolves to a definite status), bench_stream in --smoke
 # mode (validating BENCH_stream.json: both arrival scenarios present,
 # finite rows/s and shed/error rates, accounting identity intact, windowed
-# SLO sample and per-stage queue-wait/service-time attribution rows), and a
-# scrape smoke (stream_follower serving /metrics,/vars,/healthz on loopback
-# mid-run, exposition linted, health JSON schema-checked), so the perf
+# SLO sample and per-stage queue-wait/service-time attribution rows, plus
+# the network row the socket-path scenario emits), a scrape smoke
+# (stream_follower serving /metrics,/vars,/healthz on loopback mid-run,
+# exposition linted, health JSON schema-checked), and a JSON-RPC smoke
+# (score_server on ephemeral ports, a single phook_score plus a mixed batch
+# over real sockets, response shape and net_* metrics asserted), so the perf
 # trajectory, the telemetry surface, and the fault-isolation contract all
 # stay machine-checked across PRs. The ASan leg runs the full suite, including
 # the fast-vs-legacy equivalence tests (test_features_fast). The TSan leg
 # adds test_stream, racing the four streaming pipeline threads against the
-# engine workers.
+# engine workers, and test_net, hammering the event loop + dispatcher pool
+# with concurrent clients.
 #
 #   ./ci.sh            # all three variants
 #
@@ -228,9 +232,35 @@ for row in rows:
     scenarios.add(row["scenario"])
 for required in ("steady", "mempool_burst"):
     assert required in scenarios, f"missing scenario {required}"
+# Network path: LoadGenerator-driven traffic over real loopback sockets
+# through the JSON-RPC front door, with latency attributed across the
+# client (connect/rtt), the net layer (parse/dispatch/handle) and the
+# engine (queue/extract/predict).
+net = doc["network"]
+for key in ("scenario", "requests", "ok", "shed", "transport_errors",
+            "rps", "shed_rate"):
+    assert key in net, f"network row missing {key}"
+assert net["requests"] > 0, "no socket-path requests"
+assert net["ok"] > 0, "no socket-path scored responses"
+assert net["transport_errors"] == 0, (
+    f"{net['transport_errors']} transport errors on loopback")
+assert math.isfinite(net["rps"]) and net["rps"] > 0, "bad network rps"
+net_stages = {s["stage"]: s for s in net["stages"]}
+for stage, kind in (("connect", "service"), ("rtt", "service"),
+                    ("parse", "service"), ("dispatch", "wait"),
+                    ("handle", "service"), ("queue", "wait"),
+                    ("extract", "service"), ("predict", "service")):
+    assert stage in net_stages, f"missing network stage row {stage}"
+    s = net_stages[stage]
+    assert s["kind"] == kind, f"network stage {stage} kind {s['kind']}"
+    for key in ("count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"):
+        assert math.isfinite(s[key]), f"network stage {stage} bad {key}"
+assert net_stages["parse"]["count"] > 0, "no frames parsed on the socket path"
+assert net_stages["queue"]["count"] > 0, "socket traffic never hit the engine"
 print(f"BENCH_stream.json ok: {len(rows)} scenarios, "
       + ", ".join(f"{r['scenario']}={r['sustained_rows_per_s']:.0f} rows/s"
-                  for r in rows))
+                  for r in rows)
+      + f"; network {net['rps']:.0f} req/s over {net['requests']} requests")
 PY
   else
     grep -q '"scenario": "steady"' "${json}" &&
@@ -361,6 +391,21 @@ PY
   fi
 }
 
+post_url() {
+  local url="$1" body="$2" out="$3"
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf --max-time 5 -X POST -H 'Content-Type: application/json' \
+      -d "${body}" "${url}" -o "${out}"
+  else
+    python3 - "${url}" "${out}" "${body}" <<'PY'
+import sys, urllib.request
+req = urllib.request.Request(sys.argv[1], data=sys.argv[3].encode(),
+                             headers={"Content-Type": "application/json"})
+open(sys.argv[2], "wb").write(urllib.request.urlopen(req, timeout=5).read())
+PY
+  fi
+}
+
 # Scrape smoke: stream_follower serving /metrics, /vars and /healthz on an
 # ephemeral loopback port while the pipeline runs. Pulls all three paths
 # mid-run, lints the /metrics exposition (grammar + HELP/TYPE pairing +
@@ -458,6 +503,102 @@ PY
   fi
 }
 
+# JSON-RPC smoke: score_server on ephemeral ports, score a freshly mined
+# address over the socket (single call + mixed batch), and assert both the
+# JSON-RPC 2.0 response shape and the presence of the net_* series in the
+# scraped /metrics exposition.
+run_rpc_smoke() {
+  local dir="$1"
+  echo "=== score_server: json-rpc smoke ==="
+  rm -f "${dir}/rpc_smoke.out"
+  (cd "${dir}" && ./examples/score_server --seconds 8 \
+    --metrics-port 0 > rpc_smoke.out 2>&1) &
+  local server_pid=$!
+
+  # The server prints its RPC URL, metrics URL and a scoreable address
+  # once the chain is pre-mined and both listeners are bound.
+  local addr="" tries=0
+  while [[ -z "${addr}" && ${tries} -lt 150 ]]; do
+    addr="$(grep -o '== sample_address: 0x[0-9a-fA-F]*' \
+            "${dir}/rpc_smoke.out" 2>/dev/null | awk '{print $3}' || true)"
+    [[ -z "${addr}" ]] && sleep 0.1 && tries=$((tries + 1))
+  done
+  local rpc_url metrics_url
+  rpc_url="$(grep -o '== rpc: http://127\.0\.0\.1:[0-9]*/' \
+             "${dir}/rpc_smoke.out" 2>/dev/null | awk '{print $3}' || true)"
+  metrics_url="$(grep -o '== metrics: http://127\.0\.0\.1:[0-9]*/metrics' \
+                 "${dir}/rpc_smoke.out" 2>/dev/null | awk '{print $3}' || true)"
+  if [[ -z "${addr}" || -z "${rpc_url}" || -z "${metrics_url}" ]]; then
+    echo "ci.sh: rpc smoke never printed its endpoints" >&2
+    cat "${dir}/rpc_smoke.out" >&2 || true
+    kill "${server_pid}" 2>/dev/null || true
+    exit 1
+  fi
+
+  local single_body batch_body
+  single_body='{"jsonrpc":"2.0","id":1,"method":"phook_score","params":["'"${addr}"'"]}'
+  batch_body='[{"jsonrpc":"2.0","id":"s","method":"phook_score","params":["'"${addr}"'"]},'
+  batch_body+='{"jsonrpc":"2.0","id":"h","method":"phook_health"}]'
+  if ! post_url "${rpc_url}" "${single_body}" "${dir}/rpc_single.json" ||
+     ! post_url "${rpc_url}" "${batch_body}" "${dir}/rpc_batch.json" ||
+     ! fetch_url "${metrics_url}" "${dir}/rpc_metrics.prom"; then
+    echo "ci.sh: rpc smoke request failed against ${rpc_url}" >&2
+    cat "${dir}/rpc_smoke.out" >&2 || true
+    kill "${server_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  if ! wait "${server_pid}"; then
+    echo "ci.sh: score_server exited nonzero under the rpc smoke" >&2
+    cat "${dir}/rpc_smoke.out" >&2 || true
+    exit 1
+  fi
+
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${dir}/rpc_single.json" "${dir}/rpc_batch.json" \
+      "${dir}/rpc_metrics.prom" "${addr}" <<'PY'
+import json, sys
+addr = sys.argv[4]
+
+def check_score(resp, want_id):
+    assert resp.get("jsonrpc") == "2.0", f"bad jsonrpc field: {resp!r}"
+    assert resp.get("id") == want_id, f"id mismatch: {resp!r}"
+    assert "error" not in resp, f"rpc error: {resp!r}"
+    res = resp["result"]
+    assert res["address"].lower() == addr.lower(), f"wrong address: {res!r}"
+    assert res["status"] == "ok", f"score status {res['status']!r}"
+    assert 0.0 <= res["probability"] <= 1.0, f"bad probability: {res!r}"
+    for key in ("flagged", "cache_hit", "latency_us", "trace_id"):
+        assert key in res, f"result missing {key}: {res!r}"
+
+single = json.load(open(sys.argv[1]))
+check_score(single, 1)
+
+batch = json.load(open(sys.argv[2]))
+assert isinstance(batch, list) and len(batch) == 2, f"bad batch: {batch!r}"
+by_id = {r.get("id"): r for r in batch}
+check_score(by_id["s"], "s")
+health = by_id["h"]["result"]
+assert health["status"] == "ok", f"health status {health!r}"
+assert health["engine"]["requests_completed"] >= 1, f"no completions: {health!r}"
+
+text = open(sys.argv[3]).read()
+for required in ("net_requests_total", "net_responses_total",
+                 "net_connections_active", "net_batch_calls_total",
+                 "net_stage_service_us", "net_stage_wait_us",
+                 "net_request_total_us"):
+    assert required in text, f"missing net metric {required} in /metrics"
+print(f"rpc smoke ok: scored {addr} "
+      f"(p={single['result']['probability']:.3f}, "
+      f"trace {single['result']['trace_id']})")
+PY
+  else
+    grep -q '"result"' "${dir}/rpc_single.json" &&
+      grep -q '"result"' "${dir}/rpc_batch.json" &&
+      grep -q 'net_requests_total' "${dir}/rpc_metrics.prom" ||
+      { echo "ci.sh: rpc smoke responses malformed" >&2; exit 1; }
+  fi
+}
+
 run_variant release ""
 (cd build-ci-release && ./bench/bench_train_parallel)
 check_bench_json build-ci-release/BENCH_train.json
@@ -482,14 +623,16 @@ check_trace build-ci-release/scanner_trace.json
   | tee chaos_smoke.out >/dev/null)
 check_chaos_smoke build-ci-release/chaos_smoke.out
 run_scrape_smoke build-ci-release
+run_rpc_smoke build-ci-release
 
 run_variant asan address
 
 # TSan cannot be combined with ASan, and slows everything ~10x, so it runs
 # only the suites with actual cross-thread state: the serving engine, its
 # chaos/fault-injection suite, the thread-pool unit tests, the pool-backed
-# training determinism suite, and the telemetry layer itself.
-run_variant tsan thread "-R test_serve|test_serve_faults|test_thread_pool|test_parallel_determinism|test_obs|test_stream"
+# training determinism suite, the telemetry layer, and the socket/JSON-RPC
+# front end (event loop + dispatcher pool under concurrent clients).
+run_variant tsan thread "-R test_serve|test_serve_faults|test_thread_pool|test_parallel_determinism|test_obs|test_stream|test_net"
 
 # No-SIMD leg: build with PHISHINGHOOK_SIMD compiled out (and gcc's
 # autovectorizers off) and run the fast-vs-legacy equivalence suite. The

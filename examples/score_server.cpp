@@ -1,0 +1,152 @@
+// score_server: the scoring pipeline behind a JSON-RPC socket front door.
+//
+// Stands up the full serving stack as a process a wallet backend could
+// actually point at: a synthetic chain is pre-mined for contract supply, a
+// detector is fitted on a synthetic labeled set, a ScoringEngine serves it,
+// and serve::RpcFrontend exposes phook_score / phook_scoreBatch /
+// phook_health over HTTP POST on loopback. A ScrapeServer on a second port
+// serves /metrics with the engine's serve_* series and the front door's
+// net_* series side by side.
+//
+//   ./score_server                       # ephemeral ports, 30s, then exit
+//   ./score_server --port 9545 --seconds 120
+//
+// Prints, before serving: the RPC URL, the metrics URL, and a sample
+// contract address guaranteed to exist on the synthetic chain — paste it
+// into the curl from the README (the ci.sh smoke drives exactly that).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+#include "net/scrape_server.hpp"
+#include "serve/rpc_frontend.hpp"
+#include "serve/scoring_engine.hpp"
+#include "stream/live_chain.hpp"
+#include "synth/dataset_builder.hpp"
+
+namespace {
+
+using namespace phishinghook;
+
+core::HistogramAdapter fit_detector() {
+  synth::DatasetConfig dataset_config;
+  dataset_config.target_size = 160;
+  dataset_config.seed = 97;
+  const synth::BuiltDataset built =
+      synth::DatasetBuilder(dataset_config).build();
+  ml::RandomForestConfig rf;
+  rf.n_trees = 8;
+  rf.max_depth = 6;
+  core::HistogramAdapter adapter(
+      std::make_unique<ml::RandomForestClassifier>(rf), "score-server");
+  std::vector<const evm::Bytecode*> codes;
+  std::vector<int> labels;
+  for (const synth::LabeledContract& sample : built.samples) {
+    codes.push_back(&sample.code);
+    labels.push_back(sample.phishing ? 1 : 0);
+  }
+  adapter.fit(codes, labels);
+  return adapter;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;          // 0 = kernel-assigned
+  int metrics_port = 0;  // -1 disables the scrape endpoint
+  double seconds = 30.0;
+  for (int i = 1; i < argc; ++i) {
+    const auto next_int = [&](int fallback) {
+      return i + 1 < argc ? std::atoi(argv[++i]) : fallback;
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = next_int(port);
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      metrics_port = next_int(metrics_port);
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      seconds = i + 1 < argc ? std::atof(argv[++i]) : seconds;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--metrics-port N|-1] "
+                   "[--seconds S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== fitting detector + pre-mining chain\n");
+  core::HistogramAdapter detector = fit_detector();
+  stream::LiveChain live;
+  for (int i = 0; i < 30; ++i) live.mine_next_block();
+  const chain::ChainTail tail = live.explorer().crawl_after(0);
+  if (tail.records.empty()) {
+    std::fprintf(stderr, "pre-mine produced no contracts\n");
+    return 1;
+  }
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = 2;
+  engine_config.max_queue = 256;
+  serve::ScoringEngine engine(live.explorer(), detector, engine_config);
+
+  net::RpcConfig rpc_config;
+  rpc_config.dispatchers = 2;
+  serve::RpcFrontend frontend(engine, rpc_config);
+  frontend.start(static_cast<std::uint16_t>(port));
+
+  net::ScrapeServer scrape;
+  if (metrics_port >= 0) {
+    scrape.add_registry(engine.prometheus_registry());
+    scrape.add_registry(frontend.server().metrics_registry());
+    scrape.add_pre_scrape_hook([&engine] { engine.export_cache_metrics(); });
+    scrape.add_pre_scrape_hook(
+        [&frontend] { frontend.server().export_metrics(); });
+    scrape.set_health([&engine, &frontend] {
+      std::ostringstream body;
+      body << "{\"status\":\"ok\",\"requests_received\":"
+           << frontend.server().requests_received()
+           << ",\"requests_completed\":"
+           << engine.metrics().requests_completed.value() << "}";
+      return body.str();
+    });
+    scrape.start(static_cast<std::uint16_t>(metrics_port));
+  }
+
+  // The ci.sh smoke greps these three lines, then curls; they must hit the
+  // pipe the moment the sockets are live.
+  std::printf("== rpc: http://127.0.0.1:%u/\n", frontend.port());
+  if (metrics_port >= 0) {
+    std::printf("== metrics: http://127.0.0.1:%u/metrics (also /vars, "
+                "/healthz)\n",
+                scrape.port());
+  }
+  std::printf("== sample_address: %s\n", tail.records.front().address.to_hex().c_str());
+  std::printf("== serving for %.0fs; score with\n"
+              "   curl -s -X POST http://127.0.0.1:%u/ -d "
+              "'{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"phook_score\","
+              "\"params\":[\"%s\"]}'\n",
+              seconds, frontend.port(),
+              tail.records.front().address.to_hex().c_str());
+  std::fflush(stdout);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  frontend.stop();
+  if (metrics_port >= 0) scrape.stop();
+  std::printf("== served %llu rpc requests, engine completed %llu\n",
+              static_cast<unsigned long long>(
+                  frontend.server().requests_received()),
+              static_cast<unsigned long long>(
+                  engine.metrics().requests_completed.value()));
+  return 0;
+}

@@ -1,0 +1,456 @@
+#include "net/json_rpc_server.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace phishinghook::net {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 16384;
+
+/// Case-insensitive header lookup inside [head_begin, head_end); returns
+/// the trimmed value or empty.
+std::string find_header(const std::string& in, std::size_t head_end,
+                        std::string_view name) {
+  std::size_t pos = in.find("\r\n");
+  while (pos != std::string::npos && pos < head_end) {
+    const std::size_t line_start = pos + 2;
+    const std::size_t line_end = in.find("\r\n", line_start);
+    if (line_end == std::string::npos || line_start >= head_end) break;
+    const std::size_t colon = in.find(':', line_start);
+    if (colon != std::string::npos && colon < line_end &&
+        colon - line_start == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(in[line_start + i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t value_start = colon + 1;
+        while (value_start < line_end &&
+               (in[value_start] == ' ' || in[value_start] == '\t')) {
+          ++value_start;
+        }
+        std::size_t value_end = line_end;
+        while (value_end > value_start &&
+               (in[value_end - 1] == ' ' || in[value_end - 1] == '\t')) {
+          --value_end;
+        }
+        return in.substr(value_start, value_end - value_start);
+      }
+    }
+    pos = line_end;
+  }
+  return {};
+}
+
+std::string ascii_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+JsonValue make_error_value(int code, const std::string& message) {
+  JsonValue error;
+  error.set("code", JsonValue::number(code));
+  error.set("message", JsonValue::string(message));
+  return error;
+}
+
+JsonValue make_error_response(const JsonValue& id, int code,
+                              const std::string& message) {
+  JsonValue response;
+  response.set("jsonrpc", JsonValue::string("2.0"));
+  response.set("id", id);
+  response.set("error", make_error_value(code, message));
+  return response;
+}
+
+JsonValue make_result_response(const JsonValue& id, JsonValue result) {
+  JsonValue response;
+  response.set("jsonrpc", JsonValue::string("2.0"));
+  response.set("id", id);
+  response.set("result", std::move(result));
+  return response;
+}
+
+std::string shed_body(const std::string& why) {
+  return make_error_response(JsonValue::null(), rpc_errors::kShed, why).dump();
+}
+
+}  // namespace
+
+JsonRpcServer::JsonRpcServer(RpcConfig config)
+    : SocketServer(SocketServerConfig{
+          config.max_connections,
+          /*max_in_bytes=*/config.max_body_bytes + kMaxHeadBytes,
+          config.idle_timeout_ms,
+      }),
+      config_(config) {
+  registry_.set_help("net_requests_total",
+                     "HTTP frames received by the JSON-RPC server");
+  registry_.set_help("net_requests_shed",
+                     "Frames dropped by queue admission or dispatch deadline");
+  registry_.set_help("net_requests_malformed",
+                     "HTTP or JSON-RPC protocol violations answered with "
+                     "an error");
+  registry_.set_help("net_stage_wait_us",
+                     "Queue-wait per network stage (parked, no work "
+                     "happening)");
+  registry_.set_help("net_stage_service_us",
+                     "Service time per network stage (parse, handle)");
+  registry_.set_help("net_request_total_us",
+                     "Frame completion to response build, JSON-RPC layer");
+}
+
+JsonRpcServer::~JsonRpcServer() { stop(); }
+
+void JsonRpcServer::register_method(std::string method, Handler handler) {
+  methods_[std::move(method)] = std::move(handler);
+}
+
+void JsonRpcServer::start(std::uint16_t port) {
+  SocketServer::start(port);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = false;
+  }
+  const std::size_t n = config_.dispatchers == 0 ? 1 : config_.dispatchers;
+  dispatchers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+void JsonRpcServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  // Dispatchers drain what is queued — the loop is still alive, so those
+  // responses reach their sockets — then exit.
+  for (std::thread& dispatcher : dispatchers_) {
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+  dispatchers_.clear();
+  SocketServer::stop();
+}
+
+void JsonRpcServer::export_metrics() {
+  active_connections_.set(static_cast<double>(connections()));
+  accepted_gauge_.set(static_cast<double>(connections_accepted()));
+  rejected_gauge_.set(static_cast<double>(connections_rejected()));
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  queue_depth_.set(static_cast<double>(queue_.size()));
+}
+
+void JsonRpcServer::on_open(Connection& conn) {
+  conn.user = std::make_shared<HttpState>();
+}
+
+void JsonRpcServer::on_data(Connection& conn) { process_input(conn); }
+
+void JsonRpcServer::on_overflow(Connection& conn) {
+  malformed_.inc();
+  conn.in.clear();
+  respond_http(conn, 413, "Payload Too Large",
+               shed_body("request body exceeds server limit"), false);
+}
+
+void JsonRpcServer::process_input(Connection& conn) {
+  auto* state = static_cast<HttpState*>(conn.user.get());
+  if (state == nullptr || state->busy) return;  // response in flight
+  if (conn.in.empty()) return;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (state->first_byte_us == 0) state->first_byte_us = tracer.now_us();
+
+  const std::size_t head_end = conn.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (conn.in.size() > kMaxHeadBytes) {
+      malformed_.inc();
+      respond_http(conn, 431, "Request Header Fields Too Large",
+                   shed_body("request head too large"), false);
+    }
+    return;  // head still arriving
+  }
+
+  // Request line: METHOD SP target SP version.
+  const std::size_t method_end = conn.in.find(' ');
+  if (method_end == std::string::npos || method_end > head_end) {
+    malformed_.inc();
+    respond_http(conn, 400, "Bad Request", shed_body("malformed request line"),
+                 false);
+    return;
+  }
+  const std::string method = conn.in.substr(0, method_end);
+  const std::size_t line_end = conn.in.find("\r\n");
+  const bool http10 =
+      line_end != std::string::npos && line_end >= 8 &&
+      conn.in.compare(line_end - 8, 8, "HTTP/1.0") == 0;
+  const std::string connection_header =
+      ascii_lower(find_header(conn.in, head_end, "connection"));
+  bool keep_alive = http10 ? connection_header == "keep-alive"
+                           : connection_header != "close";
+
+  if (method != "POST") {
+    malformed_.inc();
+    respond_http(conn, 405, "Method Not Allowed",
+                 shed_body("JSON-RPC requires POST"), false);
+    return;
+  }
+  const std::string length_header =
+      find_header(conn.in, head_end, "content-length");
+  if (length_header.empty()) {
+    malformed_.inc();
+    respond_http(conn, 411, "Length Required",
+                 shed_body("Content-Length required"), false);
+    return;
+  }
+  std::size_t content_length = 0;
+  for (const char c : length_header) {
+    if (c < '0' || c > '9') {
+      malformed_.inc();
+      respond_http(conn, 400, "Bad Request", shed_body("bad Content-Length"),
+                   false);
+      return;
+    }
+    content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+    if (content_length > config_.max_body_bytes) break;
+  }
+  if (content_length > config_.max_body_bytes) {
+    malformed_.inc();
+    respond_http(conn, 413, "Payload Too Large",
+                 shed_body("request body exceeds server limit"), false);
+    return;
+  }
+  const std::size_t frame_size = head_end + 4 + content_length;
+  if (conn.in.size() < frame_size) return;  // body still arriving
+
+  PendingCall call;
+  call.conn_id = conn.id;
+  call.body = conn.in.substr(head_end + 4, content_length);
+  call.keep_alive = keep_alive;
+  conn.in.erase(0, frame_size);
+
+  // The frame is complete: give the request its causal identity and
+  // attribute the receive span (first byte -> frame complete) as the
+  // "parse" stage on its lane.
+  call.ctx = obs::mint_request(tracer);
+  const double now = tracer.now_us();
+  parse_us_.record(now - state->first_byte_us);
+  obs::stage_slice(call.ctx, "net.parse", state->first_byte_us, now, tracer);
+  call.ctx.handoff_us = now;
+  state->first_byte_us = 0;
+  requests_total_.inc();
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!queue_closed_ && queue_.size() < config_.queue_capacity) {
+      state->busy = true;
+      queue_.push_back(std::move(call));
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    // Admission control at the socket: the dispatch queue is the
+    // net-layer's max_queue, and a full one answers shed immediately
+    // instead of growing an unbounded backlog.
+    shed_.inc();
+    obs::finish_request(call.ctx, tracer);
+    respond_http(conn, 503, "Service Unavailable",
+                 shed_body("request shed: dispatch queue full"), keep_alive);
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+void JsonRpcServer::respond_http(Connection& conn, int status,
+                                 const char* reason, const std::string& body,
+                                 bool keep_alive) {
+  std::string response = "HTTP/1.1 " + std::to_string(status) + ' ' + reason +
+                         "\r\n";
+  if (status == 204) {
+    response += "Connection: ";
+    response += keep_alive ? "keep-alive" : "close";
+    response += "\r\n\r\n";
+  } else {
+    response += "Content-Type: application/json\r\nContent-Length: " +
+                std::to_string(body.size()) + "\r\nConnection: ";
+    response += keep_alive ? "keep-alive" : "close";
+    response += "\r\n\r\n";
+    response += body;
+  }
+  responses_total_.inc();
+  send_data(conn, response);
+  if (!keep_alive) {
+    finish(conn);
+    return;
+  }
+  auto* state = static_cast<HttpState*>(conn.user.get());
+  if (state != nullptr) {
+    state->busy = false;
+    // A well-behaved client may already have sent its next request while
+    // this response was being produced; pick it up now.
+    if (!conn.in.empty()) process_input(conn);
+  }
+}
+
+void JsonRpcServer::post_response(std::uint64_t conn_id, int status,
+                                  std::string body, bool keep_alive) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 204 ? "No Content"
+                       : status == 503 ? "Service Unavailable"
+                                       : "Error";
+  with_connection(conn_id, [this, status, reason, body = std::move(body),
+                            keep_alive](Connection& conn) {
+    respond_http(conn, status, reason, body, keep_alive);
+  });
+}
+
+void JsonRpcServer::dispatcher_loop() {
+  obs::Tracer& tracer = obs::Tracer::global();
+  while (true) {
+    PendingCall call;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      call = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const double picked_up = tracer.now_us();
+    dispatch_wait_us_.record(call.ctx.wait_us(picked_up));
+    obs::stage_slice(call.ctx, "net.dispatch", call.ctx.handoff_us, picked_up,
+                     tracer);
+
+    if (config_.request_deadline_us > 0 &&
+        picked_up - call.ctx.born_us >
+            static_cast<double>(config_.request_deadline_us)) {
+      // Too old to be worth scoring — the socket-layer twin of the
+      // engine's deadline shed: drop before any model work is spent.
+      shed_.inc();
+      request_total_us_.record(picked_up - call.ctx.born_us);
+      obs::finish_request(call.ctx, tracer);
+      post_response(call.conn_id, 503,
+                    shed_body("request shed: deadline exceeded before "
+                              "dispatch"),
+                    call.keep_alive);
+      continue;
+    }
+
+    const std::string response_body = handle_frame(call);
+    const double done = tracer.now_us();
+    handle_us_.record(done - picked_up);
+    obs::stage_slice(call.ctx, "net.handle", picked_up, done, tracer);
+    request_total_us_.record(done - call.ctx.born_us);
+    obs::finish_request(call.ctx, tracer);
+    post_response(call.conn_id, response_body.empty() ? 204 : 200,
+                  response_body, call.keep_alive);
+  }
+}
+
+std::string JsonRpcServer::handle_frame(PendingCall& call) {
+  std::string parse_error;
+  std::optional<JsonValue> doc = JsonValue::parse(call.body, &parse_error);
+  if (!doc) {
+    malformed_.inc();
+    return make_error_response(JsonValue::null(), rpc_errors::kParseError,
+                               "parse error: " + parse_error)
+        .dump();
+  }
+  const CallInfo info{call.ctx};
+  if (doc->is_array()) {
+    batch_calls_.inc();
+    const JsonValue::Array& batch = doc->as_array();
+    if (batch.empty()) {
+      malformed_.inc();
+      return make_error_response(JsonValue::null(), rpc_errors::kInvalidRequest,
+                                 "empty batch")
+          .dump();
+    }
+    if (batch.size() > config_.max_batch) {
+      malformed_.inc();
+      return make_error_response(
+                 JsonValue::null(), rpc_errors::kInvalidRequest,
+                 "batch larger than " + std::to_string(config_.max_batch))
+          .dump();
+    }
+    JsonValue responses = JsonValue::array();
+    for (const JsonValue& request : batch) {
+      std::optional<JsonValue> response = handle_request(request, info);
+      if (response) responses.push_back(std::move(*response));
+    }
+    // All-notification batches get no body at all (spec: the server MUST
+    // NOT return an empty array).
+    return responses.as_array().empty() ? std::string() : responses.dump();
+  }
+  std::optional<JsonValue> response = handle_request(*doc, info);
+  return response ? response->dump() : std::string();
+}
+
+std::optional<JsonValue> JsonRpcServer::handle_request(
+    const JsonValue& request, const CallInfo& info) {
+  if (!request.is_object()) {
+    malformed_.inc();
+    return make_error_response(JsonValue::null(), rpc_errors::kInvalidRequest,
+                               "request must be an object");
+  }
+  const JsonValue* id_member = request.find("id");
+  const bool notification = id_member == nullptr;
+  const JsonValue id = notification ? JsonValue::null() : *id_member;
+
+  const JsonValue* version = request.find("jsonrpc");
+  if (version == nullptr || !version->is_string() ||
+      version->as_string() != "2.0") {
+    malformed_.inc();
+    if (notification) return std::nullopt;
+    return make_error_response(id, rpc_errors::kInvalidRequest,
+                               "jsonrpc must be \"2.0\"");
+  }
+  const JsonValue* method = request.find("method");
+  if (method == nullptr || !method->is_string()) {
+    malformed_.inc();
+    if (notification) return std::nullopt;
+    return make_error_response(id, rpc_errors::kInvalidRequest,
+                               "method must be a string");
+  }
+  const auto handler = methods_.find(method->as_string());
+  if (handler == methods_.end()) {
+    if (notification) return std::nullopt;
+    return make_error_response(id, rpc_errors::kMethodNotFound,
+                               "method not found: " + method->as_string());
+  }
+  const JsonValue* params_member = request.find("params");
+  JsonValue params = params_member == nullptr ? JsonValue::null()
+                                              : *params_member;
+  if (!params.is_null() && !params.is_array() && !params.is_object()) {
+    malformed_.inc();
+    if (notification) return std::nullopt;
+    return make_error_response(id, rpc_errors::kInvalidParams,
+                               "params must be array or object");
+  }
+  try {
+    JsonValue result = handler->second(params, info);
+    if (notification) return std::nullopt;
+    return make_result_response(id, std::move(result));
+  } catch (const RpcError& error) {
+    if (notification) return std::nullopt;
+    return make_error_response(id, error.code(), error.what());
+  } catch (const std::exception& error) {
+    if (notification) return std::nullopt;
+    return make_error_response(id, rpc_errors::kInternalError,
+                               std::string("internal error: ") + error.what());
+  }
+}
+
+}  // namespace phishinghook::net

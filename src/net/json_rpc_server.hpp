@@ -1,0 +1,209 @@
+// JSON-RPC 2.0 server over HTTP POST, on the net-layer event loop.
+//
+// This is the network front door the serving path was missing: scoring
+// goes from "call ScoringEngine::submit in-process" to "POST a JSON-RPC
+// frame at 127.0.0.1:<port>", the same shape as a real Ethereum node's
+// RPC endpoint (and therefore curl-able):
+//
+//   curl -s -X POST http://127.0.0.1:9545/ -d '{"jsonrpc":"2.0","id":1,
+//       "method":"phook_score","params":["0x1234...40 hex..."]}'
+//
+// Division of labor across threads:
+//
+//   loop thread        accept, buffer, parse HTTP frames (head + body,
+//                      Content-Length), mint the request's causal
+//                      identity (obs::RequestContext — the same trace-id
+//                      lane machinery every in-process request gets),
+//                      enqueue onto the dispatch queue, write responses
+//   dispatcher threads pop frames, parse JSON-RPC, run the registered
+//                      method handler (which may block on a scoring
+//                      future — that is what the threads are for), post
+//                      the response back onto the loop
+//
+// Overload and deadlines map onto the engine's shed vocabulary: a full
+// dispatch queue answers 503/-32005 immediately (admission control at the
+// socket, mirroring EngineConfig::max_queue), and a frame older than
+// request_deadline_us when a dispatcher picks it up is shed without
+// touching the engine (mirroring EngineConfig::deadline_us). Sheds,
+// malformed frames, and per-stage latency all land in the server's own
+// net_* registry, scrapable next to the engine's serve_* series.
+//
+// Transport rules: POST only (405 otherwise), Content-Length required
+// (411), bodies over max_body_bytes refused (413), HTTP/1.1 keep-alive
+// honored with at most one in-flight request per connection (responses
+// are posted asynchronously; ordering two pipelined responses would
+// require sequencing the dispatchers — refusing to read ahead is simpler
+// and loses nothing at scoring-request sizes). JSON-RPC batches work,
+// including mixed valid/invalid entries and notification elision, capped
+// at max_batch entries.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/json.hpp"
+#include "net/socket_server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
+
+namespace phishinghook::net {
+
+/// JSON-RPC 2.0 error codes used by the server core. Handlers may throw
+/// RpcError with these or their own application codes.
+struct rpc_errors {
+  static constexpr int kParseError = -32700;
+  static constexpr int kInvalidRequest = -32600;
+  static constexpr int kMethodNotFound = -32601;
+  static constexpr int kInvalidParams = -32602;
+  static constexpr int kInternalError = -32603;
+  /// Request shed by admission control or deadline — the socket-layer
+  /// twin of serve::ScoreStatus::kShed.
+  static constexpr int kShed = -32005;
+};
+
+/// Thrown by method handlers to produce a JSON-RPC error response.
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(int code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+struct RpcConfig {
+  std::size_t max_connections = 128;
+  /// HTTP body cap; Content-Length above this is refused with 413.
+  std::size_t max_body_bytes = 1 << 20;
+  /// Threads running method handlers (each may block on one scoring
+  /// future at a time).
+  std::size_t dispatchers = 2;
+  /// Dispatch-queue admission cap; a full queue sheds with 503/-32005.
+  std::size_t queue_capacity = 256;
+  /// Frames older than this when a dispatcher picks them up are shed
+  /// before any handler work. 0 = no deadline.
+  std::uint64_t request_deadline_us = 0;
+  /// Entries allowed in one JSON-RPC batch array.
+  std::size_t max_batch = 64;
+  std::uint64_t idle_timeout_ms = 30000;
+};
+
+class JsonRpcServer : public SocketServer {
+ public:
+  /// Everything a handler may want beyond its params: the request's
+  /// causal identity (pass it into ScoringEngine::submit to keep the
+  /// socket request one connected trace lane).
+  struct CallInfo {
+    obs::RequestContext ctx;
+  };
+
+  /// Runs on a dispatcher thread; may block. Return the JSON-RPC result
+  /// value; throw RpcError for protocol-visible failures.
+  using Handler =
+      std::function<JsonValue(const JsonValue& params, const CallInfo& call)>;
+
+  explicit JsonRpcServer(RpcConfig config = {});
+  ~JsonRpcServer() override;
+
+  /// Registers `method`; call before start(). Re-registering replaces.
+  void register_method(std::string method, Handler handler);
+
+  /// Binds + starts the loop thread and the dispatcher pool.
+  void start(std::uint16_t port);
+
+  /// Drains the dispatch queue (in-flight handlers finish and their
+  /// responses flush), joins dispatchers, then stops the loop. Idempotent.
+  void stop();
+
+  /// The server's net_* metrics (counters, gauges, stage histograms).
+  /// Attach to a ScrapeServer alongside the engine registry. The non-const
+  /// overload lets benches re-register a histogram handle to read it.
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+
+  /// Syncs pull-model gauges (active connections, queue depth) into the
+  /// registry — wire as a scrape-server pre-scrape hook.
+  void export_metrics();
+
+  std::uint64_t requests_received() const {
+    return requests_total_.value();
+  }
+
+ protected:
+  void on_data(Connection& conn) override;
+  void on_open(Connection& conn) override;
+  void on_overflow(Connection& conn) override;
+
+ private:
+  /// One parsed HTTP frame awaiting a dispatcher.
+  struct PendingCall {
+    std::uint64_t conn_id = 0;
+    std::string body;
+    bool keep_alive = true;
+    obs::RequestContext ctx;
+  };
+
+  /// Per-connection HTTP state, hung off Connection::user.
+  struct HttpState {
+    bool busy = false;        ///< frame in flight; don't read ahead
+    double first_byte_us = 0; ///< tracer clock at this request's first byte
+  };
+
+  void process_input(Connection& conn);
+  /// Sends an HTTP response and either re-arms (keep-alive) or finishes
+  /// the connection. Loop thread.
+  void respond_http(Connection& conn, int status, const char* reason,
+                    const std::string& body, bool keep_alive);
+  /// Thread-safe: builds + posts the HTTP response for a dispatched frame.
+  void post_response(std::uint64_t conn_id, int status, std::string body,
+                     bool keep_alive);
+
+  void dispatcher_loop();
+  /// Full JSON-RPC handling of one frame body; returns the HTTP response
+  /// body ("" = 204-style all-notification batch).
+  std::string handle_frame(PendingCall& call);
+  /// One request object out of a frame (single or batch element);
+  /// returns nullopt for notifications.
+  std::optional<JsonValue> handle_request(const JsonValue& request,
+                                          const CallInfo& info);
+
+  RpcConfig config_;
+  std::unordered_map<std::string, Handler> methods_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingCall> queue_;
+  bool queue_closed_ = false;
+  std::vector<std::thread> dispatchers_;
+
+  obs::MetricsRegistry registry_;
+  obs::Counter requests_total_ = registry_.counter("net_requests_total");
+  obs::Counter responses_total_ = registry_.counter("net_responses_total");
+  obs::Counter malformed_ = registry_.counter("net_requests_malformed");
+  obs::Counter shed_ = registry_.counter("net_requests_shed");
+  obs::Counter batch_calls_ = registry_.counter("net_batch_calls_total");
+  obs::Gauge active_connections_ = registry_.gauge("net_connections_active");
+  obs::Gauge accepted_gauge_ = registry_.gauge("net_connections_accepted");
+  obs::Gauge rejected_gauge_ = registry_.gauge("net_connections_rejected");
+  obs::Gauge queue_depth_ = registry_.gauge("net_dispatch_queue_depth");
+  obs::LatencyHistogram& parse_us_ =
+      registry_.histogram("net_stage_service_us", obs::label("stage", "parse"));
+  obs::LatencyHistogram& dispatch_wait_us_ = registry_.histogram(
+      "net_stage_wait_us", obs::label("stage", "dispatch"));
+  obs::LatencyHistogram& handle_us_ = registry_.histogram(
+      "net_stage_service_us", obs::label("stage", "handle"));
+  obs::LatencyHistogram& request_total_us_ =
+      registry_.histogram("net_request_total_us");
+};
+
+}  // namespace phishinghook::net

@@ -1,0 +1,134 @@
+#include "net/scrape_server.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace phishinghook::net {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 8192;
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type, const std::string& body,
+                          bool head_only) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << code << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n";
+  // HEAD: the representation headers describe the body a GET *would*
+  // return, but the body itself must not be sent.
+  if (!head_only) out << body;
+  return out.str();
+}
+
+/// Method + target out of "GET /path HTTP/1.1"; empty method = malformed.
+struct RequestLine {
+  std::string method;
+  std::string target;
+};
+
+RequestLine parse_request_line(const std::string& head) {
+  RequestLine line;
+  const std::size_t method_end = head.find(' ');
+  if (method_end == std::string::npos) return line;
+  const std::string method = head.substr(0, method_end);
+  if (method != "GET" && method != "HEAD") return line;
+  const std::size_t target_end = head.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return line;
+  line.method = method;
+  line.target = head.substr(method_end + 1, target_end - method_end - 1);
+  // Scrapers may append a query string (?seconds=...); the paths ignore it.
+  const std::size_t query = line.target.find('?');
+  if (query != std::string::npos) line.target.resize(query);
+  return line;
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer()
+    : SocketServer(SocketServerConfig{
+          /*max_connections=*/64,
+          /*max_in_bytes=*/kMaxHeadBytes,
+          /*idle_timeout_ms=*/10000,
+      }) {}
+
+void ScrapeServer::add_registry(const obs::MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registries_.push_back(&registry);
+}
+
+void ScrapeServer::add_pre_scrape_hook(Hook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hooks_.push_back(std::move(hook));
+}
+
+void ScrapeServer::set_health(HealthFn health) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  health_ = std::move(health);
+}
+
+void ScrapeServer::on_data(Connection& conn) {
+  // Buffer until the whole request head arrived — a head split across TCP
+  // segments is normal client behavior, not a protocol error.
+  const std::size_t head_end = conn.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) return;
+
+  const RequestLine line = parse_request_line(conn.in);
+  std::string response;
+  if (line.method.empty()) {
+    response = http_response(400, "Bad Request", "text/plain",
+                             "expected GET /metrics|/vars|/healthz\n", false);
+  } else {
+    response = respond(line.target, line.method == "HEAD");
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  conn.in.clear();  // one request per connection; anything extra is noise
+  send_data(conn, response);
+  finish(conn);
+}
+
+void ScrapeServer::on_overflow(Connection& conn) {
+  // A head that never terminates within the cap is either an attack or a
+  // badly broken client; say why, then hang up.
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  conn.in.clear();
+  send_data(conn, http_response(400, "Bad Request", "text/plain",
+                                "request head too large\n", false));
+  finish(conn);
+}
+
+std::string ScrapeServer::respond(const std::string& target, bool head_only) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (target == "/metrics" || target == "/vars") {
+    for (const Hook& hook : hooks_) hook();
+  }
+  if (target == "/metrics") {
+    std::ostringstream body;
+    for (const obs::MetricsRegistry* registry : registries_) {
+      registry->write_prometheus(body);
+    }
+    return http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                         body.str(), head_only);
+  }
+  if (target == "/vars") {
+    std::ostringstream body;
+    body << "{\"registries\":[";
+    for (std::size_t i = 0; i < registries_.size(); ++i) {
+      if (i > 0) body << ',';
+      registries_[i]->write_json(body);
+    }
+    body << "]}";
+    return http_response(200, "OK", "application/json", body.str(), head_only);
+  }
+  if (target == "/healthz") {
+    const std::string body = health_ ? health_() : "{\"status\":\"ok\"}";
+    return http_response(200, "OK", "application/json", body, head_only);
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "unknown path (try /metrics, /vars, /healthz)\n",
+                       head_only);
+}
+
+}  // namespace phishinghook::net

@@ -1,0 +1,76 @@
+// Metrics scrape endpoint (/metrics, /vars, /healthz) on the event loop.
+//
+// Same contract as the PR-8 blocking implementation it replaces — three
+// GET/HEAD paths answered from attached registries, pre-scrape hooks, a
+// caller-supplied health body, one request per connection — but carried by
+// net::SocketServer, which structurally fixes the four bugs the blocking
+// path shipped:
+//
+//   * HEAD used to get the full body; now it gets status + headers with
+//     the correct Content-Length and nothing else (RFC 9110 §9.3.2).
+//   * write_all() aborted the whole response on EINTR; send_some retries,
+//     and partial writes park in the connection's write buffer until
+//     EPOLLOUT instead of being dropped.
+//   * stop() could hang forever on a peer that connected and then
+//     stalled, because the accept thread sat in an untimed recv; the loop
+//     never blocks on any one socket, so shutdown is bounded.
+//   * a request head split across TCP segments was parsed from the first
+//     recv alone and 400'd; the connection now buffers until the
+//     "\r\n\r\n" head terminator (or the 8 KiB head cap) arrives.
+//
+// Scrape bodies are built on the loop thread under the hook mutex — the
+// same "hooks run per scrape" semantics as before, still cheap relative
+// to a scrape every few seconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/socket_server.hpp"
+#include "obs/metrics.hpp"
+
+namespace phishinghook::net {
+
+class ScrapeServer : public SocketServer {
+ public:
+  using Hook = std::function<void()>;
+  using HealthFn = std::function<std::string()>;
+
+  ScrapeServer();
+
+  /// Attaches a registry; /metrics concatenates expositions in attachment
+  /// order, /vars emits one JSON object per registry in the same order.
+  void add_registry(const obs::MetricsRegistry& registry);
+
+  /// Runs before every /metrics and /vars body build, on the loop thread.
+  void add_pre_scrape_hook(Hook hook);
+
+  /// Supplies the /healthz body (must already be JSON). Unset = static ok.
+  void set_health(HealthFn health);
+
+  /// Requests answered so far (any path, including 400s and 404s).
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void on_data(Connection& conn) override;
+  void on_overflow(Connection& conn) override;
+
+ private:
+  /// Full response for one parsed request; `head_only` elides the body
+  /// (HEAD) while keeping the GET headers, Content-Length included.
+  std::string respond(const std::string& target, bool head_only);
+
+  mutable std::mutex mutex_;  ///< guards registries_/hooks_/health_
+  std::vector<const obs::MetricsRegistry*> registries_;
+  std::vector<Hook> hooks_;
+  HealthFn health_;
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace phishinghook::net

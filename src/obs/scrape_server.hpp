@@ -1,94 +1,19 @@
-// Minimal blocking-TCP scrape endpoint: /metrics, /vars, /healthz.
+// Compatibility shim: the scrape endpoint moved onto the shared net-layer
+// event loop (src/net/scrape_server.hpp) so the repo has one socket
+// substrate instead of two. The class keeps its old name here for the
+// examples/tests that adopted it under obs::; linking now requires
+// phook_net (phook_serve pulls it in transitively).
 //
-// Scrapers (Prometheus, curl, a load-test harness) want to *pull* state on
-// their own schedule instead of parsing whatever the process decides to
-// print. This server binds loopback, runs one accept-loop thread, and
-// answers three paths from any number of attached registries:
-//
-//   /metrics  — Prometheus text exposition 0.0.4 (registries concatenated)
-//   /vars     — {"registries":[<write_json of each>]}
-//   /healthz  — caller-supplied JSON (drain/queue state) or {"status":"ok"}
-//
-// Deliberately not a web server: HTTP/1.0-style one-request-per-connection
-// with Connection: close, no keep-alive, no TLS, loopback only. A scrape
-// every few seconds is the design load; the interesting engineering is in
-// what it serves, not how fast it serves it.
-//
-// Pre-scrape hooks run before the body is built (under the server's hook
-// mutex, on the accept thread) — the place to sync pull-model sources into
-// the registries, e.g. Tracer::export_metrics or an SloEvaluator's
-// export_to. Hooks and registries may be added before *or* after start();
-// additions are picked up by the next scrape.
-//
-// Lifecycle: start(port) binds (port 0 = ephemeral, read back via port())
-// and launches the thread; stop() closes the listen socket to unblock
-// accept() and joins. The destructor stops. Attached registries, hooks and
-// the health callback must outlive the server or its stop().
+// The port also fixed four bugs in the old blocking implementation —
+// HEAD-as-GET, EINTR-aborted writes, the stop() hang on stalled peers,
+// and the single-recv parse of segmented request heads; see the header it
+// forwards to for the details and tests/test_net.cpp for the regressions.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <string>
-#include <thread>
-#include <vector>
-
-#include "obs/metrics.hpp"
+#include "net/scrape_server.hpp"
 
 namespace phishinghook::obs {
 
-class ScrapeServer {
- public:
-  using Hook = std::function<void()>;
-  using HealthFn = std::function<std::string()>;
-
-  ScrapeServer() = default;
-  ~ScrapeServer();
-
-  ScrapeServer(const ScrapeServer&) = delete;
-  ScrapeServer& operator=(const ScrapeServer&) = delete;
-
-  /// Attaches a registry; /metrics concatenates expositions in attachment
-  /// order, /vars emits one JSON object per registry in the same order.
-  void add_registry(const MetricsRegistry& registry);
-
-  /// Runs before every /metrics and /vars body build, on the accept thread.
-  void add_pre_scrape_hook(Hook hook);
-
-  /// Supplies the /healthz body (must already be JSON). Unset = static ok.
-  void set_health(HealthFn health);
-
-  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and starts
-  /// serving. Throws StateError if already started or the bind fails.
-  void start(std::uint16_t port);
-
-  /// Closes the listen socket, joins the accept thread. Idempotent.
-  void stop();
-
-  bool running() const { return running_.load(std::memory_order_acquire); }
-  /// The bound port (resolved after start(), also for ephemeral binds).
-  std::uint16_t port() const { return port_; }
-  /// Requests answered so far (any path, including 404s).
-  std::uint64_t requests_served() const {
-    return requests_served_.load(std::memory_order_relaxed);
-  }
-
- private:
-  void serve_loop();
-  /// Full HTTP response (headers + body) for one request target.
-  std::string respond(const std::string& target);
-
-  mutable std::mutex mutex_;  ///< guards registries_/hooks_/health_
-  std::vector<const MetricsRegistry*> registries_;
-  std::vector<Hook> hooks_;
-  HealthFn health_;
-
-  std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> requests_served_{0};
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::thread thread_;
-};
+using ScrapeServer = net::ScrapeServer;
 
 }  // namespace phishinghook::obs

@@ -1,0 +1,192 @@
+#include "serve/rpc_frontend.hpp"
+
+#include <future>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace phishinghook::serve {
+
+namespace {
+
+using net::JsonValue;
+using net::RpcError;
+using net::rpc_errors;
+
+/// One params entry -> Address, or the RpcError the caller should throw.
+std::optional<evm::Address> parse_address(const JsonValue& value,
+                                          std::string* error) {
+  if (!value.is_string()) {
+    *error = "address must be a hex string";
+    return std::nullopt;
+  }
+  try {
+    return evm::Address::from_hex(value.as_string());
+  } catch (const std::exception& e) {
+    *error = std::string("bad address: ") + e.what();
+    return std::nullopt;
+  }
+}
+
+JsonValue result_object(const ScoreResult& result) {
+  JsonValue out;
+  out.set("address", JsonValue::string(result.address.to_hex()));
+  out.set("status", JsonValue::string(to_string(result.status)));
+  out.set("probability", JsonValue::number(result.probability));
+  out.set("flagged", JsonValue::boolean(result.flagged));
+  out.set("cache_hit", JsonValue::boolean(result.cache_hit));
+  out.set("latency_us", JsonValue::number(result.latency_us));
+  out.set("queue_wait_us", JsonValue::number(result.queue_wait_us));
+  out.set("trace_id",
+          JsonValue::number(static_cast<double>(result.trace_id)));
+  if (!result.error.empty()) {
+    out.set("error", JsonValue::string(result.error));
+  }
+  return out;
+}
+
+JsonValue invalid_address_object(const JsonValue& entry,
+                                 const std::string& why) {
+  JsonValue out;
+  out.set("address", entry.is_string() ? entry : JsonValue::null());
+  out.set("status", JsonValue::string("invalid_address"));
+  out.set("error", JsonValue::string(why));
+  return out;
+}
+
+}  // namespace
+
+RpcFrontend::RpcFrontend(ScoringEngine& engine, net::RpcConfig config)
+    : engine_(engine), server_(config) {
+  server_.register_method(
+      "phook_score",
+      [this](const JsonValue& params,
+             const net::JsonRpcServer::CallInfo& call) {
+        return score(params, call);
+      });
+  server_.register_method(
+      "phook_scoreBatch",
+      [this](const JsonValue& params,
+             const net::JsonRpcServer::CallInfo& call) {
+        return score_batch(params, call);
+      });
+  server_.register_method(
+      "phook_health",
+      [this](const JsonValue& params,
+             const net::JsonRpcServer::CallInfo& call) {
+        return health(params, call);
+      });
+}
+
+void RpcFrontend::start(std::uint16_t port) { server_.start(port); }
+
+void RpcFrontend::stop() { server_.stop(); }
+
+JsonValue RpcFrontend::score(const JsonValue& params,
+                             const net::JsonRpcServer::CallInfo& call) {
+  if (!params.is_array() || params.as_array().size() != 1) {
+    throw RpcError(rpc_errors::kInvalidParams,
+                   "expected params [\"0x<40 hex>\"]");
+  }
+  std::string why;
+  const std::optional<evm::Address> address =
+      parse_address(params.as_array()[0], &why);
+  if (!address) throw RpcError(rpc_errors::kInvalidParams, why);
+
+  // Continue the socket request's causal lane into the engine: its queue
+  // wait and extract/predict spans join the same trace id the net layer
+  // opened at frame completion.
+  std::optional<std::future<ScoreResult>> future =
+      engine_.try_submit(*address, call.ctx);
+  if (!future) {
+    throw RpcError(rpc_errors::kShed, "scoring engine is shutting down");
+  }
+  return result_object(future->get());
+}
+
+JsonValue RpcFrontend::score_batch(const JsonValue& params,
+                                   const net::JsonRpcServer::CallInfo& call) {
+  if (!params.is_array() || params.as_array().size() != 1 ||
+      !params.as_array()[0].is_array()) {
+    throw RpcError(rpc_errors::kInvalidParams,
+                   "expected params [[\"0x..\", ...]]");
+  }
+  const JsonValue::Array& entries = params.as_array()[0].as_array();
+
+  // Submit the whole wave before waiting on anything — that is what lets
+  // the engine micro-batch the addresses into shared predict_proba calls.
+  struct Slot {
+    JsonValue ready;  ///< filled now for invalid entries
+    std::optional<std::future<ScoreResult>> future;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(entries.size());
+  for (const JsonValue& entry : entries) {
+    Slot slot;
+    std::string why;
+    const std::optional<evm::Address> address = parse_address(entry, &why);
+    if (!address) {
+      slot.ready = invalid_address_object(entry, why);
+    } else {
+      slot.future = engine_.try_submit(*address, call.ctx);
+      if (!slot.future) {
+        throw RpcError(rpc_errors::kShed, "scoring engine is shutting down");
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  JsonValue results = JsonValue::array();
+  for (Slot& slot : slots) {
+    results.push_back(slot.future ? result_object(slot.future->get())
+                                  : std::move(slot.ready));
+  }
+  return results;
+}
+
+JsonValue RpcFrontend::health(const JsonValue& params,
+                              const net::JsonRpcServer::CallInfo& call) {
+  (void)params;
+  (void)call;
+  const ServiceMetrics& m = engine_.metrics();
+  const CacheStats cache = engine_.cache_stats();
+
+  JsonValue engine;
+  engine.set("requests_submitted",
+             JsonValue::number(
+                 static_cast<double>(m.requests_submitted.value())));
+  engine.set("requests_completed",
+             JsonValue::number(
+                 static_cast<double>(m.requests_completed.value())));
+  engine.set("requests_failed",
+             JsonValue::number(static_cast<double>(m.requests_failed.value())));
+  engine.set("requests_shed",
+             JsonValue::number(static_cast<double>(m.requests_shed.value())));
+  engine.set("queue_depth", JsonValue::number(m.queue_depth.value()));
+
+  JsonValue cache_obj;
+  cache_obj.set("hits",
+                JsonValue::number(static_cast<double>(cache.hits)));
+  cache_obj.set("misses",
+                JsonValue::number(static_cast<double>(cache.misses)));
+  cache_obj.set("entries",
+                JsonValue::number(static_cast<double>(cache.entries)));
+  cache_obj.set("hit_rate", JsonValue::number(cache.hit_rate()));
+
+  JsonValue network;
+  network.set("requests_received",
+              JsonValue::number(
+                  static_cast<double>(server_.requests_received())));
+  network.set("connections_active",
+              JsonValue::number(
+                  static_cast<double>(server_.connections())));
+
+  JsonValue out;
+  out.set("status", JsonValue::string("ok"));
+  out.set("engine", std::move(engine));
+  out.set("cache", std::move(cache_obj));
+  out.set("net", std::move(network));
+  return out;
+}
+
+}  // namespace phishinghook::serve

@@ -1,0 +1,574 @@
+// Network-layer tests: JSON document model, the event-loop scrape server
+// (with regressions for the four bugs the blocking PR-8 implementation
+// shipped: HEAD-as-GET, EINTR-aborted writes, unbounded stop() on a
+// stalled peer, split-request mis-parse), and the JSON-RPC 2.0 front door
+// (protocol errors, batches, sheds, keep-alive, disconnects, and a
+// concurrent-clients hammer the TSan leg runs).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "net/event_loop.hpp"
+#include "net/json.hpp"
+#include "net/json_rpc_server.hpp"
+#include "net/scrape_server.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace phishinghook;
+
+// --- socket helpers ----------------------------------------------------------
+
+/// Connects to 127.0.0.1:port with a 5s IO timeout; -1 on failure.
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_to_eof(int fd) {
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+/// Reads exactly one HTTP response off a keep-alive connection: headers
+/// until the blank line, then Content-Length body bytes.
+std::string recv_one_response(int fd) {
+  std::string response;
+  char ch = 0;
+  while (response.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, &ch, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return response;
+    response.push_back(ch);
+  }
+  std::size_t body_len = 0;
+  const std::size_t cl = response.find("Content-Length: ");
+  if (cl != std::string::npos) {
+    body_len = static_cast<std::size_t>(
+        std::strtoul(response.c_str() + cl + 16, nullptr, 10));
+  }
+  const std::size_t head_end = response.find("\r\n\r\n") + 4;
+  while (response.size() < head_end + body_len) {
+    char buffer[4096];
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+/// One-shot request (Connection embedded in `request`), read to EOF.
+std::string round_trip(std::uint16_t port, const std::string& request) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return {};
+  send_all(fd, request);
+  const std::string response = recv_to_eof(fd);
+  ::close(fd);
+  return response;
+}
+
+std::string http_request(const char* method, const std::string& target) {
+  return std::string(method) + " " + target + " HTTP/1.0\r\nHost: x\r\n\r\n";
+}
+
+/// JSON-RPC POST with Connection: close.
+std::string rpc_post(std::uint16_t port, const std::string& body) {
+  return round_trip(
+      port, "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+                body);
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t head_end = response.find("\r\n\r\n");
+  return head_end == std::string::npos ? std::string()
+                                       : response.substr(head_end + 4);
+}
+
+// --- JSON document model -----------------------------------------------------
+
+TEST(NetJson, ParseDumpRoundTripKeepsIntegralIds) {
+  std::string error;
+  const auto doc = net::JsonValue::parse(
+      R"({"id":7,"pi":2.5,"flag":true,"none":null,"list":[1,-2,"x"]})",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("id")->as_number(), 7.0);
+  const std::string text = doc->dump();
+  // Integral numbers must not grow a fractional part — the JSON-RPC id
+  // echo has to match what the client sent.
+  EXPECT_NE(text.find("\"id\":7"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"pi\":2.5"), std::string::npos) << text;
+  const auto again = net::JsonValue::parse(text, &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->dump(), text);
+}
+
+TEST(NetJson, RejectsTrailingGarbageAndControlChars) {
+  std::string error;
+  EXPECT_FALSE(net::JsonValue::parse("1 2", &error).has_value());
+  EXPECT_FALSE(net::JsonValue::parse("{\"a\":1}x", &error).has_value());
+  EXPECT_FALSE(net::JsonValue::parse("\"a\nb\"", &error).has_value());
+  EXPECT_FALSE(net::JsonValue::parse("", &error).has_value());
+}
+
+TEST(NetJson, DepthLimitStopsNestingBombs) {
+  std::string bomb;
+  for (int i = 0; i < 200; ++i) bomb += '[';
+  std::string error;
+  EXPECT_FALSE(net::JsonValue::parse(bomb, &error).has_value());
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+  // At the default limit, 32 levels are fine.
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(net::JsonValue::parse(ok, &error).has_value()) << error;
+}
+
+TEST(NetJson, UnicodeEscapesIncludingSurrogatePairs) {
+  std::string error;
+  const auto doc = net::JsonValue::parse(R"(["\u00e9", "\ud83d\ude00"])",
+                                         &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->as_array()[0].as_string(), "\xc3\xa9");
+  EXPECT_EQ(doc->as_array()[1].as_string(), "\xf0\x9f\x98\x80");
+  // Lone surrogate halves are malformed.
+  EXPECT_FALSE(net::JsonValue::parse(R"("\ud83d")", &error).has_value());
+}
+
+// --- scrape server regressions ----------------------------------------------
+
+class ScrapeRegressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.counter("netreg_test_total").inc(42);
+    server_.add_registry(registry_);
+    server_.start(0);
+  }
+  void TearDown() override { server_.stop(); }
+
+  obs::MetricsRegistry registry_;
+  net::ScrapeServer server_;
+};
+
+// Bug 1 (PR 8): HEAD was treated exactly like GET and sent the full body.
+TEST_F(ScrapeRegressionTest, HeadGetsHeadersAndContentLengthButNoBody) {
+  const std::string get =
+      round_trip(server_.port(), http_request("GET", "/metrics"));
+  const std::string head =
+      round_trip(server_.port(), http_request("HEAD", "/metrics"));
+  ASSERT_NE(get.find("200 OK"), std::string::npos);
+  ASSERT_NE(head.find("200 OK"), std::string::npos);
+
+  const std::string get_body = body_of(get);
+  EXPECT_NE(get_body.find("netreg_test_total"), std::string::npos);
+  // HEAD: no body at all...
+  EXPECT_TRUE(body_of(head).empty()) << body_of(head);
+  // ...but the Content-Length a GET would have produced.
+  const std::string expected =
+      "Content-Length: " + std::to_string(get_body.size()) + "\r\n";
+  EXPECT_NE(head.find(expected), std::string::npos) << head;
+}
+
+// Bug 2 (PR 8): write_all() returned (dropping the rest of the response)
+// on the first EINTR. send_some must retry through injected EINTRs.
+TEST_F(ScrapeRegressionTest, EintrDuringSendStillDeliversFullResponse) {
+  // Something big enough that the response takes several send() calls.
+  obs::MetricsRegistry big;
+  for (int i = 0; i < 200; ++i) {
+    big.counter("netreg_bulk_total",
+                obs::label("idx", std::to_string(i)))
+        .inc(static_cast<std::uint64_t>(i));
+  }
+  server_.add_registry(big);
+  const std::string clean =
+      round_trip(server_.port(), http_request("GET", "/metrics"));
+  net::testing::force_send_eintr(3);
+  const std::string interrupted =
+      round_trip(server_.port(), http_request("GET", "/metrics"));
+  EXPECT_EQ(interrupted, clean);
+  EXPECT_NE(interrupted.find("idx=\"199\""), std::string::npos);
+}
+
+// Bug 3 (PR 8): a peer that connected and then went silent pinned the
+// accept thread in an untimed recv(), so stop() could hang forever.
+TEST_F(ScrapeRegressionTest, StopIsBoundedWithStalledConnection) {
+  const int stalled = connect_loopback(server_.port());
+  ASSERT_GE(stalled, 0);
+  send_all(stalled, "GET /met");  // never finished
+  // Give the loop a moment to accept + buffer the partial request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto start = std::chrono::steady_clock::now();
+  server_.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  ::close(stalled);
+}
+
+// Bug 4 (PR 8): the request was parsed out of a single recv(), so a head
+// split across TCP segments came back 400.
+TEST_F(ScrapeRegressionTest, RequestSplitAcrossSegmentsParses) {
+  const int fd = connect_loopback(server_.port());
+  ASSERT_GE(fd, 0);
+  send_all(fd, "GET /heal");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  send_all(fd, "thz HTTP/1.0\r\nHost: x\r\n\r\n");
+  const std::string response = recv_to_eof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+}
+
+// --- JSON-RPC server ---------------------------------------------------------
+
+class JsonRpcTest : public ::testing::Test {
+ protected:
+  void start(net::RpcConfig config = {}) {
+    server_ = std::make_unique<net::JsonRpcServer>(config);
+    server_->register_method(
+        "echo", [this](const net::JsonValue& params,
+                       const net::JsonRpcServer::CallInfo&) {
+          echo_calls_.fetch_add(1, std::memory_order_relaxed);
+          return params;
+        });
+    server_->register_method(
+        "gate", [this](const net::JsonValue&,
+                       const net::JsonRpcServer::CallInfo&) {
+          gate_entered_.set_value();
+          gate_.get_future().wait();
+          return net::JsonValue::string("opened");
+        });
+    server_->register_method(
+        "slow", [](const net::JsonValue&,
+                   const net::JsonRpcServer::CallInfo&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          return net::JsonValue::string("done");
+        });
+    server_->register_method(
+        "boom", [](const net::JsonValue&,
+                   const net::JsonRpcServer::CallInfo&) -> net::JsonValue {
+          throw std::runtime_error("kaboom");
+        });
+    server_->start(0);
+  }
+  void TearDown() override {
+    // A still-armed gate would deadlock a dispatcher on stop.
+    if (!gate_released_) gate_.set_value();
+    if (server_) server_->stop();
+  }
+  void release_gate() {
+    gate_.set_value();
+    gate_released_ = true;
+  }
+
+  std::unique_ptr<net::JsonRpcServer> server_;
+  std::atomic<int> echo_calls_{0};
+  std::promise<void> gate_;
+  std::promise<void> gate_entered_;
+  bool gate_released_ = false;
+};
+
+TEST_F(JsonRpcTest, EchoRoundTripAndIdFidelity) {
+  start();
+  const std::string response = rpc_post(
+      server_->port(),
+      R"({"jsonrpc":"2.0","id":41,"method":"echo","params":[1,"two"]})");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(body_of(response).find("\"id\":41"), std::string::npos);
+  EXPECT_NE(body_of(response).find("\"result\":[1,\"two\"]"),
+            std::string::npos);
+}
+
+TEST_F(JsonRpcTest, MalformedJsonReturnsParseError) {
+  start();
+  const std::string body = body_of(rpc_post(server_->port(), "{nope"));
+  EXPECT_NE(body.find("-32700"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":null"), std::string::npos);
+}
+
+TEST_F(JsonRpcTest, ProtocolViolationsGetTheirCodes) {
+  start();
+  // Missing jsonrpc member.
+  EXPECT_NE(body_of(rpc_post(server_->port(),
+                             R"({"id":1,"method":"echo"})"))
+                .find("-32600"),
+            std::string::npos);
+  // method not a string.
+  EXPECT_NE(body_of(rpc_post(server_->port(),
+                             R"({"jsonrpc":"2.0","id":1,"method":4})"))
+                .find("-32600"),
+            std::string::npos);
+  // Unknown method.
+  EXPECT_NE(body_of(rpc_post(server_->port(),
+                             R"({"jsonrpc":"2.0","id":1,"method":"nope"})"))
+                .find("-32601"),
+            std::string::npos);
+  // Scalar params.
+  EXPECT_NE(body_of(rpc_post(
+                        server_->port(),
+                        R"({"jsonrpc":"2.0","id":1,"method":"echo","params":3})"))
+                .find("-32602"),
+            std::string::npos);
+  // Handler exception -> internal error, connection survives to report it.
+  const std::string boom = body_of(rpc_post(
+      server_->port(), R"({"jsonrpc":"2.0","id":9,"method":"boom"})"));
+  EXPECT_NE(boom.find("-32603"), std::string::npos);
+  EXPECT_NE(boom.find("kaboom"), std::string::npos);
+}
+
+TEST_F(JsonRpcTest, NotificationsGet204NoBody) {
+  start();
+  const std::string response = rpc_post(
+      server_->port(), R"({"jsonrpc":"2.0","method":"echo","params":[]})");
+  EXPECT_NE(response.find("204"), std::string::npos) << response;
+  EXPECT_TRUE(body_of(response).empty());
+  EXPECT_EQ(echo_calls_.load(), 1);  // the handler still ran
+}
+
+TEST_F(JsonRpcTest, BatchMixesValidInvalidAndNotifications) {
+  start();
+  const std::string body = body_of(rpc_post(
+      server_->port(),
+      R"([{"jsonrpc":"2.0","id":1,"method":"echo","params":["a"]},)"
+      R"({"jsonrpc":"2.0","id":2,"method":"missing"},)"
+      R"(42,)"
+      R"({"jsonrpc":"2.0","method":"echo","params":["notify"]}])"));
+  // Three responses (the notification is elided), order preserved.
+  EXPECT_NE(body.find("\"result\":[\"a\"]"), std::string::npos) << body;
+  EXPECT_NE(body.find("-32601"), std::string::npos);
+  EXPECT_NE(body.find("-32600"), std::string::npos);
+  EXPECT_EQ(echo_calls_.load(), 2);
+  EXPECT_LT(body.find("\"id\":1"), body.find("\"id\":2"));
+
+  // Empty batch and oversized batch are invalid requests.
+  EXPECT_NE(body_of(rpc_post(server_->port(), "[]")).find("-32600"),
+            std::string::npos);
+  std::string big = "[";
+  for (int i = 0; i < 65; ++i) {
+    if (i > 0) big += ',';
+    big += R"({"jsonrpc":"2.0","id":)" + std::to_string(i) +
+           R"(,"method":"echo"})";
+  }
+  big += "]";
+  EXPECT_NE(body_of(rpc_post(server_->port(), big)).find("-32600"),
+            std::string::npos);
+}
+
+TEST_F(JsonRpcTest, TransportRulesEnforced) {
+  start();
+  EXPECT_NE(round_trip(server_->port(), http_request("GET", "/"))
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(round_trip(server_->port(),
+                       "POST / HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("411"),
+            std::string::npos);
+  // Declared body over the cap is refused before it is read.
+  net::RpcConfig config;
+  config.max_body_bytes = 512;
+  TearDown();
+  gate_ = std::promise<void>();
+  gate_entered_ = std::promise<void>();
+  gate_released_ = false;
+  start(config);
+  EXPECT_NE(round_trip(server_->port(),
+                       "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: "
+                       "100000\r\nConnection: close\r\n\r\n")
+                .find("413"),
+            std::string::npos);
+}
+
+TEST_F(JsonRpcTest, KeepAliveServesSequentialRequests) {
+  start();
+  const int fd = connect_loopback(server_->port());
+  ASSERT_GE(fd, 0);
+  const auto post = [&](const std::string& body) {
+    send_all(fd, "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body);
+    return recv_one_response(fd);
+  };
+  const std::string first =
+      post(R"({"jsonrpc":"2.0","id":1,"method":"echo","params":[1]})");
+  const std::string second =
+      post(R"({"jsonrpc":"2.0","id":2,"method":"echo","params":[2]})");
+  ::close(fd);
+  EXPECT_NE(first.find("\"id\":1"), std::string::npos) << first;
+  EXPECT_NE(second.find("\"id\":2"), std::string::npos) << second;
+  EXPECT_NE(first.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_EQ(server_->connections_accepted(), 1u);
+}
+
+TEST_F(JsonRpcTest, FullDispatchQueueSheds503) {
+  net::RpcConfig config;
+  config.dispatchers = 1;
+  config.queue_capacity = 1;
+  start(config);
+  // r1 occupies the only dispatcher inside the gate...
+  std::thread r1([&] {
+    rpc_post(server_->port(), R"({"jsonrpc":"2.0","id":1,"method":"gate"})");
+  });
+  gate_entered_.get_future().wait();
+  // ...r2 fills the queue's single slot...
+  const int r2 = connect_loopback(server_->port());
+  ASSERT_GE(r2, 0);
+  const std::string body2 = R"({"jsonrpc":"2.0","id":2,"method":"echo"})";
+  send_all(r2, "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                   std::to_string(body2.size()) +
+                   "\r\nConnection: close\r\n\r\n" + body2);
+  while (server_->requests_received() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...so r3 must be shed at admission, immediately, with the engine's
+  // shed vocabulary (503 / -32005) — not queued behind the gate.
+  const std::string shed = rpc_post(
+      server_->port(), R"({"jsonrpc":"2.0","id":3,"method":"echo"})");
+  EXPECT_NE(shed.find("503"), std::string::npos) << shed;
+  EXPECT_NE(shed.find("-32005"), std::string::npos);
+  release_gate();
+  const std::string served = recv_to_eof(r2);
+  ::close(r2);
+  EXPECT_NE(served.find("\"id\":2"), std::string::npos) << served;
+  r1.join();
+  EXPECT_EQ(server_->metrics_registry()
+                .counter("net_requests_shed")
+                .value(),
+            1u);
+}
+
+TEST_F(JsonRpcTest, ExpiredDeadlineShedsBeforeHandlerRuns) {
+  net::RpcConfig config;
+  config.dispatchers = 1;
+  config.request_deadline_us = 5000;  // 5ms
+  start(config);
+  std::thread r1([&] {
+    rpc_post(server_->port(), R"({"jsonrpc":"2.0","id":1,"method":"gate"})");
+  });
+  gate_entered_.get_future().wait();
+  // r2 queues behind the gate and ages past its deadline.
+  const int r2 = connect_loopback(server_->port());
+  ASSERT_GE(r2, 0);
+  const std::string body2 = R"({"jsonrpc":"2.0","id":2,"method":"echo"})";
+  send_all(r2, "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                   std::to_string(body2.size()) +
+                   "\r\nConnection: close\r\n\r\n" + body2);
+  while (server_->requests_received() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  release_gate();
+  const std::string response = recv_to_eof(r2);
+  ::close(r2);
+  r1.join();
+  EXPECT_NE(response.find("-32005"), std::string::npos) << response;
+  // The whole point of the deadline: no handler work for a request the
+  // client has already given up on.
+  EXPECT_EQ(echo_calls_.load(), 0);
+}
+
+TEST_F(JsonRpcTest, ClientDisconnectMidResponseLeavesServerHealthy) {
+  start();
+  // Fire a slow request and hang up before the response can be written.
+  const int fd = connect_loopback(server_->port());
+  ASSERT_GE(fd, 0);
+  const std::string body = R"({"jsonrpc":"2.0","id":1,"method":"slow"})";
+  send_all(fd, "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                   std::to_string(body.size()) +
+                   "\r\nConnection: close\r\n\r\n" + body);
+  ::close(fd);
+  // The dispatcher finishes the handler, the posted response is dropped
+  // on the dead connection, and the server keeps serving.
+  const std::string after = rpc_post(
+      server_->port(), R"({"jsonrpc":"2.0","id":2,"method":"echo"})");
+  EXPECT_NE(after.find("\"id\":2"), std::string::npos) << after;
+}
+
+// The TSan leg runs this: many client threads against the dispatcher pool
+// exercises queue hand-off, with_connection re-entry, and metric writes.
+TEST_F(JsonRpcTest, ConcurrentClientsAllGetTheirOwnResponses) {
+  net::RpcConfig config;
+  config.dispatchers = 4;
+  start(config);
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequests; ++i) {
+        const int id = t * 1000 + i;
+        const std::string response = rpc_post(
+            server_->port(),
+            R"({"jsonrpc":"2.0","id":)" + std::to_string(id) +
+                R"(,"method":"echo","params":[)" + std::to_string(id) +
+                "]}");
+        if (response.find("\"id\":" + std::to_string(id) + ",") ==
+                std::string::npos ||
+            response.find("\"result\":[" + std::to_string(id) + "]") ==
+                std::string::npos) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(echo_calls_.load(), kThreads * kRequests);
+  EXPECT_EQ(server_->requests_received(),
+            static_cast<std::uint64_t>(kThreads * kRequests));
+}
+
+TEST(JsonRpcLifecycle, StartTwiceThrowsAndStopIsIdempotent) {
+  net::JsonRpcServer server;
+  server.start(0);
+  EXPECT_THROW(server.start(0), StateError);
+  server.stop();
+  server.stop();
+}
+
+}  // namespace

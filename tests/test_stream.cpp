@@ -186,6 +186,69 @@ TEST(BoundedQueueTest, ConcurrentProducersAndConsumersConserveItems) {
   EXPECT_EQ(queue.total_pushed(), queue.total_popped());
 }
 
+TEST(BoundedQueueTest, PushBlockedOnFullQueueUnblocksAtClose) {
+  stream::BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result.store(queue.push(2));  // blocks: queue is full
+    push_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(push_returned.load());  // still parked on the bound
+  queue.close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  // The blocked push must report failure (its item was dropped), while
+  // what was already queued stays deliverable.
+  EXPECT_FALSE(push_result.load());
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.total_pushed(), 1u);
+}
+
+TEST(BoundedQueueTest, TryPushRacingCloseNeverLosesOrInventsItems) {
+  stream::BoundedQueue<int> queue(16);
+  std::atomic<int> admitted{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 100000; ++i) {
+      if (queue.try_push(i)) {
+        admitted.fetch_add(1);
+      } else if (queue.closed()) {
+        break;
+      }
+      // Full-but-open: drop and keep going (open-loop producer shape).
+    }
+  });
+  std::thread consumer([&] {
+    // Drain concurrently so the producer sees both full and open states.
+    for (int i = 0; i < 1000; ++i) queue.try_pop();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.close();
+  producer.join();
+  consumer.join();
+  // Everything admitted before the close is either already popped or
+  // still drainable — the close drops nothing that was accepted.
+  std::uint64_t drained = queue.total_popped();
+  while (queue.pop().has_value()) ++drained;
+  EXPECT_EQ(drained, static_cast<std::uint64_t>(admitted.load()));
+  EXPECT_EQ(queue.total_pushed(), static_cast<std::uint64_t>(admitted.load()));
+  EXPECT_FALSE(queue.try_push(-1));  // closed stays closed
+}
+
+TEST(BoundedQueueTest, PopAfterCloseDrainsInOrderThenSignalsEndOfStream) {
+  stream::BoundedQueue<int> queue(8);
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE(queue.push(i));
+  queue.close();
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(queue.pop(), i);  // FIFO survives close
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+  // pop() after end-of-stream stays nullopt (no re-arm, no hang).
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
 // ------------------------------------------------------------- arrivals
 
 TEST(LoadGeneratorTest, SeededScheduleIsBitReproducible) {
