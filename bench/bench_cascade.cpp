@@ -1,0 +1,276 @@
+// Cost-aware cascade bench: throughput and accuracy of the stage-0 +
+// heavy-stage cascade across uncertainty-band widths, written as
+// BENCH_cascade.json next to the binary.
+//
+// The paper's Fig. 7 cost hierarchy (LMs >> VMs >> HSCs) motivates the
+// cascade: CatBoost through the flat-tree path scores millions of rows per
+// second while a sequence model manages thousands, so sending only the
+// band of uncertain rows to the heavy model should recover most of the
+// cheap model's throughput at (nearly) the ensemble's accuracy. Per band
+// the bench emits end-to-end rows/s, the escalation rate, per-stage row
+// counts, and held-out accuracy against the best single model; ci.sh
+// gates on at least one enabled band clearing the 2x-throughput /
+// -0.5 pp-accuracy floor, and on the full [0, 1] band actually escalating
+// every row (proof the escalation path ran).
+//
+// Usage: bench_cascade [--smoke]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "ml/catboost.hpp"
+#include "ml/models/scsguard.hpp"
+#include "serve/cascade.hpp"
+
+namespace {
+
+using namespace phishinghook;
+
+/// Non-owning forwarder so one fitted model can sit behind many cascade
+/// configurations without retraining (CascadeScorer owns its stages).
+class BorrowedScorer final : public ml::Scorer {
+ public:
+  explicit BorrowedScorer(ml::Scorer& inner) : inner_(&inner) {}
+  void score_batch(const ml::BytecodeBatchView& view,
+                   std::span<ml::ScoredRow> out) override {
+    inner_->score_batch(view, out);
+  }
+  std::string name() const override { return inner_->name(); }
+  const ml::FlatTreeEnsemble* flat_ensemble() const override {
+    return inner_->flat_ensemble();
+  }
+
+ private:
+  ml::Scorer* inner_;
+};
+
+double accuracy_of(const std::vector<ml::ScoredRow>& rows,
+                   const std::vector<int>& labels) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if ((rows[i].probability >= 0.5 ? 1 : 0) == labels[i]) ++correct;
+  }
+  return rows.empty() ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(rows.size());
+}
+
+template <typename Fn>
+double best_seconds(int reps, int inner, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    common::Timer timer;
+    for (int i = 0; i < inner; ++i) fn();
+    best = std::min(best, timer.seconds() / inner);
+  }
+  return best;
+}
+
+struct BandResult {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool enabled = false;
+  double rows_per_s = 0.0;
+  double escalation_rate = 0.0;
+  double degraded = 0.0;
+  std::vector<std::uint64_t> stage_rows;
+  double accuracy = 0.0;
+  double accuracy_delta_pp = 0.0;  ///< vs best single model, percent points
+  double speedup_vs_heavy = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::print_banner("Cost-aware cascade (stage-0 HSC + heavy escalation)",
+                      "serving-path optimization over Fig. 7's cost gap");
+
+  // --- dataset: train split fits both stages, held-out split scores ------
+  const synth::BuiltDataset data = bench::build_bench_dataset();
+  const std::size_t n_total = data.samples.size();
+  const std::size_t n_train = (n_total * 7) / 10;
+  std::vector<const evm::Bytecode*> train_codes, test_codes;
+  std::vector<int> train_labels, test_labels;
+  for (std::size_t i = 0; i < n_total; ++i) {
+    const synth::LabeledContract& sample = data.samples[i];
+    if (i < n_train) {
+      train_codes.push_back(&sample.code);
+      train_labels.push_back(sample.phishing ? 1 : 0);
+    } else {
+      test_codes.push_back(&sample.code);
+      test_labels.push_back(sample.phishing ? 1 : 0);
+    }
+  }
+  std::printf("corpus: %zu train / %zu held-out%s\n", train_codes.size(),
+              test_codes.size(), smoke ? " [smoke]" : "");
+
+  // --- stage 0: CatBoost behind the histogram vocabulary ------------------
+  core::HistogramAdapter stage0(std::make_unique<ml::CatBoostClassifier>(),
+                                "CatBoost");
+  common::Timer t0;
+  stage0.fit(train_codes, train_labels);
+  std::printf("stage 0 (%s) trained in %.2fs\n", stage0.name().c_str(),
+              t0.seconds());
+
+  // --- heavy stage: SCSGuard over n-gram tokens ---------------------------
+  ml::models::SequenceModelConfig seq_config;
+  seq_config.vocab = smoke ? 512 : 2048;
+  seq_config.dim = smoke ? 16 : 32;
+  seq_config.max_len = smoke ? 64 : 128;
+  seq_config.epochs = smoke ? 1 : 3;
+  seq_config.seed = 42;
+  core::SequenceAdapter heavy(
+      std::make_unique<ml::models::ScsGuardModel>(seq_config), "SCSGuard",
+      core::Tokenization::kNgram, core::ModelCategory::kLanguage,
+      seq_config.vocab);
+  common::Timer t1;
+  heavy.fit(train_codes, train_labels);
+  std::printf("heavy stage (%s) trained in %.2fs\n\n", heavy.name().c_str(),
+              t1.seconds());
+
+  const ml::BytecodeBatchView test_view(test_codes.data(), test_codes.size());
+  const double n_test = static_cast<double>(test_codes.size());
+  const int reps = smoke ? 2 : 3;
+  const int cheap_inner = smoke ? 5 : 20;
+  const int heavy_inner = smoke ? 1 : 2;
+
+  // --- single-model baselines --------------------------------------------
+  std::vector<ml::ScoredRow> rows(test_codes.size());
+  const double stage0_s = best_seconds(reps, cheap_inner, [&] {
+    stage0.score_batch(test_view, rows);
+  });
+  const double stage0_rows_per_s = n_test / stage0_s;
+  const double stage0_accuracy = accuracy_of(rows, test_labels);
+
+  const double heavy_s = best_seconds(reps, heavy_inner, [&] {
+    heavy.score_batch(test_view, rows);
+  });
+  const double heavy_rows_per_s = n_test / heavy_s;
+  const double heavy_accuracy = accuracy_of(rows, test_labels);
+
+  const bool stage0_best = stage0_accuracy >= heavy_accuracy;
+  const double best_single_accuracy =
+      stage0_best ? stage0_accuracy : heavy_accuracy;
+  const std::string best_single_model =
+      stage0_best ? stage0.name() : heavy.name();
+
+  std::printf("%-10s %12.0f rows/s  accuracy %.4f\n", stage0.name().c_str(),
+              stage0_rows_per_s, stage0_accuracy);
+  std::printf("%-10s %12.0f rows/s  accuracy %.4f\n\n", heavy.name().c_str(),
+              heavy_rows_per_s, heavy_accuracy);
+
+  // --- band sweep ---------------------------------------------------------
+  // Disabled (lo > hi), widths centered on the 0.5 decision boundary, and
+  // the degenerate [0, 1] band that escalates every row (the bench's proof
+  // that the escalation path actually runs).
+  struct Band {
+    double lo, hi;
+  };
+  std::vector<Band> bands = {{1.0, 0.0}};
+  for (const double width : {0.02, 0.1, 0.2, 0.3, 0.5}) {
+    bands.push_back({0.5 - width / 2.0, 0.5 + width / 2.0});
+  }
+  bands.push_back({0.0, 1.0});
+
+  std::printf("%8s %8s %12s %8s %10s %10s %10s\n", "lo", "hi", "rows/s",
+              "esc%", "accuracy", "d_pp", "vs_heavy");
+  std::vector<BandResult> results;
+  for (const Band& band : bands) {
+    serve::CascadeConfig config;
+    config.lo = band.lo;
+    config.hi = band.hi;
+    std::vector<std::unique_ptr<ml::Scorer>> stages;
+    stages.push_back(std::make_unique<BorrowedScorer>(stage0));
+    stages.push_back(std::make_unique<BorrowedScorer>(heavy));
+    serve::CascadeScorer cascade(std::move(stages), config);
+
+    // One untimed pass pins the per-pass stage traffic and the accuracy;
+    // the timed passes only shift the counters proportionally, so the
+    // escalation *rate* they report is unchanged.
+    cascade.score_batch(test_view, rows);
+    const serve::CascadeStats pass_stats = cascade.stats();
+
+    const int inner = config.enabled() ? heavy_inner : cheap_inner;
+    const double seconds = best_seconds(reps, inner, [&] {
+      cascade.score_batch(test_view, rows);
+    });
+
+    BandResult result;
+    result.lo = config.lo;
+    result.hi = config.hi;
+    result.enabled = config.enabled();
+    result.rows_per_s = n_test / seconds;
+    result.escalation_rate = pass_stats.escalation_rate();
+    result.degraded = static_cast<double>(pass_stats.degraded_total);
+    for (const serve::CascadeStageStats& stage : pass_stats.stages) {
+      result.stage_rows.push_back(stage.rows);
+    }
+    result.accuracy = accuracy_of(rows, test_labels);
+    result.accuracy_delta_pp =
+        (result.accuracy - best_single_accuracy) * 100.0;
+    result.speedup_vs_heavy = result.rows_per_s / heavy_rows_per_s;
+    results.push_back(result);
+
+    std::printf("%8.2f %8.2f %12.0f %7.1f%% %10.4f %+10.2f %9.2fx\n",
+                result.lo, result.hi, result.rows_per_s,
+                100.0 * result.escalation_rate, result.accuracy,
+                result.accuracy_delta_pp, result.speedup_vs_heavy);
+  }
+
+  // --- machine-readable exposition ---------------------------------------
+  FILE* out = std::fopen("BENCH_cascade.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_cascade.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"cascade\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"test_rows\": %zu,\n", test_codes.size());
+  std::fprintf(out,
+               "  \"models\": {\"stage0\": \"%s\", \"heavy\": \"%s\"},\n",
+               stage0.name().c_str(), heavy.name().c_str());
+  std::fprintf(out, "  \"stage0_rows_per_s\": %.1f,\n", stage0_rows_per_s);
+  std::fprintf(out, "  \"heavy_rows_per_s\": %.1f,\n", heavy_rows_per_s);
+  std::fprintf(out, "  \"stage0_accuracy\": %.6f,\n", stage0_accuracy);
+  std::fprintf(out, "  \"heavy_accuracy\": %.6f,\n", heavy_accuracy);
+  std::fprintf(out, "  \"best_single_model\": \"%s\",\n",
+               best_single_model.c_str());
+  std::fprintf(out, "  \"best_single_accuracy\": %.6f,\n",
+               best_single_accuracy);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BandResult& r = results[i];
+    std::string stage_rows = "[";
+    for (std::size_t s = 0; s < r.stage_rows.size(); ++s) {
+      if (s != 0) stage_rows += ", ";
+      stage_rows += std::to_string(r.stage_rows[s]);
+    }
+    stage_rows += "]";
+    std::fprintf(out,
+                 "    {\"band_lo\": %.4f, \"band_hi\": %.4f, "
+                 "\"enabled\": %s, \"rows_per_s\": %.1f, "
+                 "\"escalation_rate\": %.6f, \"degraded_rows\": %.0f, "
+                 "\"stage_rows\": %s, \"accuracy\": %.6f, "
+                 "\"accuracy_delta_pp\": %.4f, "
+                 "\"speedup_vs_heavy\": %.4f}%s\n",
+                 r.lo, r.hi, r.enabled ? "true" : "false", r.rows_per_s,
+                 r.escalation_rate, r.degraded, stage_rows.c_str(),
+                 r.accuracy, r.accuracy_delta_pp, r.speedup_vs_heavy,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_cascade.json (%zu bands)\n", results.size());
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/model_registry.hpp"
 #include "ml/random_forest.hpp"
 #include "serve/rpc_frontend.hpp"
 #include "serve/scoring_engine.hpp"

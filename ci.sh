@@ -273,6 +273,71 @@ PY
   fi
 }
 
+check_cascade_json() {
+  local json="$1"
+  echo "=== bench_cascade: ${json} ==="
+  if [[ ! -f "${json}" ]]; then
+    echo "ci.sh: ${json} missing" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${json}" <<'PY'
+import json, math, sys
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+for key in ("test_rows", "models", "stage0_rows_per_s", "heavy_rows_per_s",
+            "stage0_accuracy", "heavy_accuracy", "best_single_model",
+            "best_single_accuracy", "results"):
+    assert key in doc, f"missing {key}"
+assert doc["test_rows"] > 0, "empty held-out set"
+assert doc["models"]["stage0"] and doc["models"]["heavy"], "missing model names"
+rows = doc["results"]
+assert rows, "empty results"
+for row in rows:
+    for key in ("band_lo", "band_hi", "enabled", "rows_per_s",
+                "escalation_rate", "degraded_rows", "stage_rows",
+                "accuracy", "accuracy_delta_pp", "speedup_vs_heavy"):
+        assert key in row, f"missing {key}"
+    for key in ("band_lo", "band_hi", "rows_per_s", "escalation_rate",
+                "accuracy", "accuracy_delta_pp", "speedup_vs_heavy"):
+        assert math.isfinite(row[key]), f"non-finite {key}"
+    assert row["rows_per_s"] > 0, "zero throughput"
+    assert 0.0 <= row["escalation_rate"] <= 1.0, "escalation_rate out of [0,1]"
+    assert row["degraded_rows"] == 0, "faults in a fault-free bench"
+    assert sum(row["stage_rows"]) >= doc["test_rows"], "rows went missing"
+# The disabled band never escalates; the full [0,1] band escalates every
+# row — together they prove the band logic actually gates the heavy stage.
+disabled = [r for r in rows if not r["enabled"]]
+assert disabled, "no disabled-band control point"
+assert all(r["escalation_rate"] == 0.0 for r in disabled), (
+    "disabled band escalated rows")
+full = [r for r in rows if r["band_lo"] == 0.0 and r["band_hi"] == 1.0]
+assert full, "no full-band control point"
+assert all(r["escalation_rate"] == 1.0 for r in full), (
+    "full [0,1] band failed to escalate every row")
+# The optimization gate: some enabled band must beat the heavy model by
+# >= 2x while giving up <= 0.5 pp of accuracy vs the best single model.
+winners = [r for r in rows
+           if r["enabled"] and r["speedup_vs_heavy"] >= 2.0
+           and r["accuracy_delta_pp"] >= -0.5]
+assert winners, ("no band met the gate: >= 2x over the heavy model at "
+                 "<= 0.5 pp accuracy loss")
+best = max(winners, key=lambda r: r["speedup_vs_heavy"])
+print(f"BENCH_cascade.json ok: {len(rows)} bands, best gate-passing band "
+      f"[{best['band_lo']:.2f}, {best['band_hi']:.2f}] at "
+      f"{best['speedup_vs_heavy']:.1f}x vs heavy, "
+      f"{best['accuracy_delta_pp']:+.2f} pp accuracy")
+PY
+  else
+    grep -q '"bench": "cascade"' "${json}" &&
+      grep -q '"escalation_rate"' "${json}" &&
+      grep -q '"speedup_vs_heavy"' "${json}" &&
+      grep -q '"enabled": true' "${json}" &&
+      grep -q '"enabled": false' "${json}" ||
+      { echo "ci.sh: ${json} malformed" >&2; exit 1; }
+  fi
+}
+
 check_prometheus() {
   local prom="$1"
   echo "=== bench_serve_throughput: ${prom} ==="
@@ -567,8 +632,10 @@ def check_score(resp, want_id):
     assert res["address"].lower() == addr.lower(), f"wrong address: {res!r}"
     assert res["status"] == "ok", f"score status {res['status']!r}"
     assert 0.0 <= res["probability"] <= 1.0, f"bad probability: {res!r}"
-    for key in ("flagged", "cache_hit", "latency_us", "trace_id"):
+    for key in ("flagged", "cache_hit", "latency_us", "trace_id",
+                "stage", "model"):
         assert key in res, f"result missing {key}: {res!r}"
+    assert res["stage"] in (0, 1), f"bad cascade stage: {res!r}"
 
 single = json.load(open(sys.argv[1]))
 check_score(single, 1)
@@ -580,6 +647,15 @@ check_score(by_id["s"], "s")
 health = by_id["h"]["result"]
 assert health["status"] == "ok", f"health status {health!r}"
 assert health["engine"]["requests_completed"] >= 1, f"no completions: {health!r}"
+assert "requests_degraded" in health["engine"], f"no degraded counter: {health!r}"
+# score_server serves a two-stage cascade; health must attribute it.
+cascade = health["cascade"]
+assert cascade["enabled"] is True, f"cascade disabled: {cascade!r}"
+assert len(cascade["stages"]) == 2, f"wrong stage count: {cascade!r}"
+for stage in cascade["stages"]:
+    for key in ("stage", "model", "rows", "escalations", "faults"):
+        assert key in stage, f"cascade stage missing {key}: {stage!r}"
+assert cascade["stages"][0]["rows"] >= 1, f"stage 0 never scored: {cascade!r}"
 
 text = open(sys.argv[3]).read()
 for required in ("net_requests_total", "net_responses_total",
@@ -611,6 +687,11 @@ check_infer_json build-ci-release/BENCH_infer.json
 # the BENCH_stream.json schema machine-checked.
 (cd build-ci-release && ./bench/bench_stream --smoke)
 check_stream_json build-ci-release/BENCH_stream.json
+# Cascade smoke: band sweep over the two-stage scorer; the gate demands a
+# band that keeps >= 2x of the heavy model's throughput headroom at
+# <= 0.5 pp accuracy loss, plus the disabled / full-band control points.
+(cd build-ci-release && ./bench/bench_cascade --smoke)
+check_cascade_json build-ci-release/BENCH_cascade.json
 (cd build-ci-release && ./bench/bench_serve_throughput 1)
 check_prometheus build-ci-release/BENCH_serve_metrics.prom
 (cd build-ci-release &&
@@ -629,10 +710,11 @@ run_variant asan address
 
 # TSan cannot be combined with ASan, and slows everything ~10x, so it runs
 # only the suites with actual cross-thread state: the serving engine, its
-# chaos/fault-injection suite, the thread-pool unit tests, the pool-backed
+# chaos/fault-injection suite, the cascade suite (worker-count determinism
+# and degraded-path accounting), the thread-pool unit tests, the pool-backed
 # training determinism suite, the telemetry layer, and the socket/JSON-RPC
 # front end (event loop + dispatcher pool under concurrent clients).
-run_variant tsan thread "-R test_serve|test_serve_faults|test_thread_pool|test_parallel_determinism|test_obs|test_stream|test_net"
+run_variant tsan thread "-R test_serve|test_serve_faults|test_cascade|test_thread_pool|test_parallel_determinism|test_obs|test_stream|test_net"
 
 # No-SIMD leg: build with PHISHINGHOOK_SIMD compiled out (and gcc's
 # autovectorizers off) and run the fast-vs-legacy equivalence suite. The

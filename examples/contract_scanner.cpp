@@ -164,7 +164,7 @@ int main(int argc, char** argv) {
   if (metrics_port >= 0) {
     scrape.add_registry(engine.prometheus_registry());
     scrape.add_registry(obs::MetricsRegistry::global());
-    scrape.add_pre_scrape_hook([&engine] { engine.export_cache_metrics(); });
+    scrape.add_pre_scrape_hook([&engine] { engine.export_pull_metrics(); });
     scrape.add_pre_scrape_hook([] {
       obs::Tracer::global().export_metrics(obs::MetricsRegistry::global());
     });
@@ -227,8 +227,8 @@ int main(int argc, char** argv) {
   std::printf("status counts:");
   for (const serve::ScoreStatus status :
        {serve::ScoreStatus::kOk, serve::ScoreStatus::kEmptyCode,
-        serve::ScoreStatus::kExtractError, serve::ScoreStatus::kModelError,
-        serve::ScoreStatus::kShed}) {
+        serve::ScoreStatus::kDegraded, serve::ScoreStatus::kExtractError,
+        serve::ScoreStatus::kModelError, serve::ScoreStatus::kShed}) {
     std::printf(" %s=%zu", serve::to_string(status), by_status[status]);
   }
   std::printf("\n");

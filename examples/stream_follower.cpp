@@ -34,6 +34,7 @@
 #include <thread>
 
 #include "chain/fault_injection.hpp"
+#include "core/model_registry.hpp"
 #include "ml/random_forest.hpp"
 #include "obs/scrape_server.hpp"
 #include "obs/trace.hpp"
@@ -134,7 +135,7 @@ int main(int argc, char** argv) {
     scrape.add_registry(coordinator.registry());
     scrape.add_registry(engine.prometheus_registry());
     scrape.add_pre_scrape_hook([&coordinator] { coordinator.evaluate_slo(); });
-    scrape.add_pre_scrape_hook([&engine] { engine.export_cache_metrics(); });
+    scrape.add_pre_scrape_hook([&engine] { engine.export_pull_metrics(); });
     scrape.add_pre_scrape_hook([&coordinator] {
       obs::Tracer::global().export_metrics(coordinator.registry());
     });

@@ -28,6 +28,27 @@ std::string_view category_label(ModelCategory category) {
   return "?";
 }
 
+// --- PhishingClassifier (ml::Scorer default) --------------------------------
+
+void PhishingClassifier::score_batch(const ml::BytecodeBatchView& view,
+                                     std::span<ml::ScoredRow> out) {
+  if (out.size() != view.size()) {
+    throw InvalidArgument("score_batch: out span size " +
+                          std::to_string(out.size()) + " != view size " +
+                          std::to_string(view.size()));
+  }
+  if (view.empty()) return;
+  const std::vector<double> probabilities = predict_proba(view.to_vector());
+  if (probabilities.size() != view.size()) {
+    throw StateError(name() + " predict_proba returned " +
+                     std::to_string(probabilities.size()) + " rows for " +
+                     std::to_string(view.size()) + " codes");
+  }
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    out[i] = ml::ScoredRow{probabilities[i], /*stage=*/0, /*degraded=*/false};
+  }
+}
+
 // --- HistogramAdapter -------------------------------------------------------
 
 HistogramAdapter::HistogramAdapter(std::unique_ptr<ml::TabularClassifier> model,

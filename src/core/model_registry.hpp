@@ -18,6 +18,7 @@
 #include "ml/classifier.hpp"
 #include "ml/models/sequence_model.hpp"
 #include "ml/models/vision_model.hpp"
+#include "ml/scorer.hpp"
 
 namespace phishinghook::core {
 
@@ -25,10 +26,13 @@ enum class ModelCategory { kHistogram, kVision, kLanguage, kVulnerability };
 
 std::string_view category_label(ModelCategory category);
 
-class PhishingClassifier {
+/// A fit-capable detector over raw bytecodes. Every adapter is also an
+/// ml::Scorer, so a fitted classifier plugs straight into the serving
+/// path (ScoringEngine, CascadeScorer) with no further wrapping: the
+/// default score_batch routes through predict_proba and attributes every
+/// row to stage 0.
+class PhishingClassifier : public ml::Scorer {
  public:
-  virtual ~PhishingClassifier() = default;
-
   virtual void fit(const std::vector<const Bytecode*>& codes,
                    const std::vector<int>& labels) = 0;
   virtual std::vector<double> predict_proba(
@@ -37,16 +41,12 @@ class PhishingClassifier {
     return ml::threshold_predictions(predict_proba(codes));
   }
 
-  virtual std::string name() const = 0;
   virtual ModelCategory category() const = 0;
 
-  /// The compiled branch-free tree ensemble serving this detector's
-  /// predict_proba, when one exists (fitted/loaded HSC tree models);
-  /// nullptr for everything else. ScoringEngine exports its compile
-  /// stats as serve gauges.
-  virtual const ml::FlatTreeEnsemble* flat_ensemble() const {
-    return nullptr;
-  }
+  /// ml::Scorer: single-stage scoring via predict_proba. Throws
+  /// InvalidArgument when out.size() != view.size().
+  void score_batch(const ml::BytecodeBatchView& view,
+                   std::span<ml::ScoredRow> out) override;
 };
 
 /// Histogram (HSC) adapter: vocabulary + a tabular classifier.

@@ -1,0 +1,14 @@
+#include "ml/scorer.hpp"
+
+namespace phishinghook::ml {
+
+std::vector<double> Scorer::score_probabilities(const BytecodeBatchView& view) {
+  std::vector<ScoredRow> rows(view.size());
+  score_batch(view, rows);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const ScoredRow& row : rows) out.push_back(row.probability);
+  return out;
+}
+
+}  // namespace phishinghook::ml

@@ -30,6 +30,8 @@ struct ServiceMetrics {
   obs::Counter requests_completed = registry.counter("serve_requests_completed");
   obs::Counter requests_failed =
       registry.counter("serve_requests_failed");  ///< extract/model errors
+  obs::Counter requests_degraded =
+      registry.counter("serve_requests_degraded");  ///< heavy-stage fallbacks
   obs::Counter requests_shed =
       registry.counter("serve_requests_shed");  ///< queue-full + deadline
   obs::Counter retries =
@@ -69,6 +71,9 @@ struct ServiceMetrics {
                       "Scoring requests accepted by submit()/try_submit()");
     registry.set_help("serve_requests_shed",
                       "Requests dropped by admission control or deadline");
+    registry.set_help("serve_requests_degraded",
+                      "Requests answered with a stage-0 fallback after a "
+                      "heavy cascade stage failed");
     registry.set_help("serve_queue_depth",
                       "Requests admitted but not yet pulled into a batch");
     registry.set_help("serve_request_latency_us",

@@ -1,9 +1,12 @@
 #include "serve/rpc_frontend.hpp"
 
+#include <cstddef>
 #include <future>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "serve/cascade.hpp"
 
 namespace phishinghook::serve {
 
@@ -35,6 +38,12 @@ JsonValue result_object(const ScoreResult& result) {
   out.set("probability", JsonValue::number(result.probability));
   out.set("flagged", JsonValue::boolean(result.flagged));
   out.set("cache_hit", JsonValue::boolean(result.cache_hit));
+  // Cascade attribution: which stage answered and which model sits behind
+  // it. `model` is empty for unscored outcomes (errors, shed).
+  out.set("stage", JsonValue::number(static_cast<double>(result.stage)));
+  if (!result.model.empty()) {
+    out.set("model", JsonValue::string(result.model));
+  }
   out.set("latency_us", JsonValue::number(result.latency_us));
   out.set("queue_wait_us", JsonValue::number(result.queue_wait_us));
   out.set("trace_id",
@@ -162,6 +171,9 @@ JsonValue RpcFrontend::health(const JsonValue& params,
              JsonValue::number(static_cast<double>(m.requests_failed.value())));
   engine.set("requests_shed",
              JsonValue::number(static_cast<double>(m.requests_shed.value())));
+  engine.set("requests_degraded",
+             JsonValue::number(
+                 static_cast<double>(m.requests_degraded.value())));
   engine.set("queue_depth", JsonValue::number(m.queue_depth.value()));
 
   JsonValue cache_obj;
@@ -186,6 +198,41 @@ JsonValue RpcFrontend::health(const JsonValue& params,
   out.set("engine", std::move(engine));
   out.set("cache", std::move(cache_obj));
   out.set("net", std::move(network));
+  out.set("model", JsonValue::string(engine_.scorer().name()));
+
+  // When the engine serves a cascade, describe its band and per-stage
+  // traffic so operators can see where rows stop without scraping metrics.
+  if (const auto* cascade =
+          dynamic_cast<const CascadeScorer*>(&engine_.scorer())) {
+    const CascadeConfig& band = cascade->config();
+    const CascadeStats stats = cascade->stats();
+    JsonValue cascade_obj;
+    cascade_obj.set("enabled", JsonValue::boolean(band.enabled()));
+    cascade_obj.set("band_lo", JsonValue::number(band.lo));
+    cascade_obj.set("band_hi", JsonValue::number(band.hi));
+    cascade_obj.set("escalation_rate",
+                    JsonValue::number(stats.escalation_rate()));
+    cascade_obj.set("degraded_rows",
+                    JsonValue::number(
+                        static_cast<double>(stats.degraded_total)));
+    JsonValue stages = JsonValue::array();
+    for (std::size_t s = 0; s < stats.stages.size(); ++s) {
+      const CascadeStageStats& stage = stats.stages[s];
+      JsonValue stage_obj;
+      stage_obj.set("stage", JsonValue::number(static_cast<double>(s)));
+      stage_obj.set("model", JsonValue::string(stage.model));
+      stage_obj.set("rows",
+                    JsonValue::number(static_cast<double>(stage.rows)));
+      stage_obj.set("escalations",
+                    JsonValue::number(
+                        static_cast<double>(stage.escalations)));
+      stage_obj.set("faults",
+                    JsonValue::number(static_cast<double>(stage.faults)));
+      stages.push_back(std::move(stage_obj));
+    }
+    cascade_obj.set("stages", std::move(stages));
+    out.set("cascade", std::move(cascade_obj));
+  }
   return out;
 }
 

@@ -5,13 +5,16 @@
 //
 //   phook_score      params ["0x<40 hex>"] — one address, one result
 //                    object (probability, flagged, status, cache_hit,
-//                    latency attribution, trace_id)
+//                    cascade stage + model attribution, latency
+//                    attribution, trace_id)
 //   phook_scoreBatch params [["0x..", "0x..", ...]] — scored as one
 //                    engine wave (all submitted before any wait); bad hex
 //                    entries come back as status "invalid_address" without
 //                    failing the rest
 //   phook_health     no params — engine counters + cache stats + the
-//                    net-layer's own request counts, as one JSON object
+//                    net-layer's own request counts, as one JSON object;
+//                    when the engine serves a CascadeScorer, a "cascade"
+//                    section adds the band config and per-stage traffic
 //
 // The request's causal identity crosses the boundary: the socket layer
 // mints the obs::RequestContext when the HTTP frame completes, and the

@@ -40,7 +40,8 @@ std::size_t ShardedScoreCache::shard_index(
   return static_cast<std::size_t>(v) & shard_mask_;
 }
 
-std::optional<double> ShardedScoreCache::get(const evm::Hash256& code_hash) {
+std::optional<CachedScore> ShardedScoreCache::get(
+    const evm::Hash256& code_hash) {
   Shard& shard = shards_[shard_index(code_hash)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(code_hash);
@@ -50,15 +51,15 @@ std::optional<double> ShardedScoreCache::get(const evm::Hash256& code_hash) {
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->probability;
+  return it->second->score;
 }
 
-void ShardedScoreCache::put(const evm::Hash256& code_hash, double probability) {
+void ShardedScoreCache::put(const evm::Hash256& code_hash, CachedScore score) {
   Shard& shard = shards_[shard_index(code_hash)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(code_hash);
   if (it != shard.index.end()) {
-    it->second->probability = probability;
+    it->second->score = score;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -67,7 +68,7 @@ void ShardedScoreCache::put(const evm::Hash256& code_hash, double probability) {
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(Entry{code_hash, probability});
+  shard.lru.push_front(Entry{code_hash, score});
   shard.index.emplace(code_hash, shard.lru.begin());
 }
 

@@ -20,6 +20,17 @@
 
 namespace phishinghook::serve {
 
+/// What the cache remembers per code hash: the probability plus which
+/// cascade stage produced it, so a cache hit can report the same
+/// stage/model attribution as the original score. Degraded (fallback)
+/// scores are never cached — the engine retries the heavy stage instead.
+struct CachedScore {
+  double probability = 0.0;
+  std::uint32_t stage = 0;
+
+  friend bool operator==(const CachedScore&, const CachedScore&) = default;
+};
+
 /// Aggregated counters across shards (see ShardedScoreCache::stats).
 struct CacheStats {
   std::uint64_t hits = 0;
@@ -49,13 +60,16 @@ class ShardedScoreCache {
   ShardedScoreCache(const ShardedScoreCache&) = delete;
   ShardedScoreCache& operator=(const ShardedScoreCache&) = delete;
 
-  /// Probability previously stored for `code_hash`, refreshing its LRU
+  /// Score previously stored for `code_hash`, refreshing its LRU
   /// position; nullopt on miss. Counts a hit or a miss.
-  std::optional<double> get(const evm::Hash256& code_hash);
+  std::optional<CachedScore> get(const evm::Hash256& code_hash);
 
   /// Inserts (or refreshes) a score, evicting the shard's least recently
   /// used entry when the shard is full.
-  void put(const evm::Hash256& code_hash, double probability);
+  void put(const evm::Hash256& code_hash, CachedScore score);
+  void put(const evm::Hash256& code_hash, double probability) {
+    put(code_hash, CachedScore{probability, 0});
+  }
 
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t capacity() const;
@@ -75,7 +89,7 @@ class ShardedScoreCache {
  private:
   struct Entry {
     evm::Hash256 key;
-    double probability;
+    CachedScore score;
   };
   using LruList = std::list<Entry>;
 

@@ -31,6 +31,7 @@ const char* to_string(ScoreStatus status) {
   switch (status) {
     case ScoreStatus::kOk: return "ok";
     case ScoreStatus::kEmptyCode: return "empty_code";
+    case ScoreStatus::kDegraded: return "degraded";
     case ScoreStatus::kExtractError: return "extract_error";
     case ScoreStatus::kModelError: return "model_error";
     case ScoreStatus::kShed: return "shed";
@@ -39,8 +40,7 @@ const char* to_string(ScoreStatus status) {
 }
 
 ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
-                             core::PhishingClassifier& detector,
-                             EngineConfig config)
+                             ml::Scorer& detector, EngineConfig config)
     : bem_(explorer),
       detector_(&detector),
       config_(config),
@@ -57,6 +57,9 @@ ScoringEngine::ScoringEngine(const chain::Explorer& explorer,
     metrics_.flat_tree_count.set(static_cast<double>(flat->tree_count()));
     metrics_.flat_node_count.set(static_cast<double>(flat->node_count()));
   }
+  // Composite scorers (the cascade) register their hot-path instruments on
+  // this engine's private registry, next to the serve_* series.
+  detector_->bind_metrics(metrics_.registry);
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -80,6 +83,12 @@ void ScoringEngine::deliver(Request& request, ScoreResult result) {
     case ScoreStatus::kOk:
     case ScoreStatus::kEmptyCode:
       metrics_.requests_completed.inc();
+      break;
+    case ScoreStatus::kDegraded:
+      // A degraded request *was* answered with a usable score — it counts
+      // as completed, with its own counter so operators see the fallback.
+      metrics_.requests_completed.inc();
+      metrics_.requests_degraded.inc();
       break;
     case ScoreStatus::kExtractError:
     case ScoreStatus::kModelError:
@@ -276,6 +285,7 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
     evm::Bytecode code;
     evm::Hash256 hash{};
     double probability = 0.0;
+    std::uint32_t stage = 0;
     ScoreStatus status = ScoreStatus::kOk;
     std::string error;
     bool cache_hit = false;
@@ -313,8 +323,9 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
         return;
       }
       slot.hash = slot.code.code_hash();
-      if (const std::optional<double> cached = cache_.get(slot.hash)) {
-        slot.probability = *cached;
+      if (const std::optional<CachedScore> cached = cache_.get(slot.hash)) {
+        slot.probability = cached->probability;
+        slot.stage = cached->stage;
         slot.cache_hit = true;
         return;
       }
@@ -334,12 +345,15 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
   extract_span.end();
 
   if (!miss_codes.empty()) {
-    std::vector<double> probabilities;
+    std::vector<ml::ScoredRow> rows(miss_codes.size());
+    bool scored = false;
     std::string model_error;
     const double predict_start_us = tracer.now_us();
     try {
       obs::ScopedSpan predict_span("serve.predict");
-      probabilities = detector_->predict_proba(miss_codes);
+      detector_->score_batch(
+          ml::BytecodeBatchView(miss_codes.data(), miss_codes.size()), rows);
+      scored = true;
     } catch (const std::exception& e) {
       model_error = e.what();
     } catch (...) {
@@ -356,23 +370,28 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
                          predict_end_us, tracer);
       }
     }
-    if (probabilities.size() == miss_codes.size()) {
+    if (scored) {
       metrics_.model_invocations.inc();
       metrics_.model_rows.inc(miss_codes.size());
       for (std::size_t u = 0; u < miss_codes.size(); ++u) {
-        cache_.put(miss_codes[u]->code_hash(), probabilities[u]);
+        // Degraded (heavy-stage-fault fallback) scores are deliberately
+        // not cached: the next request for this code hash retries the
+        // heavy stage instead of pinning the fallback until eviction.
+        if (!rows[u].degraded) {
+          cache_.put(miss_codes[u]->code_hash(),
+                     CachedScore{rows[u].probability, rows[u].stage});
+        }
         for (std::size_t slot_id : miss_slots[u]) {
-          slots[slot_id].probability = probabilities[u];
+          slots[slot_id].probability = rows[u].probability;
+          slots[slot_id].stage = rows[u].stage;
+          if (rows[u].degraded) {
+            slots[slot_id].status = ScoreStatus::kDegraded;
+          }
         }
       }
     } else {
       // Model failure poisons only the slots that needed the model; cache
       // hits and empty-code slots in this batch still deliver below.
-      if (model_error.empty()) {
-        model_error = "predict_proba returned " +
-                      std::to_string(probabilities.size()) + " rows for " +
-                      std::to_string(miss_codes.size()) + " codes";
-      }
       for (const std::vector<std::size_t>& group : miss_slots) {
         for (std::size_t slot_id : group) {
           slots[slot_id].status = ScoreStatus::kModelError;
@@ -387,9 +406,12 @@ void ScoringEngine::process_batch(std::vector<Request> batch) {
     result.status = slots[i].status;
     result.cache_hit = slots[i].cache_hit;
     result.error = std::move(slots[i].error);
-    if (slots[i].status == ScoreStatus::kOk) {
+    if (slots[i].status == ScoreStatus::kOk ||
+        slots[i].status == ScoreStatus::kDegraded) {
       result.probability = slots[i].probability;
       result.flagged = result.probability >= 0.5;
+      result.stage = slots[i].stage;
+      result.model = detector_->stage_model(slots[i].stage);
     }
     deliver(live[i], std::move(result));
   }

@@ -8,22 +8,26 @@
 //   submit(addr) -> [bounded queue] -> worker: shed expired deadlines
 //                                        -> BEM eth_getCode (retried)
 //                                        -> code hash -> score cache?
-//                                        -> one predict_proba per batch
+//                                        -> one score_batch per batch
 //                                        -> cache fill -> future completed
 //
-// Batching exists because the detector is batch-oriented (one
-// vocabulary.transform_all + predict_proba call amortizes over the batch)
-// and because duplicate code hashes inside a batch collapse to a single
-// model row. `max_wait_us` bounds how long the first request of a batch
-// waits for company, keeping tail latency within the signing budget.
+// The detector is any ml::Scorer — a single fitted model of any family,
+// or a composite like serve::CascadeScorer. Batching exists because
+// scorers are batch-oriented (one feature-extraction + model pass
+// amortizes over the batch) and because duplicate code hashes inside a
+// batch collapse to a single model row. `max_wait_us` bounds how long the
+// first request of a batch waits for company, keeping tail latency within
+// the signing budget.
 //
 // Fault isolation contract: the inputs are adversarial and the upstream is
 // unreliable, so *no request outcome is an exception*. Every future
 // resolves with a ScoreResult carrying a definite ScoreStatus; a throwing
 // extract is confined to its slot (after RetryPolicy-governed retries of
-// transient faults), a throwing predict_proba fails only the slots that
+// transient faults), a throwing score_batch fails only the slots that
 // actually needed the model — cache hits and empty-code slots in the same
-// batch still deliver their valid results. Overload is handled by
+// batch still deliver their valid results — and a failing *heavy* cascade
+// stage downgrades its rows to the stage-0 score (kDegraded, not cached)
+// instead of failing them. Overload is handled by
 // admission control (`max_queue`, reject-on-full) and per-request
 // deadlines (`deadline_us`, expired requests shed before batching), both
 // reported through the kShed status rather than silent drops:
@@ -31,8 +35,9 @@
 // requests_submitted once the queue drains.
 //
 // Thread-safety contract: the detector passed in must have a read-only,
-// concurrently callable predict_proba (true for HistogramAdapter — fitted
-// vocabulary and tree/linear models are immutable at inference time).
+// concurrently callable score_batch (true for every fitted adapter —
+// vocabulary/encoder/tokenizer and model weights are immutable at
+// inference time — and for CascadeScorer over such stages).
 #pragma once
 
 #include <condition_variable>
@@ -48,7 +53,7 @@
 #include "common/retry.hpp"
 #include "common/timer.hpp"
 #include "core/bem.hpp"
-#include "core/model_registry.hpp"
+#include "ml/scorer.hpp"
 #include "obs/request_context.hpp"
 #include "serve/metrics.hpp"
 #include "serve/score_cache.hpp"
@@ -82,8 +87,9 @@ struct EngineConfig {
 enum class ScoreStatus {
   kOk,            ///< scored (model or cache)
   kEmptyCode,     ///< EOA / destroyed contract (scored as 0)
+  kDegraded,      ///< heavy cascade stage failed; stage-0 score delivered
   kExtractError,  ///< eth_getCode failed after retries
-  kModelError,    ///< predict_proba threw for this slot's batch
+  kModelError,    ///< score_batch threw for this slot's batch
   kShed,          ///< dropped by admission control or deadline
 };
 
@@ -94,26 +100,32 @@ const char* to_string(ScoreStatus status);
 struct ScoreResult {
   evm::Address address;
   ScoreStatus status = ScoreStatus::kOk;
-  double probability = 0.0;   ///< P(phishing); 0 unless status == kOk
+  double probability = 0.0;   ///< P(phishing); 0 unless kOk/kDegraded
   bool flagged = false;       ///< probability >= 0.5
   bool cache_hit = false;     ///< served from the score cache
+  std::uint32_t stage = 0;    ///< cascade stage that produced the score
+  std::string model;          ///< model behind that stage, "" if unscored
   std::string error;          ///< diagnostic, empty when ok/empty_code
   double latency_us = 0.0;    ///< submit -> completion
   double queue_wait_us = 0.0;  ///< time parked in the engine queue
   std::uint64_t trace_id = 0;  ///< causal id; nonzero once a ctx was minted
 
-  /// The request produced a usable score (kOk or the deliberate 0.0 of
-  /// kEmptyCode).
+  /// The request produced a usable score (kOk, a kDegraded fallback, or
+  /// the deliberate 0.0 of kEmptyCode).
   bool ok() const {
-    return status == ScoreStatus::kOk || status == ScoreStatus::kEmptyCode;
+    return status == ScoreStatus::kOk || status == ScoreStatus::kEmptyCode ||
+           status == ScoreStatus::kDegraded;
   }
 };
 
 class ScoringEngine {
  public:
   /// The engine borrows `detector` and `explorer`; both must outlive it.
-  ScoringEngine(const chain::Explorer& explorer,
-                core::PhishingClassifier& detector, EngineConfig config = {});
+  /// Any ml::Scorer works — a fitted PhishingClassifier adapter of any
+  /// model family, or a composite like serve::CascadeScorer; the engine's
+  /// batch loop only speaks the score_batch contract.
+  ScoringEngine(const chain::Explorer& explorer, ml::Scorer& detector,
+                EngineConfig config = {});
 
   /// Drains the queue, joins the workers.
   ~ScoringEngine();
@@ -159,10 +171,22 @@ class ScoringEngine {
     metrics_.dump(out, cache_.stats().hit_rate());
   }
 
-  /// Syncs pull-model state (score-cache stats) into the engine registry.
-  /// Wire as an obs::ScrapeServer pre-scrape hook so /metrics always shows
-  /// fresh serve_cache_* values.
-  void export_cache_metrics() { cache_.export_metrics(metrics_.registry); }
+  /// The scorer this engine serves (e.g. for the RPC health handler to
+  /// describe cascade stages).
+  ml::Scorer& scorer() { return *detector_; }
+  const ml::Scorer& scorer() const { return *detector_; }
+
+  /// Syncs pull-model state (score-cache stats, the scorer's own gauges
+  /// such as the cascade escalation rate) into the engine registry. Wire
+  /// as an obs::ScrapeServer pre-scrape hook so /metrics always shows
+  /// fresh serve_cache_* / serve_cascade_* values.
+  void export_pull_metrics() {
+    cache_.export_metrics(metrics_.registry);
+    detector_->export_metrics(metrics_.registry);
+  }
+
+  /// Back-compat alias for export_pull_metrics().
+  void export_cache_metrics() { export_pull_metrics(); }
 
   /// The engine's private registry, scrapable alongside the global one.
   const obs::MetricsRegistry& prometheus_registry() const {
@@ -172,7 +196,7 @@ class ScoringEngine {
   /// Full Prometheus-style exposition of the engine's private registry
   /// (ServiceMetrics counters/histograms plus a serve_cache_* snapshot).
   void dump_prometheus(std::ostream& out) {
-    export_cache_metrics();
+    export_pull_metrics();
     metrics_.registry.write_prometheus(out);
   }
 
@@ -201,7 +225,7 @@ class ScoringEngine {
   void deliver(Request& request, ScoreResult result);
 
   core::BytecodeExtractionModule bem_;
-  core::PhishingClassifier* detector_;
+  ml::Scorer* detector_;
   EngineConfig config_;
 
   ShardedScoreCache cache_;

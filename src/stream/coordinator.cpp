@@ -235,6 +235,7 @@ void StreamCoordinator::collector_loop() {
     switch (result.status) {
       case serve::ScoreStatus::kOk:
       case serve::ScoreStatus::kEmptyCode:
+      case serve::ScoreStatus::kDegraded:
         metrics_.completed.inc();
         break;
       case serve::ScoreStatus::kExtractError:

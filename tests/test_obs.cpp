@@ -27,6 +27,7 @@
 
 #include "common/errors.hpp"
 #include "common/logging.hpp"
+#include "core/model_registry.hpp"
 #include "ml/random_forest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/request_context.hpp"

@@ -168,9 +168,9 @@ TEST(ScoreCache, EvictsLeastRecentlyUsedInOrder) {
   ASSERT_TRUE(cache.get(a).has_value());  // refresh a: LRU order is b, c, a
   cache.put(d, 0.4);                      // evicts b
   EXPECT_FALSE(cache.get(b).has_value());
-  EXPECT_EQ(cache.get(a), 0.1);
-  EXPECT_EQ(cache.get(c), 0.3);
-  EXPECT_EQ(cache.get(d), 0.4);
+  EXPECT_EQ(cache.get(a), (serve::CachedScore{0.1, 0}));
+  EXPECT_EQ(cache.get(c), (serve::CachedScore{0.3, 0}));
+  EXPECT_EQ(cache.get(d), (serve::CachedScore{0.4, 0}));
 
   const serve::CacheStats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
@@ -184,7 +184,7 @@ TEST(ScoreCache, PutRefreshesExistingKey) {
   cache.put(b, 0.2);
   cache.put(a, 0.9);  // refresh, not insert: b is now the LRU entry
   cache.put(c, 0.3);
-  EXPECT_EQ(cache.get(a), 0.9);
+  EXPECT_EQ(cache.get(a), (serve::CachedScore{0.9, 0}));
   EXPECT_FALSE(cache.get(b).has_value());
 }
 

@@ -19,6 +19,7 @@
 
 #include "chain/fault_injection.hpp"
 #include "common/retry.hpp"
+#include "core/model_registry.hpp"
 #include "ml/random_forest.hpp"
 #include "serve/scoring_engine.hpp"
 #include "synth/dataset_builder.hpp"

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "chain/fault_injection.hpp"
+#include "core/model_registry.hpp"
 #include "ml/random_forest.hpp"
 #include "obs/trace.hpp"
 #include "serve/scoring_engine.hpp"
